@@ -1,0 +1,55 @@
+// Figure 3(d)-(f): direction and gradient MSE of GeoDP vs DP as the
+// gradient dimensionality sweeps, at beta in {1, 0.1, 0.01}.
+// Expected shape: at beta=1 GeoDP's direction error grows with d (its
+// sensitivity is sqrt(d+2)*beta*pi) and eventually exceeds DP's; small
+// beta restores GeoDP's advantage at every dimension.
+
+#include <cstdint>
+
+#include "common/bench_util.h"
+#include "stats/table.h"
+
+namespace geodp {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner(
+      "Figure 3(d)-(f) (MSE vs dimensionality d)",
+      "sigma=8, B=4096, d in {500..20000}, beta in {1, 0.1, 0.01}",
+      "sigma=8, B=512, d in {64..2048}, C=0.1, 16 trials");
+
+  const int64_t kBatch = 512;
+  const double kClip = 0.1;
+  const double kSigma = 8.0;
+  const int kTrials = 16;
+
+  TablePrinter table({"beta", "d", "GeoDP theta MSE", "DP theta MSE",
+                      "GeoDP g MSE", "DP g MSE"});
+  for (int64_t dim : {64, 128, 256, 512, 1024, 2048}) {
+    const GradientDataset data = HarvestedGradients(dim, /*count=*/384);
+    for (double beta : {1.0, 0.1, 0.01}) {
+      const auto geo = MakeGeo(kClip, kBatch, kSigma, beta);
+      const auto dp = MakeDp(kClip, kBatch, kSigma);
+      const MseResult geo_mse =
+          MeasurePerturbationMse(data, *geo, kBatch, kClip, kTrials, 23);
+      const MseResult dp_mse =
+          MeasurePerturbationMse(data, *dp, kBatch, kClip, kTrials, 23);
+      table.AddRow({TablePrinter::Fmt(beta, 2), std::to_string(dim),
+                    TablePrinter::FmtSci(geo_mse.direction_mse),
+                    TablePrinter::FmtSci(dp_mse.direction_mse),
+                    TablePrinter::FmtSci(geo_mse.gradient_mse),
+                    TablePrinter::FmtSci(dp_mse.gradient_mse)});
+    }
+  }
+  PrintTable(table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace geodp
+
+int main() {
+  geodp::bench::Run();
+  return 0;
+}

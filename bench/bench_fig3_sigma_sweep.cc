@@ -1,0 +1,56 @@
+// Figure 3(a)-(c): direction and gradient MSE of GeoDP vs DP as the noise
+// multiplier sweeps, at bounding factors beta in {1, 0.1, 0.01}.
+// Expected shape: at beta=1 GeoDP loses to DP on direction for large
+// sigma; shrinking beta lets GeoDP win on both direction and gradient.
+
+#include <cstdint>
+
+#include "common/bench_util.h"
+#include "stats/table.h"
+
+namespace geodp {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner(
+      "Figure 3(a)-(c) (MSE vs noise multiplier sigma)",
+      "d=5000, B=2048, sigma in {1e-4..10}, beta in {1, 0.1, 0.01}",
+      "d=1024, B=256, same sigma grid and betas, C=0.1, 20 trials");
+
+  const int64_t kDim = 1024;
+  const int64_t kBatch = 256;
+  const double kClip = 0.1;
+  const int kTrials = 20;
+
+  const GradientDataset data = HarvestedGradients(kDim);
+
+  TablePrinter table({"beta", "sigma", "GeoDP theta MSE", "DP theta MSE",
+                      "GeoDP g MSE", "DP g MSE"});
+  for (double beta : {1.0, 0.1, 0.01}) {
+    for (double sigma : {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0}) {
+      const auto geo = MakeGeo(kClip, kBatch, sigma, beta);
+      const auto dp = MakeDp(kClip, kBatch, sigma);
+      const MseResult geo_mse =
+          MeasurePerturbationMse(data, *geo, kBatch, kClip, kTrials, 17);
+      const MseResult dp_mse =
+          MeasurePerturbationMse(data, *dp, kBatch, kClip, kTrials, 17);
+      table.AddRow({TablePrinter::Fmt(beta, 2),
+                    TablePrinter::FmtSci(sigma, 0),
+                    TablePrinter::FmtSci(geo_mse.direction_mse),
+                    TablePrinter::FmtSci(dp_mse.direction_mse),
+                    TablePrinter::FmtSci(geo_mse.gradient_mse),
+                    TablePrinter::FmtSci(dp_mse.gradient_mse)});
+    }
+  }
+  PrintTable(table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace geodp
+
+int main() {
+  geodp::bench::Run();
+  return 0;
+}

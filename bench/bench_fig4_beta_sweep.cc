@@ -1,0 +1,60 @@
+// Figure 4: effectiveness of the bounding factor. Sweeps beta in
+// {0.1..1.0} at three dimensionalities and reports where GeoDP starts to
+// beat DP on both direction and gradient MSE.
+// Expected shape: for each dimension there is a beta threshold below which
+// GeoDP wins on both metrics (paper: beta=0.2 at d=20000, beta=0.4 at
+// d=10000); the threshold moves right as d shrinks.
+
+#include <cstdint>
+
+#include "common/bench_util.h"
+#include "stats/table.h"
+
+namespace geodp {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner(
+      "Figure 4 (effectiveness of the bounding factor beta)",
+      "sigma=8, B=4096, d in {5000, 10000, 20000}, beta in {0.1..1.0}",
+      "sigma=8, B=512, d in {512, 1024, 2048}, beta in {0.025..1}, C=0.1, "
+      "16 trials");
+
+  const int64_t kBatch = 512;
+  const double kClip = 0.1;
+  const double kSigma = 8.0;
+  const int kTrials = 16;
+
+  TablePrinter table({"d", "beta", "GeoDP theta MSE", "DP theta MSE",
+                      "GeoDP g MSE", "DP g MSE", "GeoDP wins both"});
+  for (int64_t dim : {512, 1024, 2048}) {
+    const GradientDataset data = HarvestedGradients(dim, /*count=*/384);
+    const auto dp = MakeDp(kClip, kBatch, kSigma);
+    const MseResult dp_mse =
+        MeasurePerturbationMse(data, *dp, kBatch, kClip, kTrials, 31);
+    for (double beta : {0.025, 0.05, 0.1, 0.2, 0.4, 1.0}) {
+      const auto geo = MakeGeo(kClip, kBatch, kSigma, beta);
+      const MseResult geo_mse =
+          MeasurePerturbationMse(data, *geo, kBatch, kClip, kTrials, 31);
+      const bool wins = geo_mse.direction_mse < dp_mse.direction_mse &&
+                        geo_mse.gradient_mse < dp_mse.gradient_mse;
+      table.AddRow({std::to_string(dim), TablePrinter::Fmt(beta, 3),
+                    TablePrinter::FmtSci(geo_mse.direction_mse),
+                    TablePrinter::FmtSci(dp_mse.direction_mse),
+                    TablePrinter::FmtSci(geo_mse.gradient_mse),
+                    TablePrinter::FmtSci(dp_mse.gradient_mse),
+                    wins ? "yes" : "no"});
+    }
+  }
+  PrintTable(table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace geodp
+
+int main() {
+  geodp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Privacy calibration check (paper Fig. 3 caption / §V-C2): the sigma <->
+// epsilon mapping at delta = 1e-5, the RDP-accounted epsilon of a full
+// training run, and GeoDP's relaxed direction guarantee
+// (epsilon, delta + delta') with delta' <= 1 - beta.
+
+#include "common/bench_util.h"
+#include "core/privacy_region.h"
+#include "dp/composition.h"
+#include "dp/gaussian_mechanism.h"
+#include "dp/rdp_accountant.h"
+#include "stats/table.h"
+
+namespace geodp {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintBanner(
+      "Privacy calibration (sigma <-> epsilon at delta=1e-5)",
+      "sigma in {1e-4..10} labeled epsilon {484.5, 153.2, 48.5, 15.3, 4.9, "
+      "1.5}; RDP for the cumulative loss",
+      "classic single-release Gaussian calibration plus RDP accounting of "
+      "a T=1000-step run at q=0.01");
+
+  const double delta = 1e-5;
+
+  TablePrinter calibration(
+      {"sigma", "single-release eps", "RDP eps (T=1000, q=0.01)"});
+  for (double sigma : {1e-2, 1e-1, 0.5, 1.0, 2.0, 4.0, 10.0}) {
+    RdpAccountant accountant;
+    accountant.AddSubsampledGaussianSteps(sigma, 0.01, 1000);
+    calibration.AddRow({TablePrinter::Fmt(sigma, 2),
+                        TablePrinter::Fmt(GaussianEpsilonForSigma(sigma, delta), 2),
+                        TablePrinter::Fmt(accountant.GetEpsilon(delta), 2)});
+  }
+  PrintTable(calibration);
+
+  PrintBanner("GeoDP direction guarantee (Theorem 5 / Lemma 2)",
+              "direction satisfies (eps, delta + delta')-DP, delta' <= 1-beta",
+              "report for sigma=1, delta=1e-5 across beta");
+  TablePrinter geo({"beta", "epsilon", "delta", "delta' upper",
+                    "total delta upper"});
+  for (double beta : {1.0, 0.8, 0.5, 0.2, 0.1, 0.01}) {
+    const GeoDpPrivacyReport report = AnalyzeGeoDpPrivacy(1.0, delta, beta);
+    geo.AddRow({TablePrinter::Fmt(beta, 2),
+                TablePrinter::Fmt(report.epsilon, 3),
+                TablePrinter::FmtSci(report.delta, 1),
+                TablePrinter::Fmt(report.delta_prime_upper_bound, 2),
+                TablePrinter::Fmt(report.total_delta_upper_bound, 5)});
+  }
+  PrintTable(geo);
+
+  PrintBanner("Composition cross-check",
+              "RDP should dominate basic and advanced composition",
+              "per-step eps from classic calibration at sigma=2, T=500");
+  const double sigma = 2.0;
+  const double per_step_eps = GaussianEpsilonForSigma(sigma, 1e-7);
+  const PrivacyGuarantee basic = BasicComposition({per_step_eps, 1e-7}, 500);
+  const PrivacyGuarantee advanced =
+      AdvancedComposition({per_step_eps, 1e-7}, 500, 1e-6);
+  RdpAccountant accountant;
+  accountant.AddSubsampledGaussianSteps(sigma, 0.01, 500);
+  TablePrinter comp({"accounting", "epsilon"});
+  comp.AddRow({"basic composition", TablePrinter::Fmt(basic.epsilon, 2)});
+  comp.AddRow({"advanced composition",
+               TablePrinter::Fmt(advanced.epsilon, 2)});
+  comp.AddRow({"RDP (subsampled)",
+               TablePrinter::Fmt(accountant.GetEpsilon(delta), 2)});
+  PrintTable(comp);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace geodp
+
+int main() {
+  geodp::bench::Run();
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "common/bench_util.h"
+
+#include <iostream>
+
+#include "base/rng.h"
+#include "core/spherical.h"
+#include "stats/metrics.h"
+
+namespace geodp {
+namespace bench {
+
+void PrintBanner(const std::string& id, const std::string& paper_setup,
+                 const std::string& repro_setup) {
+  std::cout << "\n=== " << id << " ===\n";
+  std::cout << "paper: " << paper_setup << "\n";
+  std::cout << "repro: " << repro_setup << "\n\n";
+}
+
+void PrintTable(const TablePrinter& table) {
+  table.Print(std::cout);
+  std::cout << "\n-- csv --\n";
+  table.PrintCsv(std::cout);
+  std::cout << std::endl;
+}
+
+MseResult MeasurePerturbationMse(const GradientDataset& data,
+                                 const Perturber& perturber, int64_t batch,
+                                 double clip_threshold, int trials,
+                                 uint64_t seed) {
+  Rng sample_rng(seed);
+  Rng noise_rng(seed + 1);
+  std::vector<SphericalCoordinates> original_dirs, perturbed_dirs;
+  std::vector<Tensor> original, perturbed;
+  original_dirs.reserve(static_cast<size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    Tensor avg = data.AverageClipped(batch, clip_threshold, sample_rng);
+    Tensor noisy = perturber.Perturb(avg, noise_rng);
+    original_dirs.push_back(ToSpherical(avg));
+    perturbed_dirs.push_back(ToSpherical(noisy));
+    original.push_back(std::move(avg));
+    perturbed.push_back(std::move(noisy));
+  }
+  return {DirectionMse(original_dirs, perturbed_dirs),
+          GradientMse(original, perturbed)};
+}
+
+std::unique_ptr<Perturber> MakeDp(double clip_threshold, int64_t batch,
+                                  double sigma) {
+  PerturbationOptions options;
+  options.clip_threshold = clip_threshold;
+  options.batch_size = batch;
+  options.noise_multiplier = sigma;
+  return std::make_unique<DpPerturber>(options);
+}
+
+std::unique_ptr<Perturber> MakeGeo(double clip_threshold, int64_t batch,
+                                   double sigma, double beta) {
+  GeoDpOptions options;
+  options.base.clip_threshold = clip_threshold;
+  options.base.batch_size = batch;
+  options.base.noise_multiplier = sigma;
+  options.beta = beta;
+  return std::make_unique<GeoDpPerturber>(options);
+}
+
+GradientDataset HarvestedGradients(int64_t dimension, int64_t count) {
+  GradientDatasetOptions options;
+  options.num_gradients = count;
+  options.dimension = dimension;
+  options.training_examples = 256;
+  options.seed = 4242;
+  return HarvestGradientDataset(options);
+}
+
+SplitDataset MnistLikeSplit(int64_t train_size, int64_t test_size,
+                            uint64_t seed) {
+  SyntheticImageOptions options;
+  options.num_examples = train_size + test_size;
+  options.seed = seed;
+  SplitDataset split;
+  split.train = MakeMnistLike(options);
+  split.test = split.train.SplitTail(test_size);
+  return split;
+}
+
+SplitDataset CifarLikeSplit(int64_t train_size, int64_t test_size,
+                            uint64_t seed) {
+  SyntheticImageOptions options;
+  options.num_examples = train_size + test_size;
+  options.seed = seed;
+  SplitDataset split;
+  split.train = MakeCifarLike(options);
+  split.test = split.train.SplitTail(test_size);
+  return split;
+}
+
+}  // namespace bench
+}  // namespace geodp

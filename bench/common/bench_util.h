@@ -1,0 +1,69 @@
+// Shared helpers for the benchmark binaries that regenerate the paper's
+// tables and figures. Every bench prints a banner describing the
+// scale-down mapping (see EXPERIMENTS.md), an aligned table, and a CSV
+// block for plotting.
+
+#ifndef GEODP_BENCH_COMMON_BENCH_UTIL_H_
+#define GEODP_BENCH_COMMON_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/perturbation.h"
+#include "data/dataset.h"
+#include "data/gradient_dataset.h"
+#include "data/synthetic_images.h"
+#include "optim/trainer.h"
+#include "stats/table.h"
+
+namespace geodp {
+namespace bench {
+
+/// Prints the experiment header: id (e.g. "Figure 3(a)"), what the paper
+/// measured, and this repo's reduced-scale setup.
+void PrintBanner(const std::string& id, const std::string& paper_setup,
+                 const std::string& repro_setup);
+
+/// Prints the aligned table followed by a CSV block.
+void PrintTable(const TablePrinter& table);
+
+/// Direction and gradient MSE of one perturbation strategy.
+struct MseResult {
+  double direction_mse = 0.0;
+  double gradient_mse = 0.0;
+};
+
+/// Measures MSEs over `trials` averaged clipped gradients sampled from the
+/// dataset (paper Def. 4 protocol).
+MseResult MeasurePerturbationMse(const GradientDataset& data,
+                                 const Perturber& perturber, int64_t batch,
+                                 double clip_threshold, int trials,
+                                 uint64_t seed);
+
+/// DP perturber with the paper's defaults (C from the argument).
+std::unique_ptr<Perturber> MakeDp(double clip_threshold, int64_t batch,
+                                  double sigma);
+
+/// GeoDP perturber with the paper's defaults.
+std::unique_ptr<Perturber> MakeGeo(double clip_threshold, int64_t batch,
+                                   double sigma, double beta);
+
+/// Gradient dataset harvested from CNN training at the given dimension
+/// (paper §VI-A synthetic gradient dataset, reduced scale).
+GradientDataset HarvestedGradients(int64_t dimension, int64_t count = 512);
+
+/// Standard train/test split of the MNIST-like dataset.
+struct SplitDataset {
+  InMemoryDataset train;
+  InMemoryDataset test;
+};
+SplitDataset MnistLikeSplit(int64_t train_size, int64_t test_size,
+                            uint64_t seed);
+SplitDataset CifarLikeSplit(int64_t train_size, int64_t test_size,
+                            uint64_t seed);
+
+}  // namespace bench
+}  // namespace geodp
+
+#endif  // GEODP_BENCH_COMMON_BENCH_UTIL_H_

@@ -1,0 +1,84 @@
+// Example: the geometric perturbation in isolation. Harvests real CNN
+// training gradients, perturbs one averaged batch gradient with DP and
+// GeoDP under the same guarantee, and prints what each strategy does to
+// the magnitude, the direction, and the cosine similarity — a hands-on
+// version of the paper's Figure 1.
+//
+//   $ ./examples/gradient_perturbation_lab
+
+#include <cstdio>
+
+#include "base/rng.h"
+#include "core/perturbation.h"
+#include "core/spherical.h"
+#include "data/gradient_dataset.h"
+#include "stats/summary.h"
+#include "tensor/tensor_ops.h"
+
+int main() {
+  using namespace geodp;
+
+  // Gradients from batch-1 CNN training (paper Sec. VI-A protocol).
+  GradientDatasetOptions harvest;
+  harvest.num_gradients = 256;
+  harvest.dimension = 512;
+  harvest.training_examples = 128;
+  harvest.seed = 31;
+  const GradientDataset gradients = HarvestGradientDataset(harvest);
+
+  const double kClip = 0.1;
+  const int64_t kBatch = 256;
+  const double kSigma = 1.0;
+
+  Rng sample_rng(1);
+  const Tensor avg = gradients.AverageClipped(kBatch, kClip, sample_rng);
+  const SphericalCoordinates original = ToSpherical(avg);
+
+  std::printf("averaged clipped gradient: d=%lld, ||g||=%.5f\n",
+              static_cast<long long>(avg.dim(0)), original.magnitude);
+
+  PerturbationOptions base;
+  base.clip_threshold = kClip;
+  base.batch_size = kBatch;
+  base.noise_multiplier = kSigma;
+  const DpPerturber dp(base);
+
+  std::printf("\n%-18s %14s %14s %14s\n", "strategy", "cos(g, g*)",
+              "|theta err|^2", "||g*||");
+  Rng noise_rng(2);
+  RunningStat dp_cos, dp_dir;
+  double dp_mag = 0.0;
+  for (int t = 0; t < 50; ++t) {
+    const Tensor noisy = dp.Perturb(avg, noise_rng);
+    const SphericalCoordinates dir = ToSpherical(noisy);
+    dp_cos.Add(CosineSimilarity(avg, noisy));
+    dp_dir.Add(AngleSquaredDistance(original.angles, dir.angles));
+    dp_mag = dir.magnitude;
+  }
+  std::printf("%-18s %14.5f %14.6f %14.5f\n", "DP", dp_cos.mean(),
+              dp_dir.mean(), dp_mag);
+
+  for (double beta : {1.0, 0.1, 0.01}) {
+    GeoDpOptions geo_options;
+    geo_options.base = base;
+    geo_options.beta = beta;
+    const GeoDpPerturber geo(geo_options);
+    RunningStat cos_stat, dir_stat;
+    double magnitude = 0.0;
+    for (int t = 0; t < 50; ++t) {
+      const Tensor noisy = geo.Perturb(avg, noise_rng);
+      const SphericalCoordinates dir = ToSpherical(noisy);
+      cos_stat.Add(CosineSimilarity(avg, noisy));
+      dir_stat.Add(AngleSquaredDistance(original.angles, dir.angles));
+      magnitude = dir.magnitude;
+    }
+    std::printf("%-12s b=%.2f %14.5f %14.6f %14.5f\n", "GeoDP", beta,
+                cos_stat.mean(), dir_stat.mean(), magnitude);
+  }
+
+  std::printf(
+      "\nReading: GeoDP with small beta keeps cos(g, g*) near 1 (descent\n"
+      "trend preserved) while DP scatters the direction; both leave the\n"
+      "magnitude within the clipped bound's noise.\n");
+  return 0;
+}

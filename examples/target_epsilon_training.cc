@@ -1,0 +1,74 @@
+// Example: budget-first private training. Instead of picking a noise
+// multiplier, pick the privacy budget (epsilon, delta) for the whole run;
+// the calibration utilities solve for sigma, train with GeoDP, and the
+// privacy ledger audits the spend.
+//
+//   $ ./examples/target_epsilon_training
+
+#include <cstdio>
+
+#include "base/rng.h"
+#include "data/synthetic_images.h"
+#include "dp/calibration.h"
+#include "dp/privacy_ledger.h"
+#include "models/logistic_regression.h"
+#include "optim/trainer.h"
+
+int main() {
+  using namespace geodp;
+
+  const double kTargetEpsilon = 4.0;
+  const double kDelta = 1e-5;
+  const int64_t kIterations = 150;
+  const int64_t kBatch = 128;
+
+  SyntheticImageOptions data_options;
+  data_options.num_examples = 1200;
+  data_options.seed = 51;
+  InMemoryDataset train = MakeMnistLike(data_options);
+  InMemoryDataset test = train.SplitTail(200);
+
+  const double sampling_rate =
+      static_cast<double>(kBatch) / static_cast<double>(train.size());
+  const double sigma = NoiseMultiplierForTargetEpsilon(
+      kTargetEpsilon, kDelta, sampling_rate, kIterations);
+  std::printf("budget: (eps=%.2f, delta=%.0e) over %lld steps at q=%.4f\n",
+              kTargetEpsilon, kDelta, static_cast<long long>(kIterations),
+              sampling_rate);
+  std::printf("calibrated noise multiplier sigma = %.4f\n\n", sigma);
+
+  auto train_with = [&](PerturbationMethod method, double beta,
+                        const char* label) {
+    Rng rng(52);
+    auto model = MakeLogisticRegression(196, 10, rng);
+    TrainerOptions options;
+    options.method = method;
+    options.beta = beta;
+    options.batch_size = kBatch;
+    options.iterations = kIterations;
+    options.learning_rate = 2.0;
+    options.noise_multiplier = sigma;
+    options.delta = kDelta;
+    options.seed = 53;
+    DpTrainer trainer(model.get(), &train, &test, options);
+    const TrainingResult result = trainer.Train();
+    std::printf("%-22s test acc %.2f%%  achieved eps %.3f\n", label,
+                result.test_accuracy * 100, result.epsilon);
+    return result;
+  };
+
+  train_with(PerturbationMethod::kDp, 1.0, "DP-SGD");
+  const TrainingResult geo =
+      train_with(PerturbationMethod::kGeoDp, 0.002, "GeoDP (beta=0.002)");
+
+  PrivacyLedger ledger;
+  ledger.RecordSubsampledGaussian(sigma, sampling_rate, kIterations,
+                                  "GeoDP training run");
+  std::printf("\n%s\n", ledger.Report(kDelta).c_str());
+  std::printf(
+      "\nNote: GeoDP's magnitude release satisfies the audited guarantee; "
+      "its direction is (eps, delta + delta') with delta' <= %.3f "
+      "(Lemma 2, beta=0.002).\n",
+      1.0 - 0.002);
+  return geo.test_accuracy > 0 ? 0 : 1;
+}

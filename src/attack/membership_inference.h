@@ -1,0 +1,56 @@
+// Membership-inference attack harness (Yeom et al.-style loss threshold
+// attack). The paper motivates DP-SGD by such attacks (§I) and argues
+// GeoDP keeps them at bay while improving utility (§V-C2); this module
+// measures attack success empirically so the privacy/utility trade can be
+// evaluated end to end.
+
+#ifndef GEODP_ATTACK_MEMBERSHIP_INFERENCE_H_
+#define GEODP_ATTACK_MEMBERSHIP_INFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace geodp {
+
+/// Outcome of a loss-threshold membership attack.
+struct MiaResult {
+  // Probability that a random member outscores a random non-member
+  // (Mann-Whitney AUC of -loss as the membership score). 0.5 = no leak.
+  double auc = 0.5;
+  // Best achievable TPR - FPR over all thresholds (Yeom's membership
+  // advantage). 0 = no leak.
+  double advantage = 0.0;
+  double mean_member_loss = 0.0;
+  double mean_nonmember_loss = 0.0;
+  int64_t members = 0;
+  int64_t nonmembers = 0;
+};
+
+/// Per-example cross-entropy losses of the model on a dataset.
+std::vector<double> PerExampleLosses(Sequential& model,
+                                     const InMemoryDataset& dataset,
+                                     int64_t max_examples = 0);
+
+/// Runs the attack: members are training examples, non-members held-out
+/// examples from the same distribution; the attacker predicts "member"
+/// when the loss is below a threshold.
+MiaResult RunLossThresholdAttack(Sequential& model,
+                                 const InMemoryDataset& members,
+                                 const InMemoryDataset& nonmembers,
+                                 int64_t max_examples_per_side = 0);
+
+/// AUC of score separation (Mann-Whitney with tie correction): the
+/// probability a member's score exceeds a non-member's.
+double ComputeAuc(const std::vector<double>& member_scores,
+                  const std::vector<double>& nonmember_scores);
+
+/// Max over thresholds of TPR - FPR for the same scores.
+double ComputeAdvantage(const std::vector<double>& member_scores,
+                        const std::vector<double>& nonmember_scores);
+
+}  // namespace geodp
+
+#endif  // GEODP_ATTACK_MEMBERSHIP_INFERENCE_H_

@@ -1,0 +1,79 @@
+// Lightweight CHECK macros in the spirit of glog/absl. A failed check prints
+// the condition, file/line and an optional streamed message, then aborts.
+// These guard programmer errors (precondition violations), not recoverable
+// runtime errors; recoverable paths use geodp::Status instead.
+
+#ifndef GEODP_BASE_CHECK_H_
+#define GEODP_BASE_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace geodp {
+namespace internal_check {
+
+// Accumulates a streamed failure message and aborts on destruction.
+class CheckFailure {
+ public:
+  CheckFailure(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Lets a streamed CheckFailure expression terminate in a void context
+// (operator& binds looser than operator<<).
+class Voidify {
+ public:
+  void operator&(const CheckFailure&) {}
+};
+
+}  // namespace internal_check
+}  // namespace geodp
+
+#define GEODP_CHECK(condition)                   \
+  (condition) ? (void)0                          \
+              : ::geodp::internal_check::Voidify() & \
+                    ::geodp::internal_check::CheckFailure(#condition,  \
+                                                          __FILE__, __LINE__)
+
+#define GEODP_CHECK_OP(a, b, op)                                          \
+  ((a)op(b)) ? (void)0                                                    \
+             : ::geodp::internal_check::Voidify() &                      \
+                   (::geodp::internal_check::CheckFailure(               \
+                        #a " " #op " " #b, __FILE__, __LINE__)           \
+                    << "(" << (a) << " vs " << (b) << ") ")
+
+#define GEODP_CHECK_EQ(a, b) GEODP_CHECK_OP(a, b, ==)
+#define GEODP_CHECK_NE(a, b) GEODP_CHECK_OP(a, b, !=)
+#define GEODP_CHECK_LT(a, b) GEODP_CHECK_OP(a, b, <)
+#define GEODP_CHECK_LE(a, b) GEODP_CHECK_OP(a, b, <=)
+#define GEODP_CHECK_GT(a, b) GEODP_CHECK_OP(a, b, >)
+#define GEODP_CHECK_GE(a, b) GEODP_CHECK_OP(a, b, >=)
+
+#ifdef NDEBUG
+#define GEODP_DCHECK(condition) \
+  while (false) GEODP_CHECK(condition)
+#else
+#define GEODP_DCHECK(condition) GEODP_CHECK(condition)
+#endif
+
+#endif  // GEODP_BASE_CHECK_H_

@@ -1,0 +1,177 @@
+#include "base/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace geodp {
+
+void FlagParser::AddString(const std::string& name, std::string default_value,
+                           std::string help) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.string_value = std::move(default_value);
+  flag.help = std::move(help);
+  GEODP_CHECK(flags_.emplace(name, std::move(flag)).second)
+      << "duplicate flag " << name;
+}
+
+void FlagParser::AddInt(const std::string& name, int64_t default_value,
+                        std::string help) {
+  Flag flag;
+  flag.type = Type::kInt;
+  flag.int_value = default_value;
+  flag.help = std::move(help);
+  GEODP_CHECK(flags_.emplace(name, std::move(flag)).second)
+      << "duplicate flag " << name;
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           std::string help) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.double_value = default_value;
+  flag.help = std::move(help);
+  GEODP_CHECK(flags_.emplace(name, std::move(flag)).second)
+      << "duplicate flag " << name;
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         std::string help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.bool_value = default_value;
+  flag.help = std::move(help);
+  GEODP_CHECK(flags_.emplace(name, std::move(flag)).second)
+      << "duplicate flag " << name;
+}
+
+Status FlagParser::SetValue(Flag& flag, const std::string& name,
+                            const std::string& value) {
+  switch (flag.type) {
+    case Type::kString:
+      flag.string_value = value;
+      return Status::Ok();
+    case Type::kInt: {
+      char* end = nullptr;
+      const long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad integer for --" + name + ": " +
+                                       value);
+      }
+      flag.int_value = parsed;
+      return Status::Ok();
+    }
+    case Type::kDouble: {
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad double for --" + name + ": " +
+                                       value);
+      }
+      flag.double_value = parsed;
+      return Status::Ok();
+    }
+    case Type::kBool:
+      if (value == "true" || value == "1") {
+        flag.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        flag.bool_value = false;
+      } else {
+        return Status::InvalidArgument("bad bool for --" + name + ": " +
+                                       value);
+      }
+      return Status::Ok();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.type == Type::kBool) {
+        flag.bool_value = true;  // bare --flag sets a boolean
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("missing value for --" + name);
+      }
+      value = argv[++i];
+    }
+    const Status status = SetValue(flag, name, value);
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+const FlagParser::Flag& FlagParser::GetFlag(const std::string& name,
+                                            Type type) const {
+  auto it = flags_.find(name);
+  GEODP_CHECK(it != flags_.end()) << "undeclared flag " << name;
+  GEODP_CHECK(it->second.type == type) << "flag type mismatch for " << name;
+  return it->second;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return GetFlag(name, Type::kString).string_value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return GetFlag(name, Type::kInt).int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return GetFlag(name, Type::kDouble).double_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return GetFlag(name, Type::kBool).bool_value;
+}
+
+std::string FlagParser::HelpText() const {
+  std::ostringstream out;
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name;
+    switch (flag.type) {
+      case Type::kString:
+        out << " (string, default \"" << flag.string_value << "\")";
+        break;
+      case Type::kInt:
+        out << " (int, default " << flag.int_value << ")";
+        break;
+      case Type::kDouble:
+        out << " (double, default " << flag.double_value << ")";
+        break;
+      case Type::kBool:
+        out << " (bool, default " << (flag.bool_value ? "true" : "false")
+            << ")";
+        break;
+    }
+    out << "\n      " << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace geodp

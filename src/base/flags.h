@@ -1,0 +1,69 @@
+// Minimal command-line flag parsing for the CLI tool and examples:
+// `--name=value` / `--name value` / boolean `--name`. No global registry —
+// a FlagParser instance owns its flags, which keeps tests hermetic.
+
+#ifndef GEODP_BASE_FLAGS_H_
+#define GEODP_BASE_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace geodp {
+
+/// Declares typed flags, parses argv, and exposes the values.
+class FlagParser {
+ public:
+  FlagParser() = default;
+
+  /// Declares a flag with a default and a help string.
+  void AddString(const std::string& name, std::string default_value,
+                 std::string help);
+  void AddInt(const std::string& name, int64_t default_value,
+              std::string help);
+  void AddDouble(const std::string& name, double default_value,
+                 std::string help);
+  void AddBool(const std::string& name, bool default_value, std::string help);
+
+  /// Parses argv (skipping argv[0]). Unknown flags or malformed values
+  /// produce an error status. Non-flag arguments land in
+  /// positional_arguments().
+  Status Parse(int argc, const char* const* argv);
+
+  const std::string& GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional_arguments() const {
+    return positional_;
+  }
+
+  /// Formatted help text listing every declared flag.
+  std::string HelpText() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string string_value;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    std::string help;
+  };
+
+  Status SetValue(Flag& flag, const std::string& name,
+                  const std::string& value);
+  const Flag& GetFlag(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_BASE_FLAGS_H_

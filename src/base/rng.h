@@ -1,0 +1,76 @@
+// Deterministic random number generation for the whole library.
+//
+// Every randomized component (noise mechanisms, data generators, parameter
+// init, shuffling) takes an explicit Rng so experiments and tests are
+// reproducible bit-for-bit across platforms. The core generator is
+// xoshiro256++ (public-domain algorithm by Blackman & Vigna); Gaussian
+// variates come from a Box-Muller transform rather than std::
+// distributions, whose output is implementation-defined.
+
+#ifndef GEODP_BASE_RNG_H_
+#define GEODP_BASE_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace geodp {
+
+/// Deterministic pseudo-random generator (xoshiro256++, not crypto-secure;
+/// a production DP deployment would swap in a CSPRNG behind this interface).
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 so that nearby seeds give unrelated
+  /// streams.
+  explicit Rng(uint64_t seed);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Standard normal variate (mean 0, stddev 1) via Box-Muller.
+  double Gaussian();
+
+  /// Normal variate with the given mean and stddev.
+  double Gaussian(double mean, double stddev);
+
+  /// Vector of n i.i.d. N(0, stddev^2) samples.
+  std::vector<double> GaussianVector(std::size_t n, double stddev);
+
+  /// Standard Laplace variate scaled by b (density exp(-|x|/b) / 2b).
+  double Laplace(double b);
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformInt(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Derives an independent child generator; use to give each component its
+  /// own stream from one experiment seed.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  // Box-Muller produces pairs; the spare sample is cached here.
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_BASE_RNG_H_

@@ -1,0 +1,99 @@
+// Minimal Status / StatusOr for recoverable errors, modeled after
+// absl::Status. Most of the library asserts invariants with GEODP_CHECK;
+// Status is used where the caller can reasonably handle failure (e.g. I/O,
+// configuration validation).
+
+#ifndef GEODP_BASE_STATUS_H_
+#define GEODP_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "base/check.h"
+
+namespace geodp {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kInternal = 4,
+  kNotFound = 5,
+};
+
+/// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic error carrier. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status explaining its absence.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`
+  // like absl::StatusOr.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    GEODP_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    GEODP_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    GEODP_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    GEODP_CHECK(ok()) << status_.ToString();
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_BASE_STATUS_H_

@@ -1,0 +1,30 @@
+// Wall-clock timing helper used by the runtime benchmarks (paper Fig. 6).
+
+#ifndef GEODP_BASE_TIMER_H_
+#define GEODP_BASE_TIMER_H_
+
+#include <chrono>
+
+namespace geodp {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer();
+
+  /// Restarts the stopwatch.
+  void Reset();
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_BASE_TIMER_H_

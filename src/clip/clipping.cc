@@ -1,0 +1,73 @@
+#include "clip/clipping.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace geodp {
+
+void Clipper::OnStep(int64_t /*step*/) {}
+
+FlatClipper::FlatClipper(double clip_threshold)
+    : clip_threshold_(clip_threshold) {
+  GEODP_CHECK_GT(clip_threshold_, 0.0);
+}
+
+Tensor FlatClipper::Clip(const Tensor& per_sample_gradient) const {
+  const double norm = per_sample_gradient.L2Norm();
+  const double divisor = std::max(1.0, norm / clip_threshold_);
+  Tensor out = per_sample_gradient;
+  out.ScaleInPlace(static_cast<float>(1.0 / divisor));
+  return out;
+}
+
+AutoSClipper::AutoSClipper(double clip_threshold, double gamma)
+    : clip_threshold_(clip_threshold), gamma_(gamma) {
+  GEODP_CHECK_GT(clip_threshold_, 0.0);
+  GEODP_CHECK_GT(gamma_, 0.0);
+}
+
+Tensor AutoSClipper::Clip(const Tensor& per_sample_gradient) const {
+  const double norm = per_sample_gradient.L2Norm();
+  const double scale = clip_threshold_ / (norm + gamma_);
+  Tensor out = per_sample_gradient;
+  out.ScaleInPlace(static_cast<float>(scale));
+  return out;
+}
+
+PsacClipper::PsacClipper(double clip_threshold, double r0, double decay,
+                         double gamma)
+    : clip_threshold_(clip_threshold),
+      r0_(r0),
+      decay_(decay),
+      gamma_(gamma),
+      radius_(r0) {
+  GEODP_CHECK_GT(clip_threshold_, 0.0);
+  GEODP_CHECK_GE(r0_, 0.0);
+  GEODP_CHECK(decay_ > 0.0 && decay_ <= 1.0);
+  GEODP_CHECK_GT(gamma_, 0.0);
+}
+
+Tensor PsacClipper::Clip(const Tensor& per_sample_gradient) const {
+  const double norm = per_sample_gradient.L2Norm();
+  const double scale = clip_threshold_ / (norm + radius_ / (norm + gamma_));
+  Tensor out = per_sample_gradient;
+  out.ScaleInPlace(static_cast<float>(scale));
+  return out;
+}
+
+void PsacClipper::OnStep(int64_t step) {
+  GEODP_CHECK_GE(step, 0);
+  radius_ = r0_ * std::pow(decay_, static_cast<double>(step));
+}
+
+std::unique_ptr<Clipper> MakeClipper(const std::string& name,
+                                     double clip_threshold) {
+  if (name == "flat") return std::make_unique<FlatClipper>(clip_threshold);
+  if (name == "AUTO-S") return std::make_unique<AutoSClipper>(clip_threshold);
+  if (name == "PSAC") return std::make_unique<PsacClipper>(clip_threshold);
+  GEODP_CHECK(false) << "unknown clipper: " << name;
+  return nullptr;
+}
+
+}  // namespace geodp

@@ -1,0 +1,158 @@
+#include "core/perturbation.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace geodp {
+namespace {
+
+void ValidateOptions(const PerturbationOptions& options) {
+  GEODP_CHECK_GT(options.clip_threshold, 0.0);
+  GEODP_CHECK_GE(options.batch_size, 1);
+  GEODP_CHECK_GE(options.noise_multiplier, 0.0);
+}
+
+}  // namespace
+
+DpPerturber::DpPerturber(PerturbationOptions options) : options_(options) {
+  ValidateOptions(options_);
+}
+
+double DpPerturber::CoordinateNoiseStddev() const {
+  return options_.clip_threshold * options_.noise_multiplier /
+         static_cast<double>(options_.batch_size);
+}
+
+Tensor DpPerturber::Perturb(const Tensor& avg_clipped_gradient,
+                            Rng& rng) const {
+  GEODP_CHECK_EQ(avg_clipped_gradient.ndim(), 1);
+  Tensor out = avg_clipped_gradient;
+  const double stddev = CoordinateNoiseStddev();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    out[i] += static_cast<float>(rng.Gaussian(0.0, stddev));
+  }
+  return out;
+}
+
+GeoDpPerturber::GeoDpPerturber(GeoDpOptions options) : options_(options) {
+  ValidateOptions(options_.base);
+  GEODP_CHECK(options_.beta > 0.0 && options_.beta <= 1.0)
+      << "bounding factor beta must lie in (0, 1]";
+  GEODP_CHECK_GE(options_.magnitude_sigma_scale, 0.0);
+  GEODP_CHECK_GE(options_.direction_sigma_scale, 0.0);
+}
+
+double GeoDpPerturber::MagnitudeNoiseStddev() const {
+  return options_.magnitude_sigma_scale * options_.base.clip_threshold *
+         options_.base.noise_multiplier /
+         static_cast<double>(options_.base.batch_size);
+}
+
+double GeoDpPerturber::DirectionNoiseStddev(int64_t dimension) const {
+  const DirectionSensitivity sensitivity =
+      ComputeDirectionSensitivity(dimension, options_.beta);
+  return options_.direction_sigma_scale * sensitivity.total_l2 *
+         options_.base.noise_multiplier /
+         static_cast<double>(options_.base.batch_size);
+}
+
+SphericalCoordinates GeoDpPerturber::PerturbSpherical(
+    const SphericalCoordinates& coords, Rng& rng) const {
+  SphericalCoordinates noisy = coords;
+  noisy.magnitude += rng.Gaussian(0.0, MagnitudeNoiseStddev());
+  if (options_.clamp_magnitude && noisy.magnitude < 0.0) {
+    noisy.magnitude = 0.0;
+  }
+  const double angle_stddev = DirectionNoiseStddev(coords.CartesianDim());
+  for (double& angle : noisy.angles) {
+    angle += rng.Gaussian(0.0, angle_stddev);
+  }
+  switch (options_.angle_handling) {
+    case AngleHandling::kNone:
+      break;
+    case AngleHandling::kWrap:
+      noisy.angles = WrapAngles(std::move(noisy.angles));
+      break;
+    case AngleHandling::kClamp:
+      noisy.angles = ClampAngles(std::move(noisy.angles));
+      break;
+  }
+  return noisy;
+}
+
+Tensor GeoDpPerturber::Perturb(const Tensor& avg_clipped_gradient,
+                               Rng& rng) const {
+  GEODP_CHECK_EQ(avg_clipped_gradient.ndim(), 1);
+  GEODP_CHECK_GE(avg_clipped_gradient.dim(0), 2)
+      << "GeoDP needs at least a 2-dimensional gradient";
+  const SphericalCoordinates coords = ToSpherical(avg_clipped_gradient);
+  const SphericalCoordinates noisy = PerturbSpherical(coords, rng);
+  return ToCartesian(noisy);
+}
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+GeoLaplacePerturber::GeoLaplacePerturber(GeoLaplaceOptions options)
+    : options_(options) {
+  GEODP_CHECK_GT(options_.clip_threshold, 0.0);
+  GEODP_CHECK_GE(options_.batch_size, 1);
+  GEODP_CHECK_GT(options_.magnitude_epsilon, 0.0);
+  GEODP_CHECK_GT(options_.direction_epsilon, 0.0);
+  GEODP_CHECK(options_.beta > 0.0 && options_.beta <= 1.0);
+}
+
+double GeoLaplacePerturber::MagnitudeNoiseScale() const {
+  return options_.clip_threshold /
+         (options_.magnitude_epsilon *
+          static_cast<double>(options_.batch_size));
+}
+
+double GeoLaplacePerturber::DirectionNoiseScale(int64_t dimension) const {
+  GEODP_CHECK_GE(dimension, 2);
+  // L1 sensitivity of the angle vector: (d-2) angles of range beta*pi plus
+  // one of range 2*beta*pi.
+  const double l1_sensitivity =
+      static_cast<double>(dimension) * options_.beta * kPi;
+  return l1_sensitivity / (options_.direction_epsilon *
+                           static_cast<double>(options_.batch_size));
+}
+
+double GeoLaplacePerturber::TotalEpsilon() const {
+  return options_.magnitude_epsilon + options_.direction_epsilon;
+}
+
+Tensor GeoLaplacePerturber::Perturb(const Tensor& avg_clipped_gradient,
+                                    Rng& rng) const {
+  GEODP_CHECK_EQ(avg_clipped_gradient.ndim(), 1);
+  GEODP_CHECK_GE(avg_clipped_gradient.dim(0), 2);
+  SphericalCoordinates coords = ToSpherical(avg_clipped_gradient);
+  coords.magnitude += rng.Laplace(MagnitudeNoiseScale());
+  const double angle_scale = DirectionNoiseScale(coords.CartesianDim());
+  for (double& angle : coords.angles) angle += rng.Laplace(angle_scale);
+  switch (options_.angle_handling) {
+    case AngleHandling::kNone:
+      break;
+    case AngleHandling::kWrap:
+      coords.angles = WrapAngles(std::move(coords.angles));
+      break;
+    case AngleHandling::kClamp:
+      coords.angles = ClampAngles(std::move(coords.angles));
+      break;
+  }
+  return ToCartesian(coords);
+}
+
+std::unique_ptr<Perturber> MakeDpPerturber(PerturbationOptions options) {
+  return std::make_unique<DpPerturber>(options);
+}
+
+std::unique_ptr<Perturber> MakeGeoDpPerturber(GeoDpOptions options) {
+  return std::make_unique<GeoDpPerturber>(options);
+}
+
+}  // namespace geodp

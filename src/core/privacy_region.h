@@ -1,0 +1,45 @@
+// Privacy-region bounding and privacy analysis for GeoDP (paper §V-B step 2
+// and §V-C2). The bounding factor beta shrinks the sensitivity of each
+// angle: Delta theta_z = beta*pi for z <= d-2 and 2*beta*pi for z = d-1, so
+// the total direction sensitivity is
+//   Delta theta = sqrt((d-2)(beta pi)^2 + (2 beta pi)^2) = sqrt(d+2) beta pi.
+// In exchange, the direction guarantee degrades from (eps, delta) to
+// (eps, delta + delta'), with delta' <= 1 - beta (Lemma 2).
+
+#ifndef GEODP_CORE_PRIVACY_REGION_H_
+#define GEODP_CORE_PRIVACY_REGION_H_
+
+#include <cstdint>
+
+namespace geodp {
+
+/// Per-angle sensitivities induced by a bounding factor.
+struct DirectionSensitivity {
+  double per_angle = 0.0;       // beta * pi, angles 1..d-2
+  double last_angle = 0.0;      // 2 * beta * pi, angle d-1
+  double total_l2 = 0.0;        // sqrt(d+2) * beta * pi
+};
+
+/// Sensitivity of a d-dimensional gradient's direction under bounding
+/// factor beta in (0, 1]. Requires d >= 2.
+DirectionSensitivity ComputeDirectionSensitivity(int64_t dimension,
+                                                 double beta);
+
+/// Privacy guarantee of a full GeoDP release (Theorem 5): the magnitude is
+/// (epsilon, delta)-DP and the direction is (epsilon, delta + delta')-DP
+/// with delta' bounded above by 1 - beta.
+struct GeoDpPrivacyReport {
+  double epsilon = 0.0;
+  double delta = 0.0;
+  double delta_prime_upper_bound = 0.0;  // 1 - beta
+  double total_delta_upper_bound = 0.0;  // delta + (1 - beta)
+};
+
+/// Builds the report for noise multiplier sigma at the given delta,
+/// using the classic Gaussian calibration for epsilon.
+GeoDpPrivacyReport AnalyzeGeoDpPrivacy(double noise_multiplier, double delta,
+                                       double beta);
+
+}  // namespace geodp
+
+#endif  // GEODP_CORE_PRIVACY_REGION_H_

@@ -1,0 +1,99 @@
+#include "core/spherical.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace geodp {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+SphericalCoordinates ToSpherical(const Tensor& g) {
+  GEODP_CHECK_EQ(g.ndim(), 1);
+  const int64_t d = g.dim(0);
+  GEODP_CHECK_GE(d, 2) << "spherical coordinates need dimension >= 2";
+
+  SphericalCoordinates coords;
+  coords.angles.assign(static_cast<size_t>(d - 1), 0.0);
+
+  // Suffix norms: tail[z] = sqrt(g_{z+1}^2 + ... + g_{d-1}^2) in 0-based
+  // indexing, computed back-to-front for stability.
+  std::vector<double> tail(static_cast<size_t>(d), 0.0);
+  double sum_sq = 0.0;
+  for (int64_t z = d - 1; z >= 0; --z) {
+    tail[static_cast<size_t>(z)] = std::sqrt(sum_sq);
+    sum_sq += static_cast<double>(g[z]) * g[z];
+  }
+  coords.magnitude = std::sqrt(sum_sq);
+  if (coords.magnitude == 0.0) return coords;  // all angles stay 0
+
+  for (int64_t z = 0; z < d - 2; ++z) {
+    coords.angles[static_cast<size_t>(z)] =
+        std::atan2(tail[static_cast<size_t>(z)], static_cast<double>(g[z]));
+  }
+  coords.angles[static_cast<size_t>(d - 2)] =
+      std::atan2(static_cast<double>(g[d - 1]), static_cast<double>(g[d - 2]));
+  return coords;
+}
+
+Tensor ToCartesian(const SphericalCoordinates& coords) {
+  const int64_t d = coords.CartesianDim();
+  GEODP_CHECK_GE(d, 2);
+  Tensor g({d});
+  double sin_product = 1.0;  // sin(theta_1) * ... * sin(theta_{z-1})
+  for (int64_t z = 0; z < d - 1; ++z) {
+    const double theta = coords.angles[static_cast<size_t>(z)];
+    g[z] = static_cast<float>(coords.magnitude * sin_product *
+                              std::cos(theta));
+    sin_product *= std::sin(theta);
+  }
+  g[d - 1] = static_cast<float>(coords.magnitude * sin_product);
+  return g;
+}
+
+double AngleSquaredDistance(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  GEODP_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+std::vector<double> WrapAngles(std::vector<double> angles) {
+  const size_t n = angles.size();
+  for (size_t i = 0; i < n; ++i) {
+    double theta = angles[i];
+    if (i + 1 < n) {
+      // Reflect into [0, pi]: angle of a half-plane direction.
+      theta = std::fmod(theta, 2.0 * kPi);
+      if (theta < 0) theta += 2.0 * kPi;
+      if (theta > kPi) theta = 2.0 * kPi - theta;
+    } else {
+      // Wrap into (-pi, pi].
+      theta = std::fmod(theta + kPi, 2.0 * kPi);
+      if (theta <= 0) theta += 2.0 * kPi;
+      theta -= kPi;
+    }
+    angles[i] = theta;
+  }
+  return angles;
+}
+
+std::vector<double> ClampAngles(std::vector<double> angles) {
+  const size_t n = angles.size();
+  for (size_t i = 0; i < n; ++i) {
+    const double lo = (i + 1 < n) ? 0.0 : -kPi;
+    const double hi = kPi;
+    if (angles[i] < lo) angles[i] = lo;
+    if (angles[i] > hi) angles[i] = hi;
+  }
+  return angles;
+}
+
+}  // namespace geodp

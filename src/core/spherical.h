@@ -1,0 +1,63 @@
+// Hyper-spherical (d-spherical) coordinate system, paper §V-A.
+//
+// A d-dimensional vector g is represented as one magnitude ||g|| and d-1
+// angles theta = (theta_1, ..., theta_{d-1}):
+//
+//   theta_z = arctan2( sqrt(g_{z+1}^2 + ... + g_d^2), g_z )   1 <= z <= d-2
+//   theta_{d-1} = arctan2( g_d, g_{d-1} )
+//
+// so theta_1..theta_{d-2} lie in [0, pi] and theta_{d-1} in (-pi, pi]. The
+// inverse (paper Eq. 27) is
+//
+//   g_1 = r cos(theta_1)
+//   g_z = r sin(theta_1)...sin(theta_{z-1}) cos(theta_z)   2 <= z <= d-1
+//   g_d = r sin(theta_1)...sin(theta_{d-1})
+//
+// All math is carried out in double precision; tensors hold float32.
+
+#ifndef GEODP_CORE_SPHERICAL_H_
+#define GEODP_CORE_SPHERICAL_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace geodp {
+
+/// Angular position of a vector: magnitude plus d-1 angles.
+struct SphericalCoordinates {
+  double magnitude = 0.0;
+  std::vector<double> angles;  // size d-1
+
+  /// Dimensionality d of the Cartesian vector this represents.
+  int64_t CartesianDim() const {
+    return static_cast<int64_t>(angles.size()) + 1;
+  }
+};
+
+/// Converts a 1-D tensor (d >= 2) to hyper-spherical coordinates.
+/// The zero vector maps to magnitude 0 with all angles 0.
+SphericalCoordinates ToSpherical(const Tensor& g);
+
+/// Inverse of ToSpherical. Any real angles are accepted (sin/cos are
+/// periodic); the result has dimension angles.size() + 1.
+Tensor ToCartesian(const SphericalCoordinates& coords);
+
+/// Squared L2 distance between two angle vectors (used by direction MSE,
+/// paper Def. 4). Sizes must match.
+double AngleSquaredDistance(const std::vector<double>& a,
+                            const std::vector<double>& b);
+
+/// Wraps each angle into its canonical range: [0, pi] for the first d-2
+/// (by reflecting), (-pi, pi] for the last. Used by the angle-handling
+/// ablation; GeoDP's faithful path feeds perturbed angles straight to
+/// ToCartesian.
+std::vector<double> WrapAngles(std::vector<double> angles);
+
+/// Clamps each angle into its canonical range (saturating). Alternative
+/// ablation policy.
+std::vector<double> ClampAngles(std::vector<double> angles);
+
+}  // namespace geodp
+
+#endif  // GEODP_CORE_SPHERICAL_H_

@@ -1,0 +1,52 @@
+#include "data/dataloader.h"
+
+#include <numeric>
+
+#include "base/check.h"
+
+namespace geodp {
+
+BatchSampler::BatchSampler(int64_t dataset_size, int64_t batch_size,
+                           uint64_t seed, bool shuffle)
+    : dataset_size_(dataset_size),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed) {
+  GEODP_CHECK_GT(dataset_size_, 0);
+  GEODP_CHECK_GT(batch_size_, 0);
+  order_.resize(static_cast<size_t>(dataset_size_));
+  std::iota(order_.begin(), order_.end(), 0);
+  StartEpoch();
+}
+
+void BatchSampler::StartEpoch() {
+  if (shuffle_) rng_.Shuffle(order_);
+  cursor_ = 0;
+}
+
+std::vector<int64_t> BatchSampler::NextBatch() {
+  std::vector<int64_t> batch;
+  batch.reserve(static_cast<size_t>(batch_size_));
+  while (static_cast<int64_t>(batch.size()) < batch_size_) {
+    if (cursor_ >= dataset_size_) StartEpoch();
+    batch.push_back(order_[static_cast<size_t>(cursor_++)]);
+  }
+  return batch;
+}
+
+PoissonSampler::PoissonSampler(int64_t dataset_size, double sampling_rate,
+                               uint64_t seed)
+    : dataset_size_(dataset_size), sampling_rate_(sampling_rate), rng_(seed) {
+  GEODP_CHECK_GT(dataset_size_, 0);
+  GEODP_CHECK(sampling_rate_ > 0.0 && sampling_rate_ <= 1.0);
+}
+
+std::vector<int64_t> PoissonSampler::NextBatch() {
+  std::vector<int64_t> batch;
+  for (int64_t i = 0; i < dataset_size_; ++i) {
+    if (rng_.Uniform() < sampling_rate_) batch.push_back(i);
+  }
+  return batch;
+}
+
+}  // namespace geodp

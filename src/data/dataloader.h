@@ -1,0 +1,55 @@
+// Batch index samplers: epoch-shuffled fixed-size batches and Poisson
+// subsampling (the sampling model assumed by the RDP accountant).
+
+#ifndef GEODP_DATA_DATALOADER_H_
+#define GEODP_DATA_DATALOADER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace geodp {
+
+/// Cycles through a shuffled permutation of [0, dataset_size), reshuffling
+/// at each epoch boundary; batches have exactly `batch_size` indices.
+class BatchSampler {
+ public:
+  BatchSampler(int64_t dataset_size, int64_t batch_size, uint64_t seed,
+               bool shuffle = true);
+
+  /// Next batch of indices; wraps across epochs.
+  std::vector<int64_t> NextBatch();
+
+  int64_t batch_size() const { return batch_size_; }
+
+ private:
+  void StartEpoch();
+
+  int64_t dataset_size_;
+  int64_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+};
+
+/// Poisson subsampling: each example is included independently with
+/// probability sampling_rate. Batches have random size (possibly zero).
+class PoissonSampler {
+ public:
+  PoissonSampler(int64_t dataset_size, double sampling_rate, uint64_t seed);
+
+  std::vector<int64_t> NextBatch();
+
+  double sampling_rate() const { return sampling_rate_; }
+
+ private:
+  int64_t dataset_size_;
+  double sampling_rate_;
+  Rng rng_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_DATA_DATALOADER_H_

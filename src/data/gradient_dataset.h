@@ -1,0 +1,63 @@
+// Synthetic gradient dataset (paper §VI-A): per-sample gradients harvested
+// from non-DP training of a CNN on the CIFAR-like dataset with batch size 1.
+// The paper merges several gradients into one higher-dimensional vector to
+// sweep dimensionality; we do the same (see DESIGN.md substitutions).
+
+#ifndef GEODP_DATA_GRADIENT_DATASET_H_
+#define GEODP_DATA_GRADIENT_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "tensor/tensor.h"
+
+namespace geodp {
+
+/// A list of equally-sized 1-D gradient vectors.
+class GradientDataset {
+ public:
+  GradientDataset() = default;
+
+  void Add(Tensor gradient);
+
+  int64_t size() const { return static_cast<int64_t>(gradients_.size()); }
+  int64_t dimension() const;
+  const Tensor& gradient(int64_t i) const;
+
+  /// Samples `count` gradients (with replacement) and returns the average
+  /// of their flat-clipped versions at threshold C — the quantity both DP
+  /// and GeoDP perturb.
+  Tensor AverageClipped(int64_t count, double clip_threshold, Rng& rng) const;
+
+ private:
+  std::vector<Tensor> gradients_;
+};
+
+/// Harvest parameters.
+struct GradientDatasetOptions {
+  int64_t num_gradients = 2000;
+  int64_t dimension = 512;       // output dimension after merge/truncation
+  int64_t training_examples = 512;  // size of the underlying image dataset
+  double learning_rate = 0.05;
+  uint64_t seed = 7;
+};
+
+/// Trains a small CNN on a CIFAR-like synthetic dataset with batch size 1
+/// (plain SGD, no DP) and records each step's flattened gradient; gradients
+/// are concatenated/truncated to the requested dimension.
+GradientDataset HarvestGradientDataset(const GradientDatasetOptions& options);
+
+/// Fast alternative for unit tests and quick sweeps: gradients whose
+/// directions concentrate around a shared mean direction (Theorem 3's
+/// model). `spread` is the per-coordinate stddev around the mean direction
+/// and magnitudes are log-normal around `mean_magnitude`.
+GradientDataset MakeConcentratedGradientDataset(int64_t num_gradients,
+                                                int64_t dimension,
+                                                double spread,
+                                                double mean_magnitude,
+                                                uint64_t seed);
+
+}  // namespace geodp
+
+#endif  // GEODP_DATA_GRADIENT_DATASET_H_

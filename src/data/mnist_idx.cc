@@ -1,0 +1,134 @@
+#include "data/mnist_idx.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace geodp {
+namespace {
+
+constexpr uint32_t kImageMagic = 2051;  // IDX3: unsigned byte, 3 dims
+constexpr uint32_t kLabelMagic = 2049;  // IDX1: unsigned byte, 1 dim
+
+bool ReadBigEndian32(std::istream& in, uint32_t* value) {
+  unsigned char bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  if (!in.good()) return false;
+  *value = (static_cast<uint32_t>(bytes[0]) << 24) |
+           (static_cast<uint32_t>(bytes[1]) << 16) |
+           (static_cast<uint32_t>(bytes[2]) << 8) |
+           static_cast<uint32_t>(bytes[3]);
+  return true;
+}
+
+void WriteBigEndian32(std::ostream& out, uint32_t value) {
+  const unsigned char bytes[4] = {
+      static_cast<unsigned char>(value >> 24),
+      static_cast<unsigned char>(value >> 16),
+      static_cast<unsigned char>(value >> 8),
+      static_cast<unsigned char>(value)};
+  out.write(reinterpret_cast<const char*>(bytes), 4);
+}
+
+}  // namespace
+
+StatusOr<InMemoryDataset> LoadMnistIdx(const std::string& images_path,
+                                       const std::string& labels_path,
+                                       int64_t max_examples) {
+  std::ifstream images(images_path, std::ios::binary);
+  if (!images) return Status::NotFound("cannot open " + images_path);
+  std::ifstream labels(labels_path, std::ios::binary);
+  if (!labels) return Status::NotFound("cannot open " + labels_path);
+
+  uint32_t magic = 0, image_count = 0, rows = 0, cols = 0;
+  if (!ReadBigEndian32(images, &magic) || magic != kImageMagic) {
+    return Status::InvalidArgument("bad image magic in " + images_path);
+  }
+  if (!ReadBigEndian32(images, &image_count) ||
+      !ReadBigEndian32(images, &rows) || !ReadBigEndian32(images, &cols)) {
+    return Status::InvalidArgument("truncated image header");
+  }
+  if (rows == 0 || cols == 0 || rows > 4096 || cols > 4096) {
+    return Status::InvalidArgument("implausible image dimensions");
+  }
+
+  uint32_t label_magic = 0, label_count = 0;
+  if (!ReadBigEndian32(labels, &label_magic) || label_magic != kLabelMagic) {
+    return Status::InvalidArgument("bad label magic in " + labels_path);
+  }
+  if (!ReadBigEndian32(labels, &label_count)) {
+    return Status::InvalidArgument("truncated label header");
+  }
+  if (label_count != image_count) {
+    return Status::FailedPrecondition("image/label count mismatch");
+  }
+
+  int64_t count = static_cast<int64_t>(image_count);
+  if (max_examples > 0) count = std::min<int64_t>(count, max_examples);
+
+  const int64_t pixels = static_cast<int64_t>(rows) * cols;
+  std::vector<unsigned char> image_buffer(static_cast<size_t>(pixels));
+  InMemoryDataset dataset;
+  for (int64_t i = 0; i < count; ++i) {
+    images.read(reinterpret_cast<char*>(image_buffer.data()),
+                static_cast<std::streamsize>(pixels));
+    char label_byte = 0;
+    labels.read(&label_byte, 1);
+    if (!images.good() || !labels.good()) {
+      return Status::InvalidArgument("truncated IDX data at example " +
+                                     std::to_string(i));
+    }
+    Tensor image({1, static_cast<int64_t>(rows), static_cast<int64_t>(cols)});
+    for (int64_t p = 0; p < pixels; ++p) {
+      image[p] = static_cast<float>(image_buffer[static_cast<size_t>(p)]) /
+                 255.0f;
+    }
+    dataset.Add(std::move(image),
+                static_cast<int64_t>(static_cast<unsigned char>(label_byte)));
+  }
+  return dataset;
+}
+
+Status SaveMnistIdx(const InMemoryDataset& dataset,
+                    const std::string& images_path,
+                    const std::string& labels_path) {
+  if (dataset.size() == 0) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  const Tensor& first = dataset.image(0);
+  if (first.ndim() != 3 || first.dim(0) != 1) {
+    return Status::InvalidArgument("IDX export needs [1, rows, cols] images");
+  }
+  const int64_t rows = first.dim(1), cols = first.dim(2);
+
+  std::ofstream images(images_path, std::ios::binary);
+  if (!images) return Status::NotFound("cannot open " + images_path);
+  std::ofstream labels(labels_path, std::ios::binary);
+  if (!labels) return Status::NotFound("cannot open " + labels_path);
+
+  WriteBigEndian32(images, kImageMagic);
+  WriteBigEndian32(images, static_cast<uint32_t>(dataset.size()));
+  WriteBigEndian32(images, static_cast<uint32_t>(rows));
+  WriteBigEndian32(images, static_cast<uint32_t>(cols));
+  WriteBigEndian32(labels, kLabelMagic);
+  WriteBigEndian32(labels, static_cast<uint32_t>(dataset.size()));
+
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const Tensor& image = dataset.image(i);
+    for (int64_t p = 0; p < image.numel(); ++p) {
+      const float clamped = std::clamp(image[p], 0.0f, 1.0f);
+      const unsigned char byte =
+          static_cast<unsigned char>(clamped * 255.0f + 0.5f);
+      images.write(reinterpret_cast<const char*>(&byte), 1);
+    }
+    const char label_byte = static_cast<char>(dataset.label(i));
+    labels.write(&label_byte, 1);
+  }
+  if (!images.good() || !labels.good()) {
+    return Status::Internal("IDX write failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace geodp

@@ -1,0 +1,38 @@
+// Loader for the original MNIST IDX file format (big-endian magic + dims
+// + raw bytes). The experiments in this repo default to the procedural
+// stand-in datasets (the environment is offline), but a downstream user
+// with the real files can drop them in:
+//
+//   auto train = LoadMnistIdx("train-images-idx3-ubyte",
+//                             "train-labels-idx1-ubyte");
+//
+// Pixels are scaled to [0, 1] and images shaped [1, rows, cols].
+
+#ifndef GEODP_DATA_MNIST_IDX_H_
+#define GEODP_DATA_MNIST_IDX_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+#include "data/dataset.h"
+
+namespace geodp {
+
+/// Loads an IDX3 image file + IDX1 label file pair. `max_examples` of 0
+/// loads everything; otherwise the first `max_examples` pairs. Fails with
+/// a descriptive status on bad magic, size mismatch or truncation.
+StatusOr<InMemoryDataset> LoadMnistIdx(const std::string& images_path,
+                                       const std::string& labels_path,
+                                       int64_t max_examples = 0);
+
+/// Writes a dataset back out as an IDX pair (used by tests and to export
+/// synthetic datasets in a format other tools read). Pixel values are
+/// clamped to [0, 1] and quantized to bytes.
+Status SaveMnistIdx(const InMemoryDataset& dataset,
+                    const std::string& images_path,
+                    const std::string& labels_path);
+
+}  // namespace geodp
+
+#endif  // GEODP_DATA_MNIST_IDX_H_

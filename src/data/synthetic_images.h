@@ -1,0 +1,44 @@
+// Procedural stand-ins for MNIST and CIFAR-10 (see DESIGN.md substitutions).
+//
+// Each class is defined by a deterministic low-frequency prototype pattern
+// plus a class-dependent blob; examples perturb the prototype with random
+// spatial shift, amplitude jitter and pixel noise, and a small fraction of
+// labels is flipped. The result is a classification task that is learnable
+// by logistic regression yet benefits from convolutional models — enough
+// structure to reproduce the paper's optimizer comparisons.
+
+#ifndef GEODP_DATA_SYNTHETIC_IMAGES_H_
+#define GEODP_DATA_SYNTHETIC_IMAGES_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace geodp {
+
+/// Generation parameters shared by both datasets.
+struct SyntheticImageOptions {
+  int64_t num_examples = 1000;
+  int64_t num_classes = 10;
+  int64_t channels = 1;
+  int64_t height = 14;
+  int64_t width = 14;
+  double pixel_noise = 0.25;   // stddev of additive Gaussian pixel noise
+  double label_noise = 0.02;   // fraction of labels flipped uniformly
+  int64_t max_shift = 2;       // uniform spatial shift in [-max_shift, max_shift]
+  uint64_t seed = 1;
+};
+
+/// Gray 14x14 MNIST-like dataset (defaults above).
+InMemoryDataset MakeMnistLike(const SyntheticImageOptions& options);
+
+/// Color 16x16 CIFAR-like dataset (channels=3, height=width=16 defaults
+/// applied on top of `options`).
+InMemoryDataset MakeCifarLike(SyntheticImageOptions options);
+
+/// Fully generic generator; MakeMnistLike / MakeCifarLike delegate here.
+InMemoryDataset MakeSyntheticImages(const SyntheticImageOptions& options);
+
+}  // namespace geodp
+
+#endif  // GEODP_DATA_SYNTHETIC_IMAGES_H_

@@ -1,0 +1,45 @@
+#include "dp/analytic_gaussian.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace geodp {
+
+double StandardNormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double AnalyticGaussianDelta(double sigma, double epsilon) {
+  GEODP_CHECK_GT(sigma, 0.0);
+  GEODP_CHECK_GT(epsilon, 0.0);
+  const double a = 1.0 / (2.0 * sigma);
+  return StandardNormalCdf(a - epsilon * sigma) -
+         std::exp(epsilon) * StandardNormalCdf(-a - epsilon * sigma);
+}
+
+double AnalyticGaussianSigma(double epsilon, double delta, double tolerance) {
+  GEODP_CHECK_GT(epsilon, 0.0);
+  GEODP_CHECK(delta > 0.0 && delta < 1.0);
+  GEODP_CHECK_GT(tolerance, 0.0);
+  // AnalyticGaussianDelta is decreasing in sigma; bracket then bisect.
+  double lo = 1e-6;
+  double hi = 1.0;
+  while (AnalyticGaussianDelta(hi, epsilon) > delta) {
+    hi *= 2.0;
+    GEODP_CHECK_LT(hi, 1e12) << "failed to bracket sigma";
+  }
+  while (hi - lo > 1e-12 * hi) {
+    const double mid = 0.5 * (lo + hi);
+    const double d = AnalyticGaussianDelta(mid, epsilon);
+    if (std::fabs(d - delta) <= tolerance) return mid;
+    if (d > delta) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace geodp

@@ -1,0 +1,28 @@
+// Analytic Gaussian mechanism (Balle & Wang, ICML 2018): the *exact*
+// calibration of Gaussian noise to (epsilon, delta)-DP, valid for every
+// epsilon > 0 (the classic sqrt(2 ln(1.25/delta))/epsilon bound requires
+// epsilon <= 1 and is loose). Used by the calibration utilities to squeeze
+// more utility out of the same budget.
+
+#ifndef GEODP_DP_ANALYTIC_GAUSSIAN_H_
+#define GEODP_DP_ANALYTIC_GAUSSIAN_H_
+
+namespace geodp {
+
+/// Standard normal CDF Phi(x).
+double StandardNormalCdf(double x);
+
+/// The exact delta achieved by a Gaussian mechanism with noise multiplier
+/// sigma (sensitivity 1) at privacy parameter epsilon:
+///   delta = Phi(1/(2 sigma) - eps*sigma) - e^eps * Phi(-1/(2 sigma) - eps*sigma).
+double AnalyticGaussianDelta(double sigma, double epsilon);
+
+/// Smallest noise multiplier sigma such that the Gaussian mechanism is
+/// (epsilon, delta)-DP, found by bisection on AnalyticGaussianDelta
+/// (monotone decreasing in sigma). Exact up to `tolerance` on delta.
+double AnalyticGaussianSigma(double epsilon, double delta,
+                             double tolerance = 1e-12);
+
+}  // namespace geodp
+
+#endif  // GEODP_DP_ANALYTIC_GAUSSIAN_H_

@@ -1,0 +1,50 @@
+#include "dp/calibration.h"
+
+#include "base/check.h"
+#include "dp/rdp_accountant.h"
+
+namespace geodp {
+
+double TrainingRunEpsilon(double sigma, double sampling_rate, int64_t steps,
+                          double delta) {
+  RdpAccountant accountant;
+  accountant.AddSubsampledGaussianSteps(sigma, sampling_rate, steps);
+  return accountant.GetEpsilon(delta);
+}
+
+double NoiseMultiplierForTargetEpsilon(double target_epsilon, double delta,
+                                       double sampling_rate, int64_t steps,
+                                       double precision) {
+  GEODP_CHECK_GT(target_epsilon, 0.0);
+  GEODP_CHECK(delta > 0.0 && delta < 1.0);
+  GEODP_CHECK_GT(steps, 0);
+  GEODP_CHECK_GT(precision, 0.0);
+
+  double lo = 1e-3;
+  double hi = 1.0;
+  // Grow the bracket until hi satisfies the budget.
+  while (TrainingRunEpsilon(hi, sampling_rate, steps, delta) >
+         target_epsilon) {
+    hi *= 2.0;
+    GEODP_CHECK_LT(hi, 1e9)
+        << "target epsilon unreachable at this q/steps/delta";
+  }
+  // Shrink lo until it violates the budget (so the root is bracketed).
+  while (TrainingRunEpsilon(lo, sampling_rate, steps, delta) <=
+         target_epsilon) {
+    lo /= 2.0;
+    if (lo < 1e-9) return lo;  // effectively no noise needed
+  }
+  while ((hi - lo) / hi > precision) {
+    const double mid = 0.5 * (lo + hi);
+    if (TrainingRunEpsilon(mid, sampling_rate, steps, delta) >
+        target_epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace geodp

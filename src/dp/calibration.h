@@ -1,0 +1,28 @@
+// Budget-first calibration: given a target (epsilon, delta) for a whole
+// training run (T subsampled-Gaussian steps at sampling rate q), find the
+// smallest noise multiplier sigma that satisfies it, using the RDP
+// accountant. This is how practitioners actually configure DP-SGD / GeoDP:
+// pick the budget, derive sigma.
+
+#ifndef GEODP_DP_CALIBRATION_H_
+#define GEODP_DP_CALIBRATION_H_
+
+#include <cstdint>
+
+namespace geodp {
+
+/// Epsilon (at `delta`) of `steps` subsampled-Gaussian releases with noise
+/// multiplier sigma and sampling rate q, via the RDP accountant.
+double TrainingRunEpsilon(double sigma, double sampling_rate, int64_t steps,
+                          double delta);
+
+/// Smallest sigma whose TrainingRunEpsilon is <= target_epsilon, found by
+/// bisection (epsilon is monotone decreasing in sigma). `precision` is the
+/// relative width of the final bracket.
+double NoiseMultiplierForTargetEpsilon(double target_epsilon, double delta,
+                                       double sampling_rate, int64_t steps,
+                                       double precision = 1e-4);
+
+}  // namespace geodp
+
+#endif  // GEODP_DP_CALIBRATION_H_

@@ -1,0 +1,36 @@
+#include "dp/composition.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace geodp {
+
+PrivacyGuarantee BasicComposition(const PrivacyGuarantee& per_step,
+                                  int64_t steps) {
+  GEODP_CHECK_GE(steps, 0);
+  return {per_step.epsilon * static_cast<double>(steps),
+          per_step.delta * static_cast<double>(steps)};
+}
+
+PrivacyGuarantee AdvancedComposition(const PrivacyGuarantee& per_step,
+                                     int64_t steps, double delta_slack) {
+  GEODP_CHECK_GE(steps, 0);
+  GEODP_CHECK(delta_slack > 0.0 && delta_slack < 1.0);
+  const double k = static_cast<double>(steps);
+  const double eps = per_step.epsilon;
+  const double eps_total = std::sqrt(2.0 * k * std::log(1.0 / delta_slack)) *
+                               eps +
+                           k * eps * (std::exp(eps) - 1.0);
+  return {eps_total, k * per_step.delta + delta_slack};
+}
+
+PrivacyGuarantee BestComposition(const PrivacyGuarantee& per_step,
+                                 int64_t steps, double delta_slack) {
+  const PrivacyGuarantee basic = BasicComposition(per_step, steps);
+  const PrivacyGuarantee advanced =
+      AdvancedComposition(per_step, steps, delta_slack);
+  return advanced.epsilon < basic.epsilon ? advanced : basic;
+}
+
+}  // namespace geodp

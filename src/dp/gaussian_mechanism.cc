@@ -1,0 +1,44 @@
+#include "dp/gaussian_mechanism.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace geodp {
+
+double GaussianSigmaForEpsilonDelta(double epsilon, double delta) {
+  GEODP_CHECK_GT(epsilon, 0.0);
+  GEODP_CHECK(delta > 0.0 && delta < 1.0);
+  return std::sqrt(2.0 * std::log(1.25 / delta)) / epsilon;
+}
+
+double GaussianEpsilonForSigma(double sigma, double delta) {
+  GEODP_CHECK_GT(sigma, 0.0);
+  GEODP_CHECK(delta > 0.0 && delta < 1.0);
+  return std::sqrt(2.0 * std::log(1.25 / delta)) / sigma;
+}
+
+GaussianMechanism::GaussianMechanism(GaussianMechanismOptions options)
+    : options_(options) {
+  GEODP_CHECK_GE(options_.l2_sensitivity, 0.0);
+  GEODP_CHECK_GE(options_.noise_multiplier, 0.0);
+}
+
+double GaussianMechanism::NoiseStddev() const {
+  return options_.l2_sensitivity * options_.noise_multiplier;
+}
+
+double GaussianMechanism::Perturb(double value, Rng& rng) const {
+  return value + rng.Gaussian(0.0, NoiseStddev());
+}
+
+Tensor GaussianMechanism::Perturb(const Tensor& value, Rng& rng) const {
+  Tensor out = value;
+  const double stddev = NoiseStddev();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    out[i] += static_cast<float>(rng.Gaussian(0.0, stddev));
+  }
+  return out;
+}
+
+}  // namespace geodp

@@ -1,0 +1,50 @@
+// Classic Gaussian mechanism (Dwork & Roth, Appendix A) and its
+// (epsilon, delta) <-> sigma calibration, used by both DP-SGD and GeoDP.
+
+#ifndef GEODP_DP_GAUSSIAN_MECHANISM_H_
+#define GEODP_DP_GAUSSIAN_MECHANISM_H_
+
+#include "base/rng.h"
+#include "tensor/tensor.h"
+
+namespace geodp {
+
+/// Noise multiplier sigma such that adding N(0, (sigma * sensitivity)^2)
+/// noise satisfies (epsilon, delta)-DP for epsilon <= 1:
+///   sigma = sqrt(2 ln(1.25/delta)) / epsilon.
+/// (The classic bound; used by the paper's sigma <-> epsilon table.)
+double GaussianSigmaForEpsilonDelta(double epsilon, double delta);
+
+/// Inverse of the calibration above: the epsilon obtained from a given
+/// noise multiplier at a given delta.
+double GaussianEpsilonForSigma(double sigma, double delta);
+
+/// Parameters of a single Gaussian-mechanism release.
+struct GaussianMechanismOptions {
+  double l2_sensitivity = 1.0;
+  double noise_multiplier = 1.0;  // sigma
+};
+
+/// Adds i.i.d. N(0, (sigma * sensitivity)^2) noise to scalars or vectors.
+class GaussianMechanism {
+ public:
+  explicit GaussianMechanism(GaussianMechanismOptions options);
+
+  /// Noise standard deviation sigma * sensitivity.
+  double NoiseStddev() const;
+
+  /// value + N(0, NoiseStddev()^2).
+  double Perturb(double value, Rng& rng) const;
+
+  /// Elementwise perturbation of a tensor.
+  Tensor Perturb(const Tensor& value, Rng& rng) const;
+
+  const GaussianMechanismOptions& options() const { return options_; }
+
+ private:
+  GaussianMechanismOptions options_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_DP_GAUSSIAN_MECHANISM_H_

@@ -1,0 +1,30 @@
+#include "dp/laplace_mechanism.h"
+
+#include "base/check.h"
+
+namespace geodp {
+
+LaplaceMechanism::LaplaceMechanism(LaplaceMechanismOptions options)
+    : options_(options) {
+  GEODP_CHECK_GT(options_.l1_sensitivity, 0.0);
+  GEODP_CHECK_GT(options_.epsilon, 0.0);
+}
+
+double LaplaceMechanism::Scale() const {
+  return options_.l1_sensitivity / options_.epsilon;
+}
+
+double LaplaceMechanism::Perturb(double value, Rng& rng) const {
+  return value + rng.Laplace(Scale());
+}
+
+Tensor LaplaceMechanism::Perturb(const Tensor& value, Rng& rng) const {
+  Tensor out = value;
+  const double scale = Scale();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    out[i] += static_cast<float>(rng.Laplace(scale));
+  }
+  return out;
+}
+
+}  // namespace geodp

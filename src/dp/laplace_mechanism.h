@@ -1,0 +1,41 @@
+// Laplace mechanism for pure epsilon-DP releases. Not used by GeoDP itself
+// (the paper follows the Gaussian mechanism) but provided for completeness
+// of the DP substrate and as a baseline in the mechanism tests.
+
+#ifndef GEODP_DP_LAPLACE_MECHANISM_H_
+#define GEODP_DP_LAPLACE_MECHANISM_H_
+
+#include "base/rng.h"
+#include "tensor/tensor.h"
+
+namespace geodp {
+
+/// Parameters of a Laplace release: scale b = l1_sensitivity / epsilon.
+struct LaplaceMechanismOptions {
+  double l1_sensitivity = 1.0;
+  double epsilon = 1.0;
+};
+
+/// Adds i.i.d. Laplace(l1_sensitivity / epsilon) noise.
+class LaplaceMechanism {
+ public:
+  explicit LaplaceMechanism(LaplaceMechanismOptions options);
+
+  /// Scale parameter b of the Laplace noise.
+  double Scale() const;
+
+  /// value + Laplace(Scale()).
+  double Perturb(double value, Rng& rng) const;
+
+  /// Elementwise perturbation of a tensor.
+  Tensor Perturb(const Tensor& value, Rng& rng) const;
+
+  const LaplaceMechanismOptions& options() const { return options_; }
+
+ private:
+  LaplaceMechanismOptions options_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_DP_LAPLACE_MECHANISM_H_

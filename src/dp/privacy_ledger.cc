@@ -1,0 +1,112 @@
+#include "dp/privacy_ledger.h"
+
+#include <sstream>
+
+#include "base/check.h"
+#include "dp/rdp_accountant.h"
+
+namespace geodp {
+
+void PrivacyLedger::RecordGaussian(double noise_multiplier, int64_t count,
+                                   std::string note) {
+  GEODP_CHECK_GT(noise_multiplier, 0.0);
+  GEODP_CHECK_GT(count, 0);
+  PrivacyEvent event;
+  event.kind = PrivacyEvent::Kind::kGaussian;
+  event.noise_multiplier = noise_multiplier;
+  event.count = count;
+  event.note = std::move(note);
+  events_.push_back(std::move(event));
+}
+
+void PrivacyLedger::RecordSubsampledGaussian(double noise_multiplier,
+                                             double sampling_rate,
+                                             int64_t count,
+                                             std::string note) {
+  GEODP_CHECK_GT(noise_multiplier, 0.0);
+  GEODP_CHECK(sampling_rate > 0.0 && sampling_rate <= 1.0);
+  GEODP_CHECK_GT(count, 0);
+  PrivacyEvent event;
+  event.kind = PrivacyEvent::Kind::kSubsampledGaussian;
+  event.noise_multiplier = noise_multiplier;
+  event.sampling_rate = sampling_rate;
+  event.count = count;
+  event.note = std::move(note);
+  events_.push_back(std::move(event));
+}
+
+void PrivacyLedger::RecordLaplace(double epsilon, int64_t count,
+                                  std::string note) {
+  GEODP_CHECK_GT(epsilon, 0.0);
+  GEODP_CHECK_GT(count, 0);
+  PrivacyEvent event;
+  event.kind = PrivacyEvent::Kind::kLaplace;
+  event.epsilon = epsilon;
+  event.count = count;
+  event.note = std::move(note);
+  events_.push_back(std::move(event));
+}
+
+int64_t PrivacyLedger::TotalReleases() const {
+  int64_t total = 0;
+  for (const PrivacyEvent& event : events_) total += event.count;
+  return total;
+}
+
+PrivacyGuarantee PrivacyLedger::ComposedGuarantee(double delta) const {
+  GEODP_CHECK(delta > 0.0 && delta < 1.0);
+  RdpAccountant accountant;
+  double laplace_epsilon = 0.0;
+  bool has_gaussian = false;
+  for (const PrivacyEvent& event : events_) {
+    switch (event.kind) {
+      case PrivacyEvent::Kind::kGaussian:
+        accountant.AddGaussianSteps(event.noise_multiplier, event.count);
+        has_gaussian = true;
+        break;
+      case PrivacyEvent::Kind::kSubsampledGaussian:
+        accountant.AddSubsampledGaussianSteps(event.noise_multiplier,
+                                              event.sampling_rate,
+                                              event.count);
+        has_gaussian = true;
+        break;
+      case PrivacyEvent::Kind::kLaplace:
+        laplace_epsilon +=
+            event.epsilon * static_cast<double>(event.count);
+        break;
+    }
+  }
+  const double gaussian_epsilon =
+      has_gaussian ? accountant.GetEpsilon(delta) : 0.0;
+  return {gaussian_epsilon + laplace_epsilon, has_gaussian ? delta : 0.0};
+}
+
+std::string PrivacyLedger::Report(double delta) const {
+  std::ostringstream out;
+  out << "privacy ledger (" << events_.size() << " entries, "
+      << TotalReleases() << " releases)\n";
+  for (const PrivacyEvent& event : events_) {
+    out << "  - ";
+    switch (event.kind) {
+      case PrivacyEvent::Kind::kGaussian:
+        out << "gaussian sigma=" << event.noise_multiplier;
+        break;
+      case PrivacyEvent::Kind::kSubsampledGaussian:
+        out << "subsampled-gaussian sigma=" << event.noise_multiplier
+            << " q=" << event.sampling_rate;
+        break;
+      case PrivacyEvent::Kind::kLaplace:
+        out << "laplace eps=" << event.epsilon;
+        break;
+    }
+    out << " x" << event.count;
+    if (!event.note.empty()) out << "  (" << event.note << ")";
+    out << "\n";
+  }
+  const PrivacyGuarantee guarantee = ComposedGuarantee(delta);
+  out << "  => (" << guarantee.epsilon << ", " << guarantee.delta
+      << ")-DP";
+  return out.str();
+}
+
+}  // namespace geodp

@@ -1,0 +1,63 @@
+// Privacy ledger: an audit trail of every DP release made during an
+// experiment. Components append typed events; the ledger replays them into
+// an RDP accountant (or basic composition for Laplace events) and reports
+// the composed guarantee. Mirrors the ledger design of practical DP-SGD
+// frameworks.
+
+#ifndef GEODP_DP_PRIVACY_LEDGER_H_
+#define GEODP_DP_PRIVACY_LEDGER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dp/composition.h"
+
+namespace geodp {
+
+/// One recorded mechanism invocation.
+struct PrivacyEvent {
+  enum class Kind {
+    kGaussian,            // full-batch Gaussian release
+    kSubsampledGaussian,  // Poisson-subsampled Gaussian release
+    kLaplace,             // pure-epsilon Laplace release
+  };
+  Kind kind = Kind::kGaussian;
+  double noise_multiplier = 0.0;  // Gaussian kinds
+  double sampling_rate = 1.0;     // subsampled kind
+  double epsilon = 0.0;           // Laplace kind
+  int64_t count = 1;              // identical repetitions
+  std::string note;               // free-form annotation for the audit log
+};
+
+/// Append-only event log with composed accounting.
+class PrivacyLedger {
+ public:
+  PrivacyLedger() = default;
+
+  void RecordGaussian(double noise_multiplier, int64_t count = 1,
+                      std::string note = "");
+  void RecordSubsampledGaussian(double noise_multiplier,
+                                double sampling_rate, int64_t count = 1,
+                                std::string note = "");
+  void RecordLaplace(double epsilon, int64_t count = 1,
+                     std::string note = "");
+
+  const std::vector<PrivacyEvent>& events() const { return events_; }
+  int64_t TotalReleases() const;
+
+  /// Composed (epsilon, delta)-DP guarantee of everything recorded:
+  /// Gaussian events via the RDP accountant at the given delta, Laplace
+  /// events added by basic composition (they are pure epsilon-DP).
+  PrivacyGuarantee ComposedGuarantee(double delta) const;
+
+  /// Human-readable multi-line audit report.
+  std::string Report(double delta) const;
+
+ private:
+  std::vector<PrivacyEvent> events_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_DP_PRIVACY_LEDGER_H_

@@ -1,0 +1,116 @@
+#include "dp/rdp_accountant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/check.h"
+
+namespace geodp {
+namespace {
+
+// log(exp(a) + exp(b)) without overflow.
+double LogAdd(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+// log of the binomial coefficient C(n, k).
+double LogBinomial(int64_t n, int64_t k) {
+  return std::lgamma(static_cast<double>(n + 1)) -
+         std::lgamma(static_cast<double>(k + 1)) -
+         std::lgamma(static_cast<double>(n - k + 1));
+}
+
+}  // namespace
+
+double GaussianRdp(double noise_multiplier, double alpha) {
+  GEODP_CHECK_GT(noise_multiplier, 0.0);
+  GEODP_CHECK_GT(alpha, 1.0);
+  return alpha / (2.0 * noise_multiplier * noise_multiplier);
+}
+
+double SubsampledGaussianRdp(double noise_multiplier, double sampling_rate,
+                             int64_t alpha) {
+  GEODP_CHECK_GT(noise_multiplier, 0.0);
+  GEODP_CHECK_GE(alpha, 2);
+  GEODP_CHECK(sampling_rate >= 0.0 && sampling_rate <= 1.0);
+  if (sampling_rate == 0.0) return 0.0;
+  if (sampling_rate == 1.0) {
+    return GaussianRdp(noise_multiplier, static_cast<double>(alpha));
+  }
+  const double log_q = std::log(sampling_rate);
+  const double log_1mq = std::log1p(-sampling_rate);
+  const double sigma_sq = noise_multiplier * noise_multiplier;
+  double log_a = -std::numeric_limits<double>::infinity();
+  for (int64_t i = 0; i <= alpha; ++i) {
+    const double term = LogBinomial(alpha, i) +
+                        static_cast<double>(i) * log_q +
+                        static_cast<double>(alpha - i) * log_1mq +
+                        static_cast<double>(i * (i - 1)) / (2.0 * sigma_sq);
+    log_a = LogAdd(log_a, term);
+  }
+  return std::max(0.0, log_a / (static_cast<double>(alpha) - 1.0));
+}
+
+RdpAccountant::RdpAccountant(std::vector<int64_t> orders)
+    : orders_(orders.empty() ? DefaultOrders() : std::move(orders)) {
+  for (int64_t order : orders_) GEODP_CHECK_GE(order, 2);
+  rdp_.assign(orders_.size(), 0.0);
+}
+
+std::vector<int64_t> RdpAccountant::DefaultOrders() {
+  std::vector<int64_t> orders;
+  for (int64_t a = 2; a <= 64; ++a) orders.push_back(a);
+  for (int64_t a : {128, 256, 512, 1024}) orders.push_back(a);
+  return orders;
+}
+
+void RdpAccountant::AddGaussianSteps(double noise_multiplier, int64_t steps) {
+  GEODP_CHECK_GE(steps, 0);
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    rdp_[i] += static_cast<double>(steps) *
+               GaussianRdp(noise_multiplier, static_cast<double>(orders_[i]));
+  }
+}
+
+void RdpAccountant::AddSubsampledGaussianSteps(double noise_multiplier,
+                                               double sampling_rate,
+                                               int64_t steps) {
+  GEODP_CHECK_GE(steps, 0);
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    rdp_[i] += static_cast<double>(steps) *
+               SubsampledGaussianRdp(noise_multiplier, sampling_rate,
+                                     orders_[i]);
+  }
+}
+
+double RdpAccountant::GetEpsilon(double delta) const {
+  GEODP_CHECK(delta > 0.0 && delta < 1.0);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    const double alpha = static_cast<double>(orders_[i]);
+    best = std::min(best, rdp_[i] + std::log(1.0 / delta) / (alpha - 1.0));
+  }
+  return best;
+}
+
+int64_t RdpAccountant::GetOptimalOrder(double delta) const {
+  GEODP_CHECK(delta > 0.0 && delta < 1.0);
+  double best = std::numeric_limits<double>::infinity();
+  int64_t best_order = orders_.front();
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    const double alpha = static_cast<double>(orders_[i]);
+    const double eps = rdp_[i] + std::log(1.0 / delta) / (alpha - 1.0);
+    if (eps < best) {
+      best = eps;
+      best_order = orders_[i];
+    }
+  }
+  return best_order;
+}
+
+}  // namespace geodp

@@ -1,0 +1,62 @@
+// Rényi differential privacy accountant for (subsampled) Gaussian
+// mechanisms, following Mironov (CSF 2017) and the integer-order subsampled
+// bound of Mironov, Talwar & Zhang / Wang et al. used by practical DP-SGD
+// implementations. The paper (§II-A) relies on RDP to "more accurately
+// estimate the cumulative privacy loss of the whole training process".
+
+#ifndef GEODP_DP_RDP_ACCOUNTANT_H_
+#define GEODP_DP_RDP_ACCOUNTANT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace geodp {
+
+/// RDP of the (un-subsampled) Gaussian mechanism with noise multiplier
+/// sigma at order alpha: alpha / (2 sigma^2).
+double GaussianRdp(double noise_multiplier, double alpha);
+
+/// RDP of the Poisson-subsampled Gaussian mechanism at integer order
+/// alpha >= 2 with sampling rate q in [0, 1]:
+///   (1/(alpha-1)) * log( sum_{i=0}^{alpha} C(alpha,i) q^i (1-q)^{alpha-i}
+///                        * exp( i(i-1) / (2 sigma^2) ) )
+/// computed in log-space for stability.
+double SubsampledGaussianRdp(double noise_multiplier, double sampling_rate,
+                             int64_t alpha);
+
+/// Tracks cumulative RDP over a set of integer orders and converts to
+/// (epsilon, delta)-DP via epsilon = min_alpha rdp(alpha) +
+/// log(1/delta)/(alpha-1).
+class RdpAccountant {
+ public:
+  /// Uses DefaultOrders() when `orders` is empty.
+  explicit RdpAccountant(std::vector<int64_t> orders = {});
+
+  /// Integer orders 2..64 plus {128, 256, 512, 1024}.
+  static std::vector<int64_t> DefaultOrders();
+
+  /// Accounts `steps` releases of a Gaussian mechanism.
+  void AddGaussianSteps(double noise_multiplier, int64_t steps);
+
+  /// Accounts `steps` releases of a Poisson-subsampled Gaussian mechanism
+  /// with the given sampling rate (batch_size / dataset_size).
+  void AddSubsampledGaussianSteps(double noise_multiplier,
+                                  double sampling_rate, int64_t steps);
+
+  /// Smallest epsilon over the tracked orders at the given delta.
+  double GetEpsilon(double delta) const;
+
+  /// The order achieving GetEpsilon().
+  int64_t GetOptimalOrder(double delta) const;
+
+  const std::vector<int64_t>& orders() const { return orders_; }
+  const std::vector<double>& cumulative_rdp() const { return rdp_; }
+
+ private:
+  std::vector<int64_t> orders_;
+  std::vector<double> rdp_;  // cumulative, parallel to orders_
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_DP_RDP_ACCOUNTANT_H_

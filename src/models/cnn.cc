@@ -1,0 +1,35 @@
+#include "models/cnn.h"
+
+#include "base/check.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/flatten.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+
+namespace geodp {
+
+std::unique_ptr<Sequential> MakeCnn(const CnnConfig& config, Rng& rng) {
+  GEODP_CHECK_GE(config.image_size, 8);
+  GEODP_CHECK_EQ(config.image_size % 2, 0)
+      << "image_size must be even for the 2x2 max-pool";
+  auto model = std::make_unique<Sequential>("CNN");
+  // Conv(pad 1) keeps the spatial size; pool halves it; the second conv
+  // (no padding) shrinks it by 2.
+  model->Emplace<Conv2d>(config.in_channels, config.conv1_channels,
+                         /*kernel_size=*/3, rng, /*padding=*/1);
+  model->Emplace<ReLU>();
+  model->Emplace<MaxPool2d>(2);
+  model->Emplace<Conv2d>(config.conv1_channels, config.conv2_channels,
+                         /*kernel_size=*/3, rng, /*padding=*/0);
+  model->Emplace<ReLU>();
+  model->Emplace<Flatten>();
+  const int64_t pooled = config.image_size / 2;
+  const int64_t feature_size = pooled - 2;  // valid 3x3 conv
+  GEODP_CHECK_GT(feature_size, 0);
+  model->Emplace<Linear>(config.conv2_channels * feature_size * feature_size,
+                         config.num_classes, rng);
+  return model;
+}
+
+}  // namespace geodp

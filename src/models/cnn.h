@@ -1,0 +1,30 @@
+// Small convolutional network (paper's "2-layer CNN"): two conv layers with
+// ReLU, one max-pool, and a dense softmax head.
+
+#ifndef GEODP_MODELS_CNN_H_
+#define GEODP_MODELS_CNN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "base/rng.h"
+#include "nn/sequential.h"
+
+namespace geodp {
+
+/// Architecture description of the small CNN.
+struct CnnConfig {
+  int64_t in_channels = 1;
+  int64_t image_size = 14;  // square input
+  int64_t num_classes = 10;
+  int64_t conv1_channels = 6;
+  int64_t conv2_channels = 12;
+};
+
+/// Builds Conv(k3, pad1) -> ReLU -> MaxPool(2) -> Conv(k3) -> ReLU ->
+/// Flatten -> Linear. Requires image_size even and >= 8.
+std::unique_ptr<Sequential> MakeCnn(const CnnConfig& config, Rng& rng);
+
+}  // namespace geodp
+
+#endif  // GEODP_MODELS_CNN_H_

@@ -1,0 +1,17 @@
+#include "models/logistic_regression.h"
+
+#include "nn/flatten.h"
+#include "nn/linear.h"
+
+namespace geodp {
+
+std::unique_ptr<Sequential> MakeLogisticRegression(int64_t input_dim,
+                                                   int64_t num_classes,
+                                                   Rng& rng) {
+  auto model = std::make_unique<Sequential>("LogisticRegression");
+  model->Emplace<Flatten>();
+  model->Emplace<Linear>(input_dim, num_classes, rng);
+  return model;
+}
+
+}  // namespace geodp

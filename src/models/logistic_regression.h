@@ -1,0 +1,23 @@
+// Multinomial logistic regression (paper's "LR" model): a single dense
+// layer over flattened pixels, trained with softmax cross-entropy.
+
+#ifndef GEODP_MODELS_LOGISTIC_REGRESSION_H_
+#define GEODP_MODELS_LOGISTIC_REGRESSION_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "base/rng.h"
+#include "nn/sequential.h"
+
+namespace geodp {
+
+/// Builds Flatten -> Linear(input_dim, num_classes). `input_dim` is the
+/// flattened pixel count (e.g. 196 for the 14x14 MNIST-like dataset).
+std::unique_ptr<Sequential> MakeLogisticRegression(int64_t input_dim,
+                                                   int64_t num_classes,
+                                                   Rng& rng);
+
+}  // namespace geodp
+
+#endif  // GEODP_MODELS_LOGISTIC_REGRESSION_H_

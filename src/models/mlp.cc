@@ -1,0 +1,26 @@
+#include "models/mlp.h"
+
+#include "base/check.h"
+#include "nn/activations.h"
+#include "nn/flatten.h"
+#include "nn/linear.h"
+
+namespace geodp {
+
+std::unique_ptr<Sequential> MakeMlp(const MlpConfig& config, Rng& rng) {
+  GEODP_CHECK_GT(config.input_dim, 0);
+  GEODP_CHECK_GT(config.num_classes, 1);
+  auto model = std::make_unique<Sequential>("MLP");
+  model->Emplace<Flatten>();
+  int64_t in_features = config.input_dim;
+  for (int64_t hidden : config.hidden_dims) {
+    GEODP_CHECK_GT(hidden, 0);
+    model->Emplace<Linear>(in_features, hidden, rng);
+    model->Emplace<ReLU>();
+    in_features = hidden;
+  }
+  model->Emplace<Linear>(in_features, config.num_classes, rng);
+  return model;
+}
+
+}  // namespace geodp

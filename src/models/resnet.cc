@@ -1,0 +1,37 @@
+#include "models/resnet.h"
+
+#include "base/check.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/flatten.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/residual.h"
+
+namespace geodp {
+
+std::unique_ptr<Sequential> MakeResNet(const ResNetConfig& config, Rng& rng) {
+  GEODP_CHECK_GE(config.image_size, 4);
+  GEODP_CHECK_EQ(config.image_size % 2, 0);
+  GEODP_CHECK_GE(config.num_blocks, 1);
+  auto model = std::make_unique<Sequential>("ResNet");
+  model->Emplace<Conv2d>(config.in_channels, config.width,
+                         /*kernel_size=*/3, rng, /*padding=*/1);
+  model->Emplace<ReLU>();
+  model->Emplace<MaxPool2d>(2);
+  for (int64_t i = 0; i < config.num_blocks; ++i) {
+    model->Emplace<ResidualBlock>(config.width, rng);
+  }
+  if (config.global_avg_pool_head) {
+    model->Emplace<GlobalAvgPool>();
+    model->Emplace<Linear>(config.width, config.num_classes, rng);
+  } else {
+    model->Emplace<Flatten>();
+    const int64_t pooled = config.image_size / 2;
+    model->Emplace<Linear>(config.width * pooled * pooled,
+                           config.num_classes, rng);
+  }
+  return model;
+}
+
+}  // namespace geodp

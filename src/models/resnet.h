@@ -1,0 +1,35 @@
+// ResNet-lite (paper's "ResNet with 3 residual blocks, each containing
+// 2 convolutional layers and 1 ReLU"): conv stem, max-pool, three
+// identity-skip residual blocks, global average pooling and a dense head.
+
+#ifndef GEODP_MODELS_RESNET_H_
+#define GEODP_MODELS_RESNET_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "base/rng.h"
+#include "nn/sequential.h"
+
+namespace geodp {
+
+/// Architecture description of the small ResNet.
+struct ResNetConfig {
+  int64_t in_channels = 3;
+  int64_t image_size = 16;  // square input, must be even
+  int64_t num_classes = 10;
+  int64_t width = 8;        // channel count throughout the trunk
+  int64_t num_blocks = 3;
+  // Global average pooling keeps the head tiny (width features) as in the
+  // original ResNet; the flatten head keeps all spatial features, which
+  // the narrow trunks used in the reduced-scale experiments need.
+  bool global_avg_pool_head = false;
+};
+
+/// Builds Conv(k3, pad1) -> ReLU -> MaxPool(2) -> num_blocks x
+/// ResidualBlock -> (GlobalAvgPool | Flatten) -> Linear.
+std::unique_ptr<Sequential> MakeResNet(const ResNetConfig& config, Rng& rng);
+
+}  // namespace geodp
+
+#endif  // GEODP_MODELS_RESNET_H_

@@ -1,0 +1,89 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "tensor/serialization.h"
+
+namespace geodp {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'D', 'P', 'C'};
+
+void WriteString(std::ostream& out, const std::string& value) {
+  const uint32_t size = static_cast<uint32_t>(value.size());
+  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  out.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+bool ReadString(std::istream& in, std::string* value) {
+  uint32_t size = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (!in.good() || size > 4096) return false;
+  value->resize(size);
+  in.read(value->data(), static_cast<std::streamsize>(size));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(Layer& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::vector<Parameter*> params = model.Parameters();
+  const uint32_t count = static_cast<uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (Parameter* p : params) {
+    WriteString(out, p->name);
+    const Status status = WriteTensor(p->value, out);
+    if (!status.ok()) return status;
+  }
+  if (!out.good()) return Status::Internal("checkpoint write failed");
+  return Status::Ok();
+}
+
+Status LoadCheckpoint(Layer& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open for read: " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || magic[0] != 'G' || magic[1] != 'D' || magic[2] != 'P' ||
+      magic[3] != 'C') {
+    return Status::InvalidArgument("bad checkpoint magic");
+  }
+  uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  const std::vector<Parameter*> params = model.Parameters();
+  if (!in.good() || count != params.size()) {
+    return Status::FailedPrecondition("parameter count mismatch");
+  }
+  // Read everything first so a mismatch cannot leave the model partially
+  // overwritten.
+  std::vector<Tensor> values;
+  values.reserve(params.size());
+  for (Parameter* p : params) {
+    std::string name;
+    if (!ReadString(in, &name)) {
+      return Status::InvalidArgument("truncated checkpoint");
+    }
+    if (name != p->name) {
+      return Status::FailedPrecondition("parameter name mismatch: expected " +
+                                        p->name + ", found " + name);
+    }
+    StatusOr<Tensor> tensor = ReadTensor(in);
+    if (!tensor.ok()) return tensor.status();
+    if (tensor.value().shape() != p->value.shape()) {
+      return Status::FailedPrecondition("parameter shape mismatch for " +
+                                        p->name);
+    }
+    values.push_back(std::move(tensor).value());
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = std::move(values[i]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace geodp

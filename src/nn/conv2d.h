@@ -1,0 +1,60 @@
+// 2-D convolution with stride 1 and symmetric zero padding.
+
+#ifndef GEODP_NN_CONV2D_H_
+#define GEODP_NN_CONV2D_H_
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "nn/module.h"
+
+namespace geodp {
+
+/// Which convolution algorithm Conv2d uses.
+enum class ConvImpl {
+  kDirect,  // reference nested loops; easy to audit
+  kIm2Col,  // lowering to matmul (nn/im2col.h); faster, default
+};
+
+/// Convolution mapping [B, in_channels, H, W] ->
+/// [B, out_channels, H - k + 1 + 2p, W - k + 1 + 2p] with square kernels.
+/// Two interchangeable implementations (tested to be bit-identical up to
+/// float accumulation order): direct loops and im2col+matmul.
+class Conv2d : public Layer {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel_size,
+         Rng& rng, int64_t padding = 0, bool with_bias = true,
+         ConvImpl impl = ConvImpl::kIm2Col);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+  std::string name() const override { return "Conv2d"; }
+
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+  int64_t kernel_size() const { return kernel_size_; }
+  int64_t padding() const { return padding_; }
+  ConvImpl impl() const { return impl_; }
+
+ private:
+  Tensor ForwardDirect(const Tensor& input);
+  Tensor BackwardDirect(const Tensor& grad_output);
+  Tensor ForwardIm2Col(const Tensor& input);
+  Tensor BackwardIm2Col(const Tensor& grad_output);
+
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t kernel_size_;
+  int64_t padding_;
+  bool with_bias_;
+  ConvImpl impl_;
+  Parameter weight_;  // [OC, IC, K, K]
+  Parameter bias_;    // [OC]
+  Tensor cached_input_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_NN_CONV2D_H_

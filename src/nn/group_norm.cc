@@ -1,0 +1,121 @@
+#include "nn/group_norm.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace geodp {
+
+GroupNorm::GroupNorm(int64_t channels, int64_t num_groups, double epsilon)
+    : channels_(channels),
+      num_groups_(num_groups),
+      epsilon_(epsilon),
+      gamma_("gamma", Tensor::Full({channels}, 1.0f)),
+      beta_("beta", Tensor::Zeros({channels})) {
+  GEODP_CHECK_GT(channels_, 0);
+  GEODP_CHECK_GT(num_groups_, 0);
+  GEODP_CHECK_EQ(channels_ % num_groups_, 0)
+      << "num_groups must divide channels";
+  GEODP_CHECK_GT(epsilon_, 0.0);
+}
+
+Tensor GroupNorm::Forward(const Tensor& input) {
+  GEODP_CHECK_EQ(input.ndim(), 4);
+  GEODP_CHECK_EQ(input.dim(1), channels_);
+  input_shape_ = input.shape();
+  const int64_t batch = input.dim(0);
+  const int64_t spatial = input.dim(2) * input.dim(3);
+  const int64_t channels_per_group = channels_ / num_groups_;
+  const int64_t group_size = channels_per_group * spatial;
+
+  normalized_ = Tensor(input.shape());
+  inv_std_.assign(static_cast<size_t>(batch * num_groups_), 0.0);
+
+  Tensor output(input.shape());
+  const float* x = input.data();
+  float* xhat = normalized_.data();
+  float* y = output.data();
+
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t g = 0; g < num_groups_; ++g) {
+      const int64_t base = (b * channels_ + g * channels_per_group) * spatial;
+      double mean = 0.0;
+      for (int64_t i = 0; i < group_size; ++i) mean += x[base + i];
+      mean /= static_cast<double>(group_size);
+      double var = 0.0;
+      for (int64_t i = 0; i < group_size; ++i) {
+        const double d = x[base + i] - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(group_size);
+      const double inv_std = 1.0 / std::sqrt(var + epsilon_);
+      inv_std_[static_cast<size_t>(b * num_groups_ + g)] = inv_std;
+      for (int64_t i = 0; i < group_size; ++i) {
+        const int64_t c = g * channels_per_group + i / spatial;
+        const float normalized =
+            static_cast<float>((x[base + i] - mean) * inv_std);
+        xhat[base + i] = normalized;
+        y[base + i] = gamma_.value[c] * normalized + beta_.value[c];
+      }
+    }
+  }
+  return output;
+}
+
+Tensor GroupNorm::Backward(const Tensor& grad_output) {
+  GEODP_CHECK(grad_output.shape() == input_shape_);
+  const int64_t batch = input_shape_[0];
+  const int64_t spatial = input_shape_[2] * input_shape_[3];
+  const int64_t channels_per_group = channels_ / num_groups_;
+  const int64_t group_size = channels_per_group * spatial;
+
+  Tensor grad_input(input_shape_);
+  const float* gy = grad_output.data();
+  const float* xhat = normalized_.data();
+  float* gx = grad_input.data();
+
+  // Per-channel affine gradients.
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t c = 0; c < channels_; ++c) {
+      const int64_t base = (b * channels_ + c) * spatial;
+      double dgamma = 0.0, dbeta = 0.0;
+      for (int64_t i = 0; i < spatial; ++i) {
+        dgamma += static_cast<double>(gy[base + i]) * xhat[base + i];
+        dbeta += gy[base + i];
+      }
+      gamma_.grad[c] += static_cast<float>(dgamma);
+      beta_.grad[c] += static_cast<float>(dbeta);
+    }
+  }
+
+  // Input gradient: with u = gamma * dy,
+  //   dx = inv_std * (u - mean(u) - xhat * mean(u * xhat)),
+  // means taken over the group elements of one sample.
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t g = 0; g < num_groups_; ++g) {
+      const int64_t base = (b * channels_ + g * channels_per_group) * spatial;
+      const double inv_std =
+          inv_std_[static_cast<size_t>(b * num_groups_ + g)];
+      double mean_u = 0.0, mean_ux = 0.0;
+      for (int64_t i = 0; i < group_size; ++i) {
+        const int64_t c = g * channels_per_group + i / spatial;
+        const double u = static_cast<double>(gamma_.value[c]) * gy[base + i];
+        mean_u += u;
+        mean_ux += u * xhat[base + i];
+      }
+      mean_u /= static_cast<double>(group_size);
+      mean_ux /= static_cast<double>(group_size);
+      for (int64_t i = 0; i < group_size; ++i) {
+        const int64_t c = g * channels_per_group + i / spatial;
+        const double u = static_cast<double>(gamma_.value[c]) * gy[base + i];
+        gx[base + i] = static_cast<float>(
+            inv_std * (u - mean_u - xhat[base + i] * mean_ux));
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> GroupNorm::Parameters() { return {&gamma_, &beta_}; }
+
+}  // namespace geodp

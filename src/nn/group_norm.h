@@ -1,0 +1,45 @@
+// Group normalization (Wu & He, 2018). Unlike batch normalization it has
+// no cross-sample dependence, so per-sample gradients stay well-defined —
+// the standard normalization choice in DP-SGD practice.
+
+#ifndef GEODP_NN_GROUP_NORM_H_
+#define GEODP_NN_GROUP_NORM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace geodp {
+
+/// Normalizes [B, C, H, W] activations within per-sample channel groups,
+/// then applies a learnable per-channel affine transform:
+///   y = gamma * (x - mu_group) / sqrt(var_group + eps) + beta.
+class GroupNorm : public Layer {
+ public:
+  /// `num_groups` must divide `channels`.
+  GroupNorm(int64_t channels, int64_t num_groups, double epsilon = 1e-5);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+  std::string name() const override { return "GroupNorm"; }
+
+  int64_t channels() const { return channels_; }
+  int64_t num_groups() const { return num_groups_; }
+
+ private:
+  int64_t channels_;
+  int64_t num_groups_;
+  double epsilon_;
+  Parameter gamma_;  // [C], init 1
+  Parameter beta_;   // [C], init 0
+  // Cached forward state.
+  Tensor normalized_;           // x-hat, input shape
+  std::vector<double> inv_std_;  // per (sample, group)
+  std::vector<int64_t> input_shape_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_NN_GROUP_NORM_H_

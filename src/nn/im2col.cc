@@ -1,0 +1,80 @@
+#include "nn/im2col.h"
+
+#include "base/check.h"
+
+namespace geodp {
+
+Tensor Im2Col(const Tensor& image, int64_t kernel_size, int64_t padding) {
+  GEODP_CHECK_EQ(image.ndim(), 3);
+  GEODP_CHECK_GT(kernel_size, 0);
+  GEODP_CHECK_GE(padding, 0);
+  const int64_t channels = image.dim(0);
+  const int64_t height = image.dim(1);
+  const int64_t width = image.dim(2);
+  const int64_t out_h = height + 2 * padding - kernel_size + 1;
+  const int64_t out_w = width + 2 * padding - kernel_size + 1;
+  GEODP_CHECK_GT(out_h, 0);
+  GEODP_CHECK_GT(out_w, 0);
+
+  Tensor columns({channels * kernel_size * kernel_size, out_h * out_w});
+  const float* src = image.data();
+  float* dst = columns.data();
+  const int64_t spatial = out_h * out_w;
+  int64_t row = 0;
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t kh = 0; kh < kernel_size; ++kh) {
+      for (int64_t kw = 0; kw < kernel_size; ++kw, ++row) {
+        float* out_row = dst + row * spatial;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+          const int64_t ih = oh + kh - padding;
+          if (ih < 0 || ih >= height) {
+            for (int64_t ow = 0; ow < out_w; ++ow) out_row[oh * out_w + ow] = 0.0f;
+            continue;
+          }
+          const float* src_row = src + (c * height + ih) * width;
+          for (int64_t ow = 0; ow < out_w; ++ow) {
+            const int64_t iw = ow + kw - padding;
+            out_row[oh * out_w + ow] =
+                (iw < 0 || iw >= width) ? 0.0f : src_row[iw];
+          }
+        }
+      }
+    }
+  }
+  return columns;
+}
+
+Tensor Col2Im(const Tensor& columns, int64_t channels, int64_t height,
+              int64_t width, int64_t kernel_size, int64_t padding) {
+  GEODP_CHECK_EQ(columns.ndim(), 2);
+  const int64_t out_h = height + 2 * padding - kernel_size + 1;
+  const int64_t out_w = width + 2 * padding - kernel_size + 1;
+  GEODP_CHECK_EQ(columns.dim(0), channels * kernel_size * kernel_size);
+  GEODP_CHECK_EQ(columns.dim(1), out_h * out_w);
+
+  Tensor image({channels, height, width});
+  const float* src = columns.data();
+  float* dst = image.data();
+  const int64_t spatial = out_h * out_w;
+  int64_t row = 0;
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t kh = 0; kh < kernel_size; ++kh) {
+      for (int64_t kw = 0; kw < kernel_size; ++kw, ++row) {
+        const float* src_row = src + row * spatial;
+        for (int64_t oh = 0; oh < out_h; ++oh) {
+          const int64_t ih = oh + kh - padding;
+          if (ih < 0 || ih >= height) continue;
+          float* dst_row = dst + (c * height + ih) * width;
+          for (int64_t ow = 0; ow < out_w; ++ow) {
+            const int64_t iw = ow + kw - padding;
+            if (iw < 0 || iw >= width) continue;
+            dst_row[iw] += src_row[oh * out_w + ow];
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace geodp

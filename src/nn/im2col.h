@@ -1,0 +1,27 @@
+// im2col / col2im: lowering 2-D convolution to matrix multiplication.
+// Used by Conv2d's fast path; the naive direct loops remain as the
+// reference implementation the tests compare against.
+
+#ifndef GEODP_NN_IM2COL_H_
+#define GEODP_NN_IM2COL_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace geodp {
+
+/// Unfolds one image [C, H, W] into a matrix [C*K*K, OH*OW] of receptive
+/// fields for a KxK kernel with the given symmetric zero padding and
+/// stride 1.
+Tensor Im2Col(const Tensor& image, int64_t kernel_size, int64_t padding);
+
+/// Inverse scatter-add of Im2Col: folds columns [C*K*K, OH*OW] back into
+/// an image [C, H, W], accumulating overlapping contributions. Used for
+/// the input-gradient pass.
+Tensor Col2Im(const Tensor& columns, int64_t channels, int64_t height,
+              int64_t width, int64_t kernel_size, int64_t padding);
+
+}  // namespace geodp
+
+#endif  // GEODP_NN_IM2COL_H_

@@ -1,0 +1,23 @@
+// Parameter initialization schemes.
+
+#ifndef GEODP_NN_INIT_H_
+#define GEODP_NN_INIT_H_
+
+#include <cstdint>
+
+#include "base/rng.h"
+#include "tensor/tensor.h"
+
+namespace geodp {
+
+/// Kaiming/He uniform init: Uniform(-bound, bound) with
+/// bound = sqrt(6 / fan_in). Suitable for layers followed by ReLU.
+Tensor KaimingUniform(std::vector<int64_t> shape, int64_t fan_in, Rng& rng);
+
+/// Xavier/Glorot uniform init: bound = sqrt(6 / (fan_in + fan_out)).
+Tensor XavierUniform(std::vector<int64_t> shape, int64_t fan_in,
+                     int64_t fan_out, Rng& rng);
+
+}  // namespace geodp
+
+#endif  // GEODP_NN_INIT_H_

@@ -1,0 +1,61 @@
+#include "nn/linear.h"
+
+#include "base/check.h"
+#include "nn/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace geodp {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
+               bool with_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      with_bias_(with_bias),
+      weight_("weight",
+              KaimingUniform({out_features, in_features}, in_features, rng)),
+      bias_("bias", Tensor::Zeros({out_features})) {
+  GEODP_CHECK_GT(in_features_, 0);
+  GEODP_CHECK_GT(out_features_, 0);
+}
+
+Tensor Linear::Forward(const Tensor& input) {
+  GEODP_CHECK_EQ(input.ndim(), 2);
+  GEODP_CHECK_EQ(input.dim(1), in_features_);
+  cached_input_ = input;
+  const int64_t batch = input.dim(0);
+  // y[b, o] = sum_i x[b, i] * W[o, i] + bias[o]
+  Tensor output = Matmul(input, Transpose(weight_.value));
+  if (with_bias_) {
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t o = 0; o < out_features_; ++o) {
+        output[b * out_features_ + o] += bias_.value[o];
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Linear::Backward(const Tensor& grad_output) {
+  GEODP_CHECK_EQ(grad_output.ndim(), 2);
+  GEODP_CHECK_EQ(grad_output.dim(0), cached_input_.dim(0));
+  GEODP_CHECK_EQ(grad_output.dim(1), out_features_);
+  const int64_t batch = grad_output.dim(0);
+  // dW[o, i] += sum_b dy[b, o] * x[b, i]
+  weight_.grad.AddInPlace(Matmul(Transpose(grad_output), cached_input_));
+  if (with_bias_) {
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t o = 0; o < out_features_; ++o) {
+        bias_.grad[o] += grad_output[b * out_features_ + o];
+      }
+    }
+  }
+  // dx[b, i] = sum_o dy[b, o] * W[o, i]
+  return Matmul(grad_output, weight_.value);
+}
+
+std::vector<Parameter*> Linear::Parameters() {
+  if (with_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace geodp

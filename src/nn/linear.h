@@ -1,0 +1,43 @@
+// Fully connected layer: y = x W^T + b.
+
+#ifndef GEODP_NN_LINEAR_H_
+#define GEODP_NN_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "nn/module.h"
+
+namespace geodp {
+
+/// Dense layer mapping [B, in_features] -> [B, out_features].
+/// Weight shape [out_features, in_features]; bias shape [out_features].
+class Linear : public Layer {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool with_bias = true);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+  std::string name() const override { return "Linear"; }
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool with_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_NN_LINEAR_H_

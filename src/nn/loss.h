@@ -1,0 +1,52 @@
+// Loss functions. Losses are not Layers: they take logits plus labels and
+// expose the gradient with respect to the logits.
+
+#ifndef GEODP_NN_LOSS_H_
+#define GEODP_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace geodp {
+
+/// Numerically stable softmax cross-entropy over a batch.
+class SoftmaxCrossEntropy {
+ public:
+  SoftmaxCrossEntropy() = default;
+
+  /// Mean cross-entropy of logits [B, K] against integer labels (size B,
+  /// each in [0, K)).
+  double Forward(const Tensor& logits, const std::vector<int64_t>& labels);
+
+  /// dL/dlogits for the mean loss from the last Forward: (p - onehot)/B.
+  Tensor Backward() const;
+
+  /// Softmax probabilities from the last Forward, shape [B, K].
+  const Tensor& probabilities() const { return probabilities_; }
+
+ private:
+  Tensor probabilities_;
+  std::vector<int64_t> labels_;
+};
+
+/// Mean squared error between predictions and targets of equal shape.
+class MeanSquaredError {
+ public:
+  MeanSquaredError() = default;
+
+  /// (1/N) * sum (pred - target)^2 over all elements.
+  double Forward(const Tensor& predictions, const Tensor& targets);
+
+  /// dL/dpred = 2 (pred - target) / N.
+  Tensor Backward() const;
+
+ private:
+  Tensor predictions_;
+  Tensor targets_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_NN_LOSS_H_

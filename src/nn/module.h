@@ -1,0 +1,37 @@
+// Layer abstraction: every building block implements an explicit forward
+// and backward pass, caching whatever it needs in Forward. Batch-first
+// layouts throughout: dense activations are [B, features], image
+// activations are [B, C, H, W].
+
+#ifndef GEODP_NN_MODULE_H_
+#define GEODP_NN_MODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "tensor/tensor.h"
+
+namespace geodp {
+
+/// Base class for all network layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for a batch; caches state for Backward.
+  virtual Tensor Forward(const Tensor& input) = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients and returns
+  /// dL/d(input). Must be called after a matching Forward.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Parameter*> Parameters() { return {}; }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_NN_MODULE_H_

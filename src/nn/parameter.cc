@@ -1,0 +1,58 @@
+#include "nn/parameter.h"
+
+#include "base/check.h"
+
+namespace geodp {
+
+int64_t TotalParameterCount(const std::vector<Parameter*>& params) {
+  int64_t total = 0;
+  for (const Parameter* p : params) total += p->value.numel();
+  return total;
+}
+
+Tensor FlattenValues(const std::vector<Parameter*>& params) {
+  Tensor flat({std::max<int64_t>(TotalParameterCount(params), 1)});
+  int64_t offset = 0;
+  for (const Parameter* p : params) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) flat[offset++] = p->value[i];
+  }
+  return flat;
+}
+
+Tensor FlattenGradients(const std::vector<Parameter*>& params) {
+  Tensor flat({std::max<int64_t>(TotalParameterCount(params), 1)});
+  int64_t offset = 0;
+  for (const Parameter* p : params) {
+    for (int64_t i = 0; i < p->grad.numel(); ++i) flat[offset++] = p->grad[i];
+  }
+  return flat;
+}
+
+void SetValuesFromFlat(const std::vector<Parameter*>& params,
+                       const Tensor& flat) {
+  GEODP_CHECK_EQ(flat.numel(), TotalParameterCount(params));
+  int64_t offset = 0;
+  for (Parameter* p : params) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      p->value[i] = flat[offset++];
+    }
+  }
+}
+
+void ApplyFlatUpdate(const std::vector<Parameter*>& params,
+                     const Tensor& flat_direction, double learning_rate) {
+  GEODP_CHECK_EQ(flat_direction.numel(), TotalParameterCount(params));
+  const float lr = static_cast<float>(learning_rate);
+  int64_t offset = 0;
+  for (Parameter* p : params) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      p->value[i] -= lr * flat_direction[offset++];
+    }
+  }
+}
+
+void ZeroGradients(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) p->grad.Fill(0.0f);
+}
+
+}  // namespace geodp

@@ -1,0 +1,53 @@
+// Trainable parameter (value + gradient) and flat-vector utilities.
+//
+// DP-SGD and GeoDP operate on the *flattened* gradient of the whole model
+// (one vector per sample), so the framework provides cheap conversion
+// between a parameter list and a single flat tensor.
+
+#ifndef GEODP_NN_PARAMETER_H_
+#define GEODP_NN_PARAMETER_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace geodp {
+
+/// A named trainable tensor with its accumulated gradient.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;  // same shape as value; zero-initialized
+
+  Parameter() = default;
+  Parameter(std::string name_in, Tensor value_in)
+      : name(std::move(name_in)),
+        value(std::move(value_in)),
+        grad(Tensor::Zeros(value.shape())) {}
+};
+
+/// Total number of scalar parameters.
+int64_t TotalParameterCount(const std::vector<Parameter*>& params);
+
+/// Concatenates all parameter values into one 1-D tensor.
+Tensor FlattenValues(const std::vector<Parameter*>& params);
+
+/// Concatenates all parameter gradients into one 1-D tensor.
+Tensor FlattenGradients(const std::vector<Parameter*>& params);
+
+/// Writes a flat value vector back into the parameters (inverse of
+/// FlattenValues).
+void SetValuesFromFlat(const std::vector<Parameter*>& params,
+                       const Tensor& flat);
+
+/// In-place update value -= lr * flat_direction (flat layout as above).
+void ApplyFlatUpdate(const std::vector<Parameter*>& params,
+                     const Tensor& flat_direction, double learning_rate);
+
+/// Zeroes every gradient.
+void ZeroGradients(const std::vector<Parameter*>& params);
+
+}  // namespace geodp
+
+#endif  // GEODP_NN_PARAMETER_H_

@@ -1,0 +1,35 @@
+#include "nn/sequential.h"
+
+#include "base/check.h"
+
+namespace geodp {
+
+Sequential& Sequential::Add(std::unique_ptr<Layer> layer) {
+  GEODP_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::Forward(const Tensor& input) {
+  Tensor activation = input;
+  for (auto& layer : layers_) activation = layer->Forward(activation);
+  return activation;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->Backward(grad);
+  }
+  return grad;
+}
+
+std::vector<Parameter*> Sequential::Parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace geodp

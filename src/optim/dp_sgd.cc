@@ -1,0 +1,87 @@
+#include "optim/dp_sgd.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "nn/parameter.h"
+#include "stats/metrics.h"
+
+namespace geodp {
+
+PrivateBatchGradient ComputePerSampleGradients(
+    Sequential& model, SoftmaxCrossEntropy& loss,
+    const InMemoryDataset& dataset, const std::vector<int64_t>& indices,
+    const Clipper& clipper) {
+  GEODP_CHECK(!indices.empty());
+  const std::vector<Parameter*> params = model.Parameters();
+  const int64_t flat_dim = TotalParameterCount(params);
+
+  PrivateBatchGradient result;
+  result.batch_size = static_cast<int64_t>(indices.size());
+  result.averaged_clipped = Tensor({flat_dim});
+  result.averaged_raw = Tensor({flat_dim});
+  result.sample_losses.reserve(indices.size());
+
+  for (int64_t index : indices) {
+    ZeroGradients(params);
+    const Tensor x = dataset.StackImages({index});
+    const std::vector<int64_t> y = {dataset.label(index)};
+    const double sample_loss = loss.Forward(model.Forward(x), y);
+    model.Backward(loss.Backward());
+    const Tensor flat = FlattenGradients(params);
+    result.averaged_raw.AddInPlace(flat);
+    result.averaged_clipped.AddInPlace(clipper.Clip(flat));
+    result.mean_loss += sample_loss;
+    result.sample_losses.push_back(sample_loss);
+  }
+  ZeroGradients(params);
+
+  const float inv_b = 1.0f / static_cast<float>(result.batch_size);
+  result.averaged_clipped.ScaleInPlace(inv_b);
+  result.averaged_raw.ScaleInPlace(inv_b);
+  result.mean_loss /= static_cast<double>(result.batch_size);
+  return result;
+}
+
+double EvaluateMeanLoss(Sequential& model, const InMemoryDataset& dataset,
+                        int64_t max_examples, int64_t batch_size) {
+  GEODP_CHECK_GT(dataset.size(), 0);
+  GEODP_CHECK_GT(batch_size, 0);
+  const int64_t limit = (max_examples > 0)
+                            ? std::min(max_examples, dataset.size())
+                            : dataset.size();
+  SoftmaxCrossEntropy loss;
+  double total = 0.0;
+  int64_t done = 0;
+  while (done < limit) {
+    const int64_t count = std::min(batch_size, limit - done);
+    std::vector<int64_t> indices(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) indices[static_cast<size_t>(i)] = done + i;
+    const Tensor x = dataset.StackImages(indices);
+    const std::vector<int64_t> y = dataset.GatherLabels(indices);
+    total += loss.Forward(model.Forward(x), y) * static_cast<double>(count);
+    done += count;
+  }
+  return total / static_cast<double>(limit);
+}
+
+double EvaluateAccuracy(Sequential& model, const InMemoryDataset& dataset,
+                        int64_t batch_size) {
+  GEODP_CHECK_GT(dataset.size(), 0);
+  GEODP_CHECK_GT(batch_size, 0);
+  double correct_weighted = 0.0;
+  int64_t done = 0;
+  while (done < dataset.size()) {
+    const int64_t count = std::min(batch_size, dataset.size() - done);
+    std::vector<int64_t> indices(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) indices[static_cast<size_t>(i)] = done + i;
+    const Tensor logits = model.Forward(dataset.StackImages(indices));
+    const std::vector<int64_t> y = dataset.GatherLabels(indices);
+    correct_weighted +=
+        AccuracyFromLogits(logits, y) * static_cast<double>(count);
+    done += count;
+  }
+  return correct_weighted / static_cast<double>(dataset.size());
+}
+
+}  // namespace geodp

@@ -1,0 +1,48 @@
+// Per-sample gradient computation for DP training (the "microbatch of 1"
+// semantics of Abadi et al.): each example is run through the model
+// individually, its flattened gradient is clipped, and the clipped
+// gradients are averaged — the quantity the perturbers then add noise to
+// (paper Eq. 7-8).
+
+#ifndef GEODP_OPTIM_DP_SGD_H_
+#define GEODP_OPTIM_DP_SGD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clip/clipping.h"
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/sequential.h"
+
+namespace geodp {
+
+/// Result of one private gradient computation over a batch.
+struct PrivateBatchGradient {
+  Tensor averaged_clipped;  // (1/B) * sum_j clip(g_j)
+  Tensor averaged_raw;      // (1/B) * sum_j g_j  (noise-free reference)
+  double mean_loss = 0.0;   // mean per-sample loss over the batch
+  std::vector<double> sample_losses;  // per-sample losses, batch order
+  int64_t batch_size = 0;
+};
+
+/// Runs each indexed example through the model with batch size 1, clips its
+/// flattened gradient with `clipper`, and returns both the clipped and raw
+/// averages. Leaves the accumulated parameter gradients zeroed.
+PrivateBatchGradient ComputePerSampleGradients(
+    Sequential& model, SoftmaxCrossEntropy& loss,
+    const InMemoryDataset& dataset, const std::vector<int64_t>& indices,
+    const Clipper& clipper);
+
+/// Mean loss of the model on up to `max_examples` examples (0 = all),
+/// evaluated in batches. Does not touch gradients.
+double EvaluateMeanLoss(Sequential& model, const InMemoryDataset& dataset,
+                        int64_t max_examples = 0, int64_t batch_size = 128);
+
+/// Classification accuracy of the model on the dataset.
+double EvaluateAccuracy(Sequential& model, const InMemoryDataset& dataset,
+                        int64_t batch_size = 128);
+
+}  // namespace geodp
+
+#endif  // GEODP_OPTIM_DP_SGD_H_

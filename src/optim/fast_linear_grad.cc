@@ -1,0 +1,108 @@
+#include "optim/fast_linear_grad.h"
+
+#include <cmath>
+
+#include "base/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace geodp {
+
+PrivateBatchGradient ComputeLinearPerSampleGradients(
+    const Tensor& inputs, const std::vector<int64_t>& labels,
+    const Tensor& weight, const Tensor& bias, double clip_threshold) {
+  GEODP_CHECK_EQ(inputs.ndim(), 2);
+  GEODP_CHECK_EQ(weight.ndim(), 2);
+  GEODP_CHECK_EQ(bias.ndim(), 1);
+  const int64_t batch = inputs.dim(0);
+  const int64_t features = inputs.dim(1);
+  const int64_t classes = weight.dim(0);
+  GEODP_CHECK_EQ(weight.dim(1), features);
+  GEODP_CHECK_EQ(bias.dim(0), classes);
+  GEODP_CHECK_EQ(static_cast<int64_t>(labels.size()), batch);
+  GEODP_CHECK_GT(clip_threshold, 0.0);
+
+  // Batched forward: logits = X W^T + b.
+  Tensor logits = Matmul(inputs, Transpose(weight));
+  for (int64_t i = 0; i < batch; ++i) {
+    for (int64_t k = 0; k < classes; ++k) logits[i * classes + k] += bias[k];
+  }
+
+  PrivateBatchGradient result;
+  result.batch_size = batch;
+  result.sample_losses.reserve(static_cast<size_t>(batch));
+
+  // Per-sample softmax errors e_i and losses; per-sample clip scales from
+  // the factorized norm. `errors_clipped` holds s_i * e_i and
+  // `errors_raw` holds e_i; the raw/clipped gradients are then single
+  // matmuls e^T X.
+  Tensor errors_raw({batch, classes});
+  Tensor errors_clipped({batch, classes});
+  double total_loss = 0.0;
+  for (int64_t i = 0; i < batch; ++i) {
+    GEODP_CHECK(labels[static_cast<size_t>(i)] >= 0 &&
+                labels[static_cast<size_t>(i)] < classes);
+    float row_max = logits[i * classes];
+    for (int64_t k = 1; k < classes; ++k) {
+      row_max = std::max(row_max, logits[i * classes + k]);
+    }
+    double denom = 0.0;
+    for (int64_t k = 0; k < classes; ++k) {
+      denom += std::exp(static_cast<double>(logits[i * classes + k]) -
+                        row_max);
+    }
+    double error_sq = 0.0;
+    for (int64_t k = 0; k < classes; ++k) {
+      const double p =
+          std::exp(static_cast<double>(logits[i * classes + k]) - row_max) /
+          denom;
+      double e = p;
+      if (k == labels[static_cast<size_t>(i)]) {
+        total_loss -= std::log(std::max(p, 1e-12));
+        result.sample_losses.push_back(-std::log(std::max(p, 1e-12)));
+        e -= 1.0;
+      }
+      errors_raw[i * classes + k] = static_cast<float>(e);
+      error_sq += e * e;
+    }
+    double x_sq = 0.0;
+    for (int64_t j = 0; j < features; ++j) {
+      const double x = inputs[i * features + j];
+      x_sq += x * x;
+    }
+    // ||grad_i||^2 = ||e_i||^2 * (||x_i||^2 + 1)  (weight + bias parts).
+    const double norm = std::sqrt(error_sq * (x_sq + 1.0));
+    const double scale = 1.0 / std::max(1.0, norm / clip_threshold);
+    for (int64_t k = 0; k < classes; ++k) {
+      errors_clipped[i * classes + k] =
+          static_cast<float>(scale) * errors_raw[i * classes + k];
+    }
+  }
+  result.mean_loss = total_loss / static_cast<double>(batch);
+
+  // dW = e^T X (summed over the batch), db = column sums of e.
+  const Tensor dw_raw = Matmul(Transpose(errors_raw), inputs);
+  const Tensor dw_clipped = Matmul(Transpose(errors_clipped), inputs);
+
+  const int64_t flat_dim = classes * features + classes;
+  result.averaged_raw = Tensor({flat_dim});
+  result.averaged_clipped = Tensor({flat_dim});
+  const float inv_b = 1.0f / static_cast<float>(batch);
+  for (int64_t p = 0; p < classes * features; ++p) {
+    result.averaged_raw[p] = dw_raw[p] * inv_b;
+    result.averaged_clipped[p] = dw_clipped[p] * inv_b;
+  }
+  for (int64_t k = 0; k < classes; ++k) {
+    double raw_sum = 0.0, clipped_sum = 0.0;
+    for (int64_t i = 0; i < batch; ++i) {
+      raw_sum += errors_raw[i * classes + k];
+      clipped_sum += errors_clipped[i * classes + k];
+    }
+    result.averaged_raw[classes * features + k] =
+        static_cast<float>(raw_sum) * inv_b;
+    result.averaged_clipped[classes * features + k] =
+        static_cast<float>(clipped_sum) * inv_b;
+  }
+  return result;
+}
+
+}  // namespace geodp

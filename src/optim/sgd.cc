@@ -1,0 +1,38 @@
+#include "optim/sgd.h"
+
+#include "base/check.h"
+
+namespace geodp {
+
+Sgd::Sgd(std::vector<Parameter*> params, SgdOptions options)
+    : params_(std::move(params)), options_(options) {
+  GEODP_CHECK_GT(options_.learning_rate, 0.0);
+  GEODP_CHECK_GE(options_.momentum, 0.0);
+  GEODP_CHECK_LT(options_.momentum, 1.0);
+  if (options_.momentum > 0.0) {
+    velocity_.reserve(params_.size());
+    for (Parameter* p : params_) {
+      velocity_.push_back(Tensor::Zeros(p->value.shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  const float lr = static_cast<float>(options_.learning_rate);
+  const float mu = static_cast<float>(options_.momentum);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    if (mu > 0.0f) {
+      Tensor& v = velocity_[i];
+      v.ScaleInPlace(mu);
+      v.AddInPlace(p->grad);
+      p->value.AxpyInPlace(-lr, v);
+    } else {
+      p->value.AxpyInPlace(-lr, p->grad);
+    }
+  }
+}
+
+void Sgd::ZeroGrad() { ZeroGradients(params_); }
+
+}  // namespace geodp

@@ -1,0 +1,40 @@
+// Plain (non-private) SGD with optional momentum, used for noise-free
+// baselines and for harvesting the synthetic gradient dataset.
+
+#ifndef GEODP_OPTIM_SGD_H_
+#define GEODP_OPTIM_SGD_H_
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace geodp {
+
+/// SGD hyperparameters.
+struct SgdOptions {
+  double learning_rate = 0.1;
+  double momentum = 0.0;  // 0 disables the velocity buffer
+};
+
+/// Updates parameters from their accumulated gradients.
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> params, SgdOptions options);
+
+  /// value -= lr * (grad or momentum-filtered grad).
+  void Step();
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  const SgdOptions& options() const { return options_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  SgdOptions options_;
+  std::vector<Tensor> velocity_;  // parallel to params_, lazily sized
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_OPTIM_SGD_H_

@@ -1,0 +1,172 @@
+#include "optim/trainer.h"
+
+#include <memory>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "clip/clipping.h"
+#include "data/dataloader.h"
+#include "nn/loss.h"
+#include "optim/adaptive_beta.h"
+#include "nn/parameter.h"
+#include "optim/dp_sgd.h"
+#include "optim/techniques.h"
+
+namespace geodp {
+
+DpTrainer::DpTrainer(Sequential* model, const InMemoryDataset* train,
+                     const InMemoryDataset* test, TrainerOptions options)
+    : model_(model), train_(train), test_(test), options_(options) {
+  GEODP_CHECK(model_ != nullptr);
+  GEODP_CHECK(train_ != nullptr);
+  GEODP_CHECK_GT(train_->size(), 0);
+  GEODP_CHECK_GT(options_.batch_size, 0);
+  GEODP_CHECK_LE(options_.batch_size, train_->size());
+  GEODP_CHECK_GT(options_.iterations, 0);
+  GEODP_CHECK_GT(options_.learning_rate, 0.0);
+}
+
+TrainingResult DpTrainer::Train() {
+  Rng rng(options_.seed);
+  Rng noise_rng = rng.Fork();
+
+  const std::vector<Parameter*> params = model_->Parameters();
+  const int64_t flat_dim = TotalParameterCount(params);
+
+  PerturbationOptions base;
+  base.clip_threshold = options_.clip_threshold;
+  base.batch_size = options_.batch_size;
+  base.noise_multiplier = options_.noise_multiplier;
+  std::unique_ptr<Perturber> perturber = MakePerturberForMethod(
+      options_.method, base, options_.beta, options_.angle_handling);
+  AdaptiveBetaController beta_controller(options_.adaptive_beta_floor, 1.0);
+  const bool adapt_beta =
+      options_.adaptive_beta && options_.method == PerturbationMethod::kGeoDp;
+  double current_beta = options_.beta;
+
+  const std::unique_ptr<Clipper> clipper =
+      MakeClipper(options_.clipper, options_.clip_threshold);
+
+  BatchSampler uniform_sampler(train_->size(), options_.batch_size,
+                               rng.Next());
+  PoissonSampler poisson_sampler(train_->size(),
+                                 static_cast<double>(options_.batch_size) /
+                                     static_cast<double>(train_->size()),
+                                 rng.Next());
+  ImportanceSampler importance_sampler(train_->size(), options_.batch_size,
+                                       rng.Next());
+  SelectiveUpdater selective(options_.sur_tolerance);
+  FlatAdam adam(flat_dim, AdamOptions{.learning_rate =
+                                          options_.learning_rate});
+  SoftmaxCrossEntropy loss;
+  RdpAccountant accountant;
+  const double sampling_rate = static_cast<double>(options_.batch_size) /
+                               static_cast<double>(train_->size());
+
+  TrainingResult result;
+  // SUR (DPSUR semantics): a rejected update does not count as a training
+  // iteration — the loop keeps drawing fresh noisy updates (each spending
+  // privacy budget) until one is accepted, up to an attempt cap.
+  const int64_t max_attempts = options_.selective_update
+                                   ? 3 * options_.iterations
+                                   : options_.iterations;
+  int64_t accepted_updates = 0;
+  for (int64_t attempt = 0;
+       attempt < max_attempts && accepted_updates < options_.iterations;
+       ++attempt) {
+    const int64_t t = accepted_updates;
+    clipper->OnStep(t);
+    const std::vector<int64_t> batch =
+        options_.poisson_sampling
+            ? poisson_sampler.NextBatch()
+            : (options_.importance_sampling ? importance_sampler.NextBatch()
+                                            : uniform_sampler.NextBatch());
+    PrivateBatchGradient grads;
+    if (batch.empty()) {
+      // A Poisson draw can be empty: the "lot" contributes zero gradient
+      // and the step is pure noise.
+      grads.averaged_clipped = Tensor({flat_dim});
+      grads.averaged_raw = Tensor({flat_dim});
+      grads.batch_size = 0;
+    } else {
+      grads =
+          ComputePerSampleGradients(*model_, loss, *train_, batch, *clipper);
+    }
+    if (options_.poisson_sampling && !batch.empty()) {
+      // Renormalize: divide the clipped sum by the nominal lot size B
+      // rather than the realized batch size.
+      const float rescale = static_cast<float>(batch.size()) /
+                            static_cast<float>(options_.batch_size);
+      grads.averaged_clipped.ScaleInPlace(rescale);
+      grads.averaged_raw.ScaleInPlace(rescale);
+    }
+    if (options_.importance_sampling && !options_.poisson_sampling) {
+      for (size_t j = 0; j < batch.size(); ++j) {
+        importance_sampler.UpdateLoss(batch[j], grads.sample_losses[j]);
+      }
+    }
+
+    if (adapt_beta) {
+      beta_controller.Observe(ToSpherical(grads.averaged_clipped));
+      current_beta = beta_controller.CurrentBeta();
+      perturber = MakePerturberForMethod(options_.method, base, current_beta,
+                                         options_.angle_handling);
+    }
+    const Tensor noisy = perturber->Perturb(grads.averaged_clipped, noise_rng);
+    if (options_.method != PerturbationMethod::kNoiseFree &&
+        options_.noise_multiplier > 0.0) {
+      accountant.AddSubsampledGaussianSteps(options_.noise_multiplier,
+                                            sampling_rate, 1);
+    }
+
+    if (options_.selective_update) {
+      // Snapshot, apply, test, revert on failure.
+      const Tensor snapshot = FlattenValues(params);
+      const double loss_before = EvaluateMeanLoss(
+          *model_, *train_, options_.sur_eval_examples);
+      if (options_.use_adam) {
+        adam.Step(params, noisy);
+      } else {
+        ApplyFlatUpdate(params, noisy, options_.learning_rate);
+      }
+      const double loss_after = EvaluateMeanLoss(
+          *model_, *train_, options_.sur_eval_examples);
+      if (selective.ShouldAccept(loss_before, loss_after)) {
+        ++accepted_updates;
+      } else {
+        SetValuesFromFlat(params, snapshot);
+        continue;  // rejected attempts do not advance training
+      }
+    } else {
+      if (options_.use_adam) {
+        adam.Step(params, noisy);
+      } else {
+        ApplyFlatUpdate(params, noisy, options_.learning_rate);
+      }
+      ++accepted_updates;
+    }
+
+    if (options_.record_loss_every > 0 &&
+        (t % options_.record_loss_every == 0 ||
+         t == options_.iterations - 1)) {
+      result.loss_iterations.push_back(t);
+      result.loss_history.push_back(grads.mean_loss);
+    }
+  }
+
+  result.final_train_loss =
+      EvaluateMeanLoss(*model_, *train_, /*max_examples=*/0);
+  if (test_ != nullptr && test_->size() > 0) {
+    result.test_accuracy = EvaluateAccuracy(*model_, *test_);
+  }
+  if (options_.method != PerturbationMethod::kNoiseFree &&
+      options_.noise_multiplier > 0.0) {
+    result.epsilon = accountant.GetEpsilon(options_.delta);
+  }
+  result.sur_accepted = selective.accepted();
+  result.sur_rejected = selective.rejected();
+  result.final_beta = adapt_beta ? current_beta : options_.beta;
+  return result;
+}
+
+}  // namespace geodp

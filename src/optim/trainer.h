@@ -1,0 +1,86 @@
+// End-to-end private training loop: per-sample clipping, perturbation
+// (none / DP / GeoDP), optional importance sampling, selective update,
+// Adam post-processing, and RDP privacy accounting.
+
+#ifndef GEODP_OPTIM_TRAINER_H_
+#define GEODP_OPTIM_TRAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/perturbation.h"
+#include "data/dataset.h"
+#include "dp/rdp_accountant.h"
+#include "nn/sequential.h"
+#include "optim/dp_adam.h"
+#include "optim/geodp_sgd.h"
+
+namespace geodp {
+
+/// Everything a training run needs.
+struct TrainerOptions {
+  PerturbationMethod method = PerturbationMethod::kDp;
+  int64_t batch_size = 64;
+  int64_t iterations = 200;
+  double learning_rate = 0.5;
+  double clip_threshold = 0.1;  // paper fixes C = 0.1
+  double noise_multiplier = 1.0;
+  double beta = 0.1;                       // GeoDP bounding factor
+  // Extension: adapt beta to the observed direction concentration
+  // (optim/adaptive_beta.h). Heuristic — see the privacy caveat there.
+  bool adaptive_beta = false;
+  double adaptive_beta_floor = 1e-4;
+  AngleHandling angle_handling = AngleHandling::kNone;
+  std::string clipper = "flat";            // "flat" | "AUTO-S" | "PSAC"
+  // Poisson subsampling (each example included independently with rate
+  // B/N) — the sampling model the RDP accountant assumes. When false, the
+  // trainer uses epoch-shuffled fixed-size batches (common practice; the
+  // accountant is then an approximation, as in mainstream DP-SGD
+  // frameworks). With Poisson sampling the gradient sum is divided by the
+  // nominal batch size B, matching Abadi et al.'s lot semantics.
+  bool poisson_sampling = false;
+  bool importance_sampling = false;        // IS
+  bool selective_update = false;           // SUR
+  double sur_tolerance = 0.03;  // accept if after <= before + tolerance
+  int64_t sur_eval_examples = 256;         // validation slice for SUR
+  bool use_adam = false;                   // DP-Adam post-processing
+  double delta = 1e-5;                     // accounting target delta
+  uint64_t seed = 1;
+  int64_t record_loss_every = 10;          // 0 = never
+};
+
+/// Everything a training run reports.
+struct TrainingResult {
+  std::vector<int64_t> loss_iterations;  // iteration index per loss sample
+  std::vector<double> loss_history;      // batch mean loss before update
+  double final_train_loss = 0.0;
+  double test_accuracy = -1.0;  // -1 when no test set was provided
+  double epsilon = 0.0;         // RDP-accounted epsilon at options.delta
+  int64_t sur_accepted = 0;
+  int64_t sur_rejected = 0;
+  double final_beta = 0.0;      // last beta used (varies with adaptive_beta)
+};
+
+/// Trains a model privately on a dataset. The model is mutated in place.
+class DpTrainer {
+ public:
+  /// `test` may be null (accuracy is then not evaluated).
+  DpTrainer(Sequential* model, const InMemoryDataset* train,
+            const InMemoryDataset* test, TrainerOptions options);
+
+  /// Runs the full loop and returns the report.
+  TrainingResult Train();
+
+  const TrainerOptions& options() const { return options_; }
+
+ private:
+  Sequential* model_;
+  const InMemoryDataset* train_;
+  const InMemoryDataset* test_;
+  TrainerOptions options_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_OPTIM_TRAINER_H_

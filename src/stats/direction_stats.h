@@ -1,0 +1,46 @@
+// Direction-concentration measurements supporting the paper's Theorems 2-3
+// and §V-C1: per-sample gradient directions concentrate around a mean
+// direction rather than spreading over the whole sphere, which is why
+// bounding the privacy region (beta < 1) is sound.
+
+#ifndef GEODP_STATS_DIRECTION_STATS_H_
+#define GEODP_STATS_DIRECTION_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/gradient_dataset.h"
+#include "tensor/tensor.h"
+
+namespace geodp {
+
+/// Concentration summary of a set of gradient directions.
+struct DirectionConcentration {
+  int64_t count = 0;
+  // Mean pairwise cosine similarity to the mean direction; 1 = perfectly
+  // aligned, 0 = isotropic.
+  double mean_cosine_to_center = 0.0;
+  // Per-angle spread: mean and max standard deviation of each angle
+  // coordinate across the sample.
+  double mean_angle_stddev = 0.0;
+  double max_angle_stddev = 0.0;
+  // Mean fraction of each angle's full range actually covered by the
+  // sample, i.e. the empirical bounding factor beta the privacy region
+  // would need on average.
+  double empirical_beta = 0.0;
+};
+
+/// Analyzes up to `max_gradients` gradients from the dataset.
+DirectionConcentration AnalyzeDirectionConcentration(
+    const GradientDataset& data, int64_t max_gradients = 256);
+
+/// Angle-coordinate samples of batch-averaged directions: draws `trials`
+/// batches of size B (averaging per-sample *angles*, as in Theorem 3) and
+/// returns the sampled values of angle coordinate `angle_index`.
+std::vector<double> SampleAveragedAngleCoordinate(
+    const GradientDataset& data, int64_t batch, int64_t angle_index,
+    int64_t trials, uint64_t seed);
+
+}  // namespace geodp
+
+#endif  // GEODP_STATS_DIRECTION_STATS_H_

@@ -1,0 +1,50 @@
+#include "stats/metrics.h"
+
+#include "base/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace geodp {
+
+double DirectionMse(const std::vector<SphericalCoordinates>& original,
+                    const std::vector<SphericalCoordinates>& perturbed) {
+  GEODP_CHECK_EQ(original.size(), perturbed.size());
+  GEODP_CHECK(!original.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    sum += AngleSquaredDistance(original[i].angles, perturbed[i].angles);
+  }
+  return sum / static_cast<double>(original.size());
+}
+
+double GradientMse(const std::vector<Tensor>& original,
+                   const std::vector<Tensor>& perturbed) {
+  GEODP_CHECK_EQ(original.size(), perturbed.size());
+  GEODP_CHECK(!original.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    const Tensor diff = Sub(perturbed[i], original[i]);
+    const double norm = diff.L2Norm();
+    sum += norm * norm;
+  }
+  return sum / static_cast<double>(original.size());
+}
+
+double ModelEfficiency(const Tensor& model_flat, const Tensor& optimum_flat) {
+  const Tensor diff = Sub(model_flat, optimum_flat);
+  const double norm = diff.L2Norm();
+  return norm * norm;
+}
+
+double AccuracyFromLogits(const Tensor& logits,
+                          const std::vector<int64_t>& labels) {
+  GEODP_CHECK_EQ(logits.ndim(), 2);
+  GEODP_CHECK_EQ(static_cast<size_t>(logits.dim(0)), labels.size());
+  const std::vector<int64_t> predictions = ArgMaxRows(logits);
+  int64_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace geodp

@@ -1,0 +1,34 @@
+// Experiment metrics: direction / gradient MSE (paper Def. 4), model
+// efficiency (Def. 3) and classification accuracy.
+
+#ifndef GEODP_STATS_METRICS_H_
+#define GEODP_STATS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/spherical.h"
+#include "tensor/tensor.h"
+
+namespace geodp {
+
+/// Mean squared L2 distance between perturbed and original angle vectors
+/// over a set of trials (paper Def. 4).
+double DirectionMse(const std::vector<SphericalCoordinates>& original,
+                    const std::vector<SphericalCoordinates>& perturbed);
+
+/// Mean squared L2 distance between perturbed and original gradients.
+double GradientMse(const std::vector<Tensor>& original,
+                   const std::vector<Tensor>& perturbed);
+
+/// Model efficiency (Def. 3): squared distance of a model to a reference
+/// optimum in flat parameter space.
+double ModelEfficiency(const Tensor& model_flat, const Tensor& optimum_flat);
+
+/// Fraction of correct argmax predictions given logits [B, K] and labels.
+double AccuracyFromLogits(const Tensor& logits,
+                          const std::vector<int64_t>& labels);
+
+}  // namespace geodp
+
+#endif  // GEODP_STATS_METRICS_H_

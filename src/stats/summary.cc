@@ -1,0 +1,38 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geodp {
+
+void RunningStat::Add(double value) {
+  ++count_;
+  if (count_ == 1) {
+    mean_ = value;
+    min_ = value;
+    max_ = value;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double RunningStat::mean() const { return mean_; }
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::stderr_mean() const {
+  if (count_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+}  // namespace geodp

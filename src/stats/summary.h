@@ -1,0 +1,37 @@
+// Streaming summary statistics (Welford) for aggregating repeated trials.
+
+#ifndef GEODP_STATS_SUMMARY_H_
+#define GEODP_STATS_SUMMARY_H_
+
+#include <cstdint>
+
+namespace geodp {
+
+/// Online mean / variance accumulator.
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance (0 when fewer than 2 samples).
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean (0 when fewer than 2 samples).
+  double stderr_mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_STATS_SUMMARY_H_

@@ -1,0 +1,42 @@
+// ASCII table / CSV reporter used by every benchmark binary so the output
+// mirrors the paper's tables and figure series.
+
+#ifndef GEODP_STATS_TABLE_H_
+#define GEODP_STATS_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace geodp {
+
+/// Collects rows of string cells and renders them aligned or as CSV.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (helper for callers).
+  static std::string Fmt(double value, int precision = 4);
+
+  /// Scientific notation helper.
+  static std::string FmtSci(double value, int precision = 3);
+
+  /// Renders an aligned ASCII table.
+  void Print(std::ostream& out) const;
+
+  /// Renders comma-separated values (header row first).
+  void PrintCsv(std::ostream& out) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_STATS_TABLE_H_

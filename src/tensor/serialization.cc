@@ -1,0 +1,94 @@
+#include "tensor/serialization.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace geodp {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'D', 'P', 'T'};
+constexpr uint32_t kVersion = 1;
+// Refuses absurd inputs so a corrupt header cannot trigger huge allocations.
+constexpr uint32_t kMaxDims = 16;
+constexpr int64_t kMaxElements = int64_t{1} << 34;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status WriteTensor(const Tensor& tensor, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  const uint32_t ndim = static_cast<uint32_t>(tensor.ndim());
+  WritePod(out, ndim);
+  for (int i = 0; i < tensor.ndim(); ++i) {
+    WritePod(out, static_cast<int64_t>(tensor.dim(i)));
+  }
+  out.write(reinterpret_cast<const char*>(tensor.data()),
+            static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  if (!out.good()) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+StatusOr<Tensor> ReadTensor(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad tensor magic");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported tensor version");
+  }
+  uint32_t ndim = 0;
+  if (!ReadPod(in, &ndim) || ndim > kMaxDims) {
+    return Status::InvalidArgument("bad tensor rank");
+  }
+  std::vector<int64_t> shape(ndim);
+  int64_t numel = 1;
+  for (uint32_t i = 0; i < ndim; ++i) {
+    if (!ReadPod(in, &shape[i]) || shape[i] <= 0) {
+      return Status::InvalidArgument("bad tensor extent");
+    }
+    numel *= shape[i];
+    if (numel > kMaxElements) {
+      return Status::InvalidArgument("tensor too large");
+    }
+  }
+  std::vector<float> data(static_cast<size_t>(numel));
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!in.good() && !(in.eof() && in.gcount() ==
+                          static_cast<std::streamsize>(data.size() *
+                                                       sizeof(float)))) {
+    return Status::InvalidArgument("truncated tensor data");
+  }
+  return Tensor::FromVector(std::move(shape), std::move(data));
+}
+
+Status SaveTensorToFile(const Tensor& tensor, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open for write: " + path);
+  return WriteTensor(tensor, out);
+}
+
+StatusOr<Tensor> LoadTensorFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open for read: " + path);
+  return ReadTensor(in);
+}
+
+}  // namespace geodp

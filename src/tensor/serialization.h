@@ -1,0 +1,28 @@
+// Binary serialization of tensors: a small versioned little-endian format
+// ("GDPT"): magic, version, ndim, extents, raw float32 data. Used by model
+// checkpoints and by experiment result caching.
+
+#ifndef GEODP_TENSOR_SERIALIZATION_H_
+#define GEODP_TENSOR_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "base/status.h"
+#include "tensor/tensor.h"
+
+namespace geodp {
+
+/// Writes the tensor to the stream. Returns non-OK on stream failure.
+Status WriteTensor(const Tensor& tensor, std::ostream& out);
+
+/// Reads a tensor previously written by WriteTensor.
+StatusOr<Tensor> ReadTensor(std::istream& in);
+
+/// Convenience file round-trips.
+Status SaveTensorToFile(const Tensor& tensor, const std::string& path);
+StatusOr<Tensor> LoadTensorFromFile(const std::string& path);
+
+}  // namespace geodp
+
+#endif  // GEODP_TENSOR_SERIALIZATION_H_

@@ -1,0 +1,152 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+
+namespace geodp {
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.AddInPlace(b);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.SubInPlace(b);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  GEODP_CHECK(SameShape(a, b));
+  Tensor out = a;
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] *= b[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float factor) {
+  Tensor out = a;
+  out.ScaleInPlace(factor);
+  return out;
+}
+
+double Dot(const Tensor& a, const Tensor& b) {
+  GEODP_CHECK_EQ(a.numel(), b.numel());
+  double sum = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    sum += static_cast<double>(a[i]) * b[i];
+  }
+  return sum;
+}
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  GEODP_CHECK_EQ(a.ndim(), 2);
+  GEODP_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  GEODP_CHECK_EQ(k, b.dim(0));
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // i-k-j loop order keeps the inner loop contiguous in b and out.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatVec(const Tensor& a, const Tensor& x) {
+  GEODP_CHECK_EQ(a.ndim(), 2);
+  GEODP_CHECK_EQ(x.ndim(), 1);
+  const int64_t m = a.dim(0), k = a.dim(1);
+  GEODP_CHECK_EQ(k, x.dim(0));
+  Tensor out({m});
+  for (int64_t i = 0; i < m; ++i) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < k; ++j) {
+      sum += static_cast<double>(a[i * k + j]) * x[j];
+    }
+    out[i] = static_cast<float>(sum);
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  GEODP_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
+  }
+  return out;
+}
+
+std::vector<int64_t> ArgMaxRows(const Tensor& a) {
+  GEODP_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  std::vector<int64_t> result(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    int64_t best = 0;
+    float best_value = a[i * n];
+    for (int64_t j = 1; j < n; ++j) {
+      if (a[i * n + j] > best_value) {
+        best_value = a[i * n + j];
+        best = j;
+      }
+    }
+    result[static_cast<size_t>(i)] = best;
+  }
+  return result;
+}
+
+double Mean(const Tensor& a) {
+  GEODP_CHECK_GT(a.numel(), 0);
+  return a.Sum() / static_cast<double>(a.numel());
+}
+
+double MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  GEODP_CHECK(SameShape(a, b));
+  double max_diff = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(static_cast<double>(a[i]) - b[i]));
+  }
+  return max_diff;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, double rtol, double atol) {
+  if (!SameShape(a, b)) return false;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double diff = std::fabs(static_cast<double>(a[i]) - b[i]);
+    if (diff > atol + rtol * std::fabs(static_cast<double>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Tensor Concat1D(const std::vector<Tensor>& parts) {
+  int64_t total = 0;
+  for (const Tensor& p : parts) total += p.numel();
+  Tensor out({std::max<int64_t>(total, 1)});
+  if (total == 0) return Tensor::Vector({});
+  int64_t offset = 0;
+  for (const Tensor& p : parts) {
+    for (int64_t i = 0; i < p.numel(); ++i) out[offset + i] = p[i];
+    offset += p.numel();
+  }
+  return out;
+}
+
+double CosineSimilarity(const Tensor& a, const Tensor& b) {
+  const double na = a.L2Norm();
+  const double nb = b.L2Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+}  // namespace geodp

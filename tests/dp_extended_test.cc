@@ -1,0 +1,124 @@
+// Tests for the extended DP substrate: analytic Gaussian mechanism,
+// budget-first calibration and the privacy ledger.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dp/analytic_gaussian.h"
+#include "dp/calibration.h"
+#include "dp/gaussian_mechanism.h"
+#include "dp/privacy_ledger.h"
+
+namespace geodp {
+namespace {
+
+TEST(AnalyticGaussianTest, StandardNormalCdfAnchors) {
+  EXPECT_NEAR(StandardNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StandardNormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(StandardNormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(AnalyticGaussianTest, DeltaDecreasesWithSigma) {
+  const double d1 = AnalyticGaussianDelta(0.5, 1.0);
+  const double d2 = AnalyticGaussianDelta(1.0, 1.0);
+  const double d3 = AnalyticGaussianDelta(4.0, 1.0);
+  EXPECT_GT(d1, d2);
+  EXPECT_GT(d2, d3);
+}
+
+TEST(AnalyticGaussianTest, DeltaDecreasesWithEpsilon) {
+  EXPECT_GT(AnalyticGaussianDelta(1.0, 0.5), AnalyticGaussianDelta(1.0, 2.0));
+}
+
+TEST(AnalyticGaussianTest, SigmaSolverRoundTrips) {
+  for (double eps : {0.5, 1.0, 4.0}) {
+    for (double delta : {1e-3, 1e-5, 1e-7}) {
+      const double sigma = AnalyticGaussianSigma(eps, delta);
+      EXPECT_NEAR(AnalyticGaussianDelta(sigma, eps), delta, delta * 0.05)
+          << "eps=" << eps << " delta=" << delta;
+    }
+  }
+}
+
+TEST(AnalyticGaussianTest, TighterThanClassicCalibration) {
+  // The analytic mechanism never needs more noise than the classic bound
+  // (valid for eps <= 1).
+  for (double eps : {0.1, 0.5, 1.0}) {
+    const double classic = GaussianSigmaForEpsilonDelta(eps, 1e-5);
+    const double analytic = AnalyticGaussianSigma(eps, 1e-5);
+    EXPECT_LE(analytic, classic * 1.001) << "eps=" << eps;
+  }
+}
+
+TEST(CalibrationTest, EpsilonMonotoneInSigma) {
+  const double hi = TrainingRunEpsilon(0.5, 0.01, 500, 1e-5);
+  const double lo = TrainingRunEpsilon(4.0, 0.01, 500, 1e-5);
+  EXPECT_GT(hi, lo);
+}
+
+TEST(CalibrationTest, SolverHitsTarget) {
+  const double target = 4.0;
+  const double sigma =
+      NoiseMultiplierForTargetEpsilon(target, 1e-5, 0.02, 800);
+  const double achieved = TrainingRunEpsilon(sigma, 0.02, 800, 1e-5);
+  EXPECT_LE(achieved, target * 1.001);
+  // Not grossly over-noised: a slightly smaller sigma would violate it.
+  const double relaxed = TrainingRunEpsilon(sigma * 0.98, 0.02, 800, 1e-5);
+  EXPECT_GT(relaxed, target * 0.98);
+}
+
+TEST(CalibrationTest, TighterBudgetNeedsMoreNoise) {
+  const double sigma_tight =
+      NoiseMultiplierForTargetEpsilon(1.0, 1e-5, 0.01, 500);
+  const double sigma_loose =
+      NoiseMultiplierForTargetEpsilon(8.0, 1e-5, 0.01, 500);
+  EXPECT_GT(sigma_tight, sigma_loose);
+}
+
+TEST(PrivacyLedgerTest, CountsReleases) {
+  PrivacyLedger ledger;
+  ledger.RecordSubsampledGaussian(1.0, 0.01, 100, "training");
+  ledger.RecordGaussian(2.0, 1, "final release");
+  ledger.RecordLaplace(0.1, 2, "hyperparameter queries");
+  EXPECT_EQ(ledger.events().size(), 3u);
+  EXPECT_EQ(ledger.TotalReleases(), 103);
+}
+
+TEST(PrivacyLedgerTest, ComposedGuaranteeMatchesAccountant) {
+  PrivacyLedger ledger;
+  ledger.RecordSubsampledGaussian(1.0, 0.01, 200);
+  const PrivacyGuarantee guarantee = ledger.ComposedGuarantee(1e-5);
+  EXPECT_NEAR(guarantee.epsilon, TrainingRunEpsilon(1.0, 0.01, 200, 1e-5),
+              1e-9);
+  EXPECT_DOUBLE_EQ(guarantee.delta, 1e-5);
+}
+
+TEST(PrivacyLedgerTest, LaplaceAddsPureEpsilon) {
+  PrivacyLedger ledger;
+  ledger.RecordLaplace(0.25, 4);
+  const PrivacyGuarantee guarantee = ledger.ComposedGuarantee(1e-5);
+  EXPECT_NEAR(guarantee.epsilon, 1.0, 1e-12);
+  EXPECT_EQ(guarantee.delta, 0.0);  // pure epsilon-DP, no Gaussian events
+}
+
+TEST(PrivacyLedgerTest, MixedEventsCompose) {
+  PrivacyLedger ledger;
+  ledger.RecordSubsampledGaussian(2.0, 0.01, 100);
+  ledger.RecordLaplace(0.5, 1);
+  const PrivacyGuarantee guarantee = ledger.ComposedGuarantee(1e-5);
+  EXPECT_NEAR(guarantee.epsilon,
+              TrainingRunEpsilon(2.0, 0.01, 100, 1e-5) + 0.5, 1e-9);
+}
+
+TEST(PrivacyLedgerTest, ReportMentionsEventsAndGuarantee) {
+  PrivacyLedger ledger;
+  ledger.RecordSubsampledGaussian(1.0, 0.05, 10, "demo");
+  const std::string report = ledger.Report(1e-5);
+  EXPECT_NE(report.find("subsampled-gaussian"), std::string::npos);
+  EXPECT_NE(report.find("demo"), std::string::npos);
+  EXPECT_NE(report.find(")-DP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geodp

@@ -1,0 +1,105 @@
+// Tests for the command-line flag parser.
+
+#include <gtest/gtest.h>
+
+#include "base/flags.h"
+
+namespace geodp {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser flags;
+  flags.AddString("name", "default", "a string");
+  flags.AddInt("count", 7, "an int");
+  flags.AddDouble("rate", 0.5, "a double");
+  flags.AddBool("verbose", false, "a bool");
+  return flags;
+}
+
+TEST(FlagParserTest, DefaultsApplyWithoutArguments) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, argv).ok());
+  EXPECT_EQ(flags.GetString("name"), "default");
+  EXPECT_EQ(flags.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.5);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--name=abc", "--count=42", "--rate=1.25",
+                        "--verbose=true"};
+  ASSERT_TRUE(flags.Parse(5, argv).ok());
+  EXPECT_EQ(flags.GetString("name"), "abc");
+  EXPECT_EQ(flags.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 1.25);
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--count", "13", "--name", "xyz"};
+  ASSERT_TRUE(flags.Parse(5, argv).ok());
+  EXPECT_EQ(flags.GetInt("count"), 13);
+  EXPECT_EQ(flags.GetString("name"), "xyz");
+}
+
+TEST(FlagParserTest, BareBooleanSetsTrue) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "cmd", "--count=1", "extra"};
+  ASSERT_TRUE(flags.Parse(4, argv).ok());
+  ASSERT_EQ(flags.positional_arguments().size(), 2u);
+  EXPECT_EQ(flags.positional_arguments()[0], "cmd");
+  EXPECT_EQ(flags.positional_arguments()[1], "extra");
+}
+
+TEST(FlagParserTest, UnknownFlagFails) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  const Status status = flags.Parse(2, argv);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, MalformedValuesFail) {
+  {
+    FlagParser flags = MakeParser();
+    const char* argv[] = {"prog", "--count=abc"};
+    EXPECT_FALSE(flags.Parse(2, argv).ok());
+  }
+  {
+    FlagParser flags = MakeParser();
+    const char* argv[] = {"prog", "--rate=zz"};
+    EXPECT_FALSE(flags.Parse(2, argv).ok());
+  }
+  {
+    FlagParser flags = MakeParser();
+    const char* argv[] = {"prog", "--verbose=maybe"};
+    EXPECT_FALSE(flags.Parse(2, argv).ok());
+  }
+}
+
+TEST(FlagParserTest, MissingTrailingValueFails) {
+  FlagParser flags = MakeParser();
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagParserTest, HelpTextListsFlags) {
+  FlagParser flags = MakeParser();
+  const std::string help = flags.HelpText();
+  EXPECT_NE(help.find("--name"), std::string::npos);
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("a double"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geodp

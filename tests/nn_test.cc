@@ -1,0 +1,404 @@
+// Tests for the NN layer framework: forward correctness on known values and
+// finite-difference gradient checks for every layer.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/flatten.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/parameter.h"
+#include "nn/pooling.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace geodp {
+namespace {
+
+using testing_util::CheckGradients;
+
+TEST(ParameterTest, FlattenRoundTrip) {
+  Rng rng(1);
+  Parameter a("a", Tensor::Randn({2, 3}, rng));
+  Parameter b("b", Tensor::Randn({4}, rng));
+  std::vector<Parameter*> params = {&a, &b};
+  EXPECT_EQ(TotalParameterCount(params), 10);
+  const Tensor flat = FlattenValues(params);
+  Parameter a2("a", Tensor::Zeros({2, 3}));
+  Parameter b2("b", Tensor::Zeros({4}));
+  std::vector<Parameter*> params2 = {&a2, &b2};
+  SetValuesFromFlat(params2, flat);
+  EXPECT_TRUE(AllClose(a2.value, a.value));
+  EXPECT_TRUE(AllClose(b2.value, b.value));
+}
+
+TEST(ParameterTest, ApplyFlatUpdate) {
+  Parameter a("a", Tensor::Vector({1, 2}));
+  std::vector<Parameter*> params = {&a};
+  ApplyFlatUpdate(params, Tensor::Vector({10, 20}), 0.1);
+  EXPECT_NEAR(a.value[0], 0.0f, 1e-6);
+  EXPECT_NEAR(a.value[1], 0.0f, 1e-6);
+}
+
+TEST(ParameterTest, ZeroGradients) {
+  Parameter a("a", Tensor::Vector({1}));
+  a.grad[0] = 5.0f;
+  std::vector<Parameter*> params = {&a};
+  ZeroGradients(params);
+  EXPECT_EQ(a.grad[0], 0.0f);
+}
+
+TEST(InitTest, KaimingBound) {
+  Rng rng(2);
+  const Tensor w = KaimingUniform({100, 50}, 50, rng);
+  const float bound = std::sqrt(6.0f / 50.0f);
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_GE(w[i], -bound);
+    EXPECT_LT(w[i], bound);
+  }
+}
+
+TEST(InitTest, XavierBound) {
+  Rng rng(3);
+  const Tensor w = XavierUniform({20, 30}, 30, 20, rng);
+  const float bound = std::sqrt(6.0f / 50.0f);
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_GE(w[i], -bound);
+    EXPECT_LT(w[i], bound);
+  }
+}
+
+TEST(LinearTest, ForwardKnownValues) {
+  Rng rng(4);
+  Linear layer(2, 2, rng);
+  layer.weight().value = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  layer.bias().value = Tensor::Vector({0.5f, -0.5f});
+  const Tensor x = Tensor::FromVector({1, 2}, {1, 1});
+  const Tensor y = layer.Forward(x);
+  EXPECT_NEAR(y[0], 3.5f, 1e-6);  // 1*1 + 2*1 + 0.5
+  EXPECT_NEAR(y[1], 6.5f, 1e-6);  // 3*1 + 4*1 - 0.5
+}
+
+TEST(LinearTest, GradientCheck) {
+  Rng rng(5);
+  Linear layer(5, 3, rng);
+  const Tensor x = Tensor::Randn({4, 5}, rng);
+  const auto result = CheckGradients(layer, x, rng);
+  EXPECT_LT(result.max_input_error, 1e-2);
+  EXPECT_LT(result.max_param_error, 1e-2);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(6);
+  Linear layer(3, 2, rng, /*with_bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+  const Tensor x = Tensor::Randn({2, 3}, rng);
+  const auto result = CheckGradients(layer, x, rng);
+  EXPECT_LT(result.max_param_error, 1e-2);
+}
+
+TEST(Conv2dTest, ForwardIdentityKernel) {
+  Rng rng(7);
+  Conv2d layer(1, 1, 1, rng, /*padding=*/0);
+  layer.Parameters()[0]->value.Fill(1.0f);  // 1x1 kernel of 1
+  layer.Parameters()[1]->value.Fill(0.0f);
+  const Tensor x = Tensor::Randn({1, 1, 4, 4}, rng);
+  const Tensor y = layer.Forward(x);
+  EXPECT_TRUE(AllClose(y, x));
+}
+
+TEST(Conv2dTest, ForwardKnownSum) {
+  Rng rng(8);
+  Conv2d layer(1, 1, 3, rng, /*padding=*/0);
+  layer.Parameters()[0]->value.Fill(1.0f);  // 3x3 box filter
+  layer.Parameters()[1]->value.Fill(0.0f);
+  Tensor x = Tensor::Full({1, 1, 3, 3}, 2.0f);
+  const Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.numel(), 1);
+  EXPECT_NEAR(y[0], 18.0f, 1e-5);
+}
+
+TEST(Conv2dTest, PaddingKeepsSize) {
+  Rng rng(9);
+  Conv2d layer(2, 3, 3, rng, /*padding=*/1);
+  const Tensor x = Tensor::Randn({2, 2, 6, 6}, rng);
+  const Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 3);
+  EXPECT_EQ(y.dim(2), 6);
+  EXPECT_EQ(y.dim(3), 6);
+}
+
+TEST(Conv2dTest, GradientCheckNoPadding) {
+  Rng rng(10);
+  Conv2d layer(2, 2, 3, rng, /*padding=*/0);
+  const Tensor x = Tensor::Randn({2, 2, 5, 5}, rng);
+  const auto result = CheckGradients(layer, x, rng);
+  EXPECT_LT(result.max_input_error, 2e-2);
+  EXPECT_LT(result.max_param_error, 2e-2);
+}
+
+TEST(Conv2dTest, GradientCheckWithPadding) {
+  Rng rng(11);
+  Conv2d layer(1, 2, 3, rng, /*padding=*/1);
+  const Tensor x = Tensor::Randn({1, 1, 4, 4}, rng);
+  const auto result = CheckGradients(layer, x, rng);
+  EXPECT_LT(result.max_input_error, 2e-2);
+  EXPECT_LT(result.max_param_error, 2e-2);
+}
+
+TEST(MaxPoolTest, ForwardSelectsMax) {
+  MaxPool2d pool(2);
+  const Tensor x = Tensor::FromVector({1, 1, 2, 2}, {1, 5, 3, 2});
+  const Tensor y = pool.Forward(x);
+  EXPECT_EQ(y.numel(), 1);
+  EXPECT_EQ(y[0], 5.0f);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  const Tensor x = Tensor::FromVector({1, 1, 2, 2}, {1, 5, 3, 2});
+  pool.Forward(x);
+  const Tensor gy = Tensor::FromVector({1, 1, 1, 1}, {7});
+  const Tensor gx = pool.Backward(gy);
+  EXPECT_EQ(gx[0], 0.0f);
+  EXPECT_EQ(gx[1], 7.0f);
+  EXPECT_EQ(gx[2], 0.0f);
+}
+
+TEST(MaxPoolTest, GradientCheck) {
+  Rng rng(12);
+  MaxPool2d pool(2);
+  const Tensor x = Tensor::Randn({2, 2, 4, 4}, rng);
+  const auto result = CheckGradients(pool, x, rng, /*epsilon=*/1e-4);
+  EXPECT_LT(result.max_input_error, 5e-2);
+}
+
+TEST(AvgPool2dTest, ForwardAveragesWindows) {
+  AvgPool2d pool(2);
+  const Tensor x = Tensor::FromVector({1, 1, 2, 4}, {1, 3, 5, 7, 2, 4, 6, 8});
+  const Tensor y = pool.Forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{1, 1, 1, 2}));
+  EXPECT_NEAR(y[0], 2.5f, 1e-6);  // mean of {1, 3, 2, 4}
+  EXPECT_NEAR(y[1], 6.5f, 1e-6);  // mean of {5, 7, 6, 8}
+}
+
+TEST(AvgPool2dTest, BackwardSpreadsUniformly) {
+  AvgPool2d pool(2);
+  Rng rng(99);
+  const Tensor x = Tensor::Randn({1, 1, 2, 2}, rng);  // any values
+  pool.Forward(x);
+  const Tensor gy = Tensor::FromVector({1, 1, 1, 1}, {8});
+  const Tensor gx = pool.Backward(gy);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_NEAR(gx[i], 2.0f, 1e-6);
+}
+
+TEST(AvgPool2dTest, GradientCheck) {
+  Rng rng(100);
+  AvgPool2d pool(2);
+  const Tensor x = Tensor::Randn({2, 3, 4, 4}, rng);
+  const auto result = CheckGradients(pool, x, rng);
+  EXPECT_LT(result.max_input_error, 1e-2);
+}
+
+TEST(AvgPool2dTest, WindowOneIsIdentity) {
+  Rng rng(101);
+  AvgPool2d pool(1);
+  const Tensor x = Tensor::Randn({1, 2, 3, 3}, rng);
+  EXPECT_TRUE(AllClose(pool.Forward(x), x));
+}
+
+TEST(GlobalAvgPoolTest, ForwardAveragesPlane) {
+  GlobalAvgPool pool;
+  const Tensor x = Tensor::FromVector({1, 2, 2, 2}, {1, 2, 3, 4, 8, 8, 8, 8});
+  const Tensor y = pool.Forward(x);
+  EXPECT_EQ(y.dim(1), 2);
+  EXPECT_NEAR(y[0], 2.5f, 1e-6);
+  EXPECT_NEAR(y[1], 8.0f, 1e-6);
+}
+
+TEST(GlobalAvgPoolTest, GradientCheck) {
+  Rng rng(13);
+  GlobalAvgPool pool;
+  const Tensor x = Tensor::Randn({2, 3, 4, 4}, rng);
+  const auto result = CheckGradients(pool, x, rng);
+  EXPECT_LT(result.max_input_error, 1e-2);
+}
+
+TEST(ReLUTest, ForwardZeroesNegatives) {
+  ReLU relu;
+  const Tensor x = Tensor::Vector({-1, 0, 2});
+  const Tensor y = relu.Forward(x);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+}
+
+TEST(ReLUTest, GradientCheck) {
+  Rng rng(14);
+  ReLU relu;
+  // Keep inputs away from the kink for a clean finite-difference check.
+  Tensor x = Tensor::Randn({3, 7}, rng);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x[i]) < 0.05f) x[i] = 0.5f;
+  }
+  const auto result = CheckGradients(relu, x, rng, /*epsilon=*/1e-3);
+  EXPECT_LT(result.max_input_error, 1e-2);
+}
+
+TEST(TanhTest, GradientCheck) {
+  Rng rng(15);
+  Tanh tanh_layer;
+  const Tensor x = Tensor::Randn({3, 5}, rng);
+  const auto result = CheckGradients(tanh_layer, x, rng);
+  EXPECT_LT(result.max_input_error, 1e-2);
+}
+
+TEST(FlattenTest, RoundTripShapes) {
+  Flatten flatten;
+  Rng rng(16);
+  const Tensor x = Tensor::Randn({2, 3, 4, 5}, rng);
+  const Tensor y = flatten.Forward(x);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 60);
+  const Tensor gx = flatten.Backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogK) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits({2, 4});
+  const double value = loss.Forward(logits, {0, 3});
+  EXPECT_NEAR(value, std::log(4.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, ProbabilitiesSumToOne) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(17);
+  const Tensor logits = Tensor::Randn({3, 5}, rng, 3.0f);
+  loss.Forward(logits, {0, 1, 2});
+  const Tensor& probs = loss.probabilities();
+  for (int64_t b = 0; b < 3; ++b) {
+    double row = 0.0;
+    for (int64_t k = 0; k < 5; ++k) row += probs[b * 5 + k];
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientRowsSumToZero) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(18);
+  const Tensor logits = Tensor::Randn({4, 6}, rng);
+  loss.Forward(logits, {0, 1, 2, 3});
+  const Tensor grad = loss.Backward();
+  for (int64_t b = 0; b < 4; ++b) {
+    double row = 0.0;
+    for (int64_t k = 0; k < 6; ++k) row += grad[b * 6 + k];
+    EXPECT_NEAR(row, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, NumericalGradient) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(19);
+  Tensor logits = Tensor::Randn({2, 3}, rng);
+  const std::vector<int64_t> labels = {1, 2};
+  loss.Forward(logits, labels);
+  const Tensor analytic = loss.Backward();
+  const double eps = 1e-3;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + static_cast<float>(eps);
+    const double up = loss.Forward(logits, labels);
+    logits[i] = saved - static_cast<float>(eps);
+    const double down = loss.Forward(logits, labels);
+    logits[i] = saved;
+    EXPECT_NEAR((up - down) / (2 * eps), analytic[i], 1e-3);
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, ExtremLogitsAreStable) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits = Tensor::FromVector({1, 3}, {1000.0f, -1000.0f, 0.0f});
+  const double value = loss.Forward(logits, {0});
+  EXPECT_NEAR(value, 0.0, 1e-6);
+  EXPECT_TRUE(std::isfinite(loss.Forward(logits, {1})));
+}
+
+TEST(MeanSquaredErrorTest, KnownValueAndGradient) {
+  MeanSquaredError mse;
+  const Tensor pred = Tensor::Vector({1, 2});
+  const Tensor target = Tensor::Vector({0, 0});
+  EXPECT_NEAR(mse.Forward(pred, target), 2.5, 1e-6);
+  const Tensor grad = mse.Backward();
+  EXPECT_NEAR(grad[0], 1.0f, 1e-6);  // 2*(1-0)/2
+  EXPECT_NEAR(grad[1], 2.0f, 1e-6);
+}
+
+TEST(SequentialTest, ChainsLayers) {
+  Rng rng(20);
+  Sequential net("test");
+  net.Emplace<Linear>(4, 3, rng);
+  net.Emplace<ReLU>();
+  net.Emplace<Linear>(3, 2, rng);
+  EXPECT_EQ(net.size(), 3u);
+  EXPECT_EQ(net.Parameters().size(), 4u);
+  const Tensor x = Tensor::Randn({5, 4}, rng);
+  const Tensor y = net.Forward(x);
+  EXPECT_EQ(y.dim(1), 2);
+}
+
+TEST(SequentialTest, GradientCheck) {
+  Rng rng(21);
+  Sequential net;
+  net.Emplace<Linear>(4, 6, rng);
+  net.Emplace<Tanh>();
+  net.Emplace<Linear>(6, 2, rng);
+  const Tensor x = Tensor::Randn({3, 4}, rng);
+  const auto result = CheckGradients(net, x, rng);
+  EXPECT_LT(result.max_input_error, 2e-2);
+  EXPECT_LT(result.max_param_error, 2e-2);
+}
+
+TEST(ResidualBlockTest, PreservesShape) {
+  Rng rng(22);
+  ResidualBlock block(4, rng);
+  const Tensor x = Tensor::Randn({2, 4, 6, 6}, rng);
+  const Tensor y = block.Forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(ResidualBlockTest, HasTwoConvsOfParameters) {
+  Rng rng(23);
+  ResidualBlock block(4, rng);
+  EXPECT_EQ(block.Parameters().size(), 4u);  // two convs x (weight, bias)
+}
+
+TEST(ResidualBlockTest, GradientCheck) {
+  Rng rng(24);
+  ResidualBlock block(2, rng);
+  const Tensor x = Tensor::Randn({1, 2, 4, 4}, rng);
+  const auto result = CheckGradients(block, x, rng, /*epsilon=*/1e-3);
+  EXPECT_LT(result.max_input_error, 5e-2);
+  EXPECT_LT(result.max_param_error, 5e-2);
+}
+
+TEST(ResidualBlockTest, IdentityPathDominatesWithZeroWeights) {
+  Rng rng(25);
+  ResidualBlock block(2, rng);
+  for (Parameter* p : block.Parameters()) p->value.Fill(0.0f);
+  Tensor x = Tensor::Full({1, 2, 4, 4}, 1.5f);
+  const Tensor y = block.Forward(x);
+  // F(x) = 0, so out = ReLU(x) = x for positive x.
+  EXPECT_TRUE(AllClose(y, x));
+}
+
+}  // namespace
+}  // namespace geodp

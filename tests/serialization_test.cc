@@ -1,0 +1,154 @@
+// Tests for tensor serialization and model checkpoints.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "models/cnn.h"
+#include "models/mlp.h"
+#include "nn/checkpoint.h"
+#include "nn/parameter.h"
+#include "tensor/serialization.h"
+#include "tensor/tensor_ops.h"
+
+namespace geodp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TensorSerializationTest, StreamRoundTrip) {
+  Rng rng(1);
+  const Tensor original = Tensor::Randn({3, 4, 5}, rng);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTensor(original, buffer).ok());
+  StatusOr<Tensor> restored = ReadTensor(buffer);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().shape(), original.shape());
+  EXPECT_TRUE(AllClose(restored.value(), original, 0.0, 0.0));
+}
+
+TEST(TensorSerializationTest, MultipleTensorsInOneStream) {
+  Rng rng(2);
+  const Tensor a = Tensor::Randn({4}, rng);
+  const Tensor b = Tensor::Randn({2, 2}, rng);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTensor(a, buffer).ok());
+  ASSERT_TRUE(WriteTensor(b, buffer).ok());
+  StatusOr<Tensor> ra = ReadTensor(buffer);
+  StatusOr<Tensor> rb = ReadTensor(buffer);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_TRUE(AllClose(ra.value(), a, 0.0, 0.0));
+  EXPECT_TRUE(AllClose(rb.value(), b, 0.0, 0.0));
+}
+
+TEST(TensorSerializationTest, RejectsGarbage) {
+  std::stringstream buffer;
+  buffer << "this is not a tensor";
+  StatusOr<Tensor> restored = ReadTensor(buffer);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TensorSerializationTest, RejectsTruncatedData) {
+  Rng rng(3);
+  const Tensor original = Tensor::Randn({64}, rng);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTensor(original, buffer).ok());
+  const std::string bytes = buffer.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(ReadTensor(truncated).ok());
+}
+
+TEST(TensorSerializationTest, FileRoundTrip) {
+  Rng rng(4);
+  const Tensor original = Tensor::Randn({7, 3}, rng);
+  const std::string path = TempPath("tensor.gdpt");
+  ASSERT_TRUE(SaveTensorToFile(original, path).ok());
+  StatusOr<Tensor> restored = LoadTensorFromFile(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(AllClose(restored.value(), original, 0.0, 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(TensorSerializationTest, MissingFileFails) {
+  StatusOr<Tensor> restored = LoadTensorFromFile("/nonexistent/path.gdpt");
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, CnnRoundTrip) {
+  Rng rng(5);
+  CnnConfig config;
+  config.image_size = 8;
+  auto model = MakeCnn(config, rng);
+  const std::string path = TempPath("cnn.gdpc");
+  ASSERT_TRUE(SaveCheckpoint(*model, path).ok());
+
+  Rng rng2(999);  // different init
+  auto restored = MakeCnn(config, rng2);
+  EXPECT_FALSE(AllClose(FlattenValues(restored->Parameters()),
+                        FlattenValues(model->Parameters())));
+  ASSERT_TRUE(LoadCheckpoint(*restored, path).ok());
+  EXPECT_TRUE(AllClose(FlattenValues(restored->Parameters()),
+                       FlattenValues(model->Parameters()), 0.0, 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RestoredModelComputesSameOutput) {
+  Rng rng(6);
+  MlpConfig config;
+  config.input_dim = 16;
+  config.hidden_dims = {8};
+  config.num_classes = 4;
+  auto model = MakeMlp(config, rng);
+  const std::string path = TempPath("mlp.gdpc");
+  ASSERT_TRUE(SaveCheckpoint(*model, path).ok());
+
+  Rng rng2(7);
+  auto restored = MakeMlp(config, rng2);
+  ASSERT_TRUE(LoadCheckpoint(*restored, path).ok());
+  const Tensor x = Tensor::Randn({3, 1, 4, 4}, rng);
+  EXPECT_TRUE(AllClose(restored->Forward(x), model->Forward(x)));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, StructureMismatchFails) {
+  Rng rng(8);
+  MlpConfig small, large;
+  small.input_dim = 16;
+  small.hidden_dims = {8};
+  large.input_dim = 16;
+  large.hidden_dims = {8, 8};
+  auto model = MakeMlp(small, rng);
+  const std::string path = TempPath("mismatch.gdpc");
+  ASSERT_TRUE(SaveCheckpoint(*model, path).ok());
+  auto other = MakeMlp(large, rng);
+  const Status status = LoadCheckpoint(*other, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ShapeMismatchFails) {
+  Rng rng(9);
+  MlpConfig a, b;
+  a.input_dim = 16;
+  a.hidden_dims = {8};
+  b.input_dim = 16;
+  b.hidden_dims = {12};  // same structure, different width
+  auto model = MakeMlp(a, rng);
+  const std::string path = TempPath("shape.gdpc");
+  ASSERT_TRUE(SaveCheckpoint(*model, path).ok());
+  auto other = MakeMlp(b, rng);
+  EXPECT_FALSE(LoadCheckpoint(*other, path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace geodp

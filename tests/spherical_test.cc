@@ -1,0 +1,171 @@
+// Tests for the hyper-spherical coordinate system (paper Eq. 24-27),
+// including parameterized round-trip property sweeps across dimensions.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/spherical.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace geodp {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(SphericalTest, TwoDimensionalKnownAngles) {
+  // Paper Example 1: g = (1, sqrt(3)) has theta = pi/3, ||g|| = 2.
+  const Tensor g = Tensor::Vector({1.0f, static_cast<float>(std::sqrt(3.0))});
+  const SphericalCoordinates c = ToSpherical(g);
+  EXPECT_NEAR(c.magnitude, 2.0, 1e-6);
+  ASSERT_EQ(c.angles.size(), 1u);
+  EXPECT_NEAR(c.angles[0], kPi / 3.0, 1e-6);
+}
+
+TEST(SphericalTest, TwoDimensionalQuadrants) {
+  EXPECT_NEAR(ToSpherical(Tensor::Vector({1, 0})).angles[0], 0.0, 1e-9);
+  EXPECT_NEAR(ToSpherical(Tensor::Vector({0, 1})).angles[0], kPi / 2, 1e-9);
+  EXPECT_NEAR(ToSpherical(Tensor::Vector({-1, 0})).angles[0], kPi, 1e-9);
+  EXPECT_NEAR(ToSpherical(Tensor::Vector({0, -1})).angles[0], -kPi / 2, 1e-9);
+  EXPECT_NEAR(ToSpherical(Tensor::Vector({-1, -1})).angles[0],
+              -3.0 * kPi / 4.0, 1e-6);
+}
+
+TEST(SphericalTest, ThreeDimensionalKnownConversion) {
+  // (1, 1, sqrt(2)): magnitude 2, theta1 = arctan2(sqrt(1+2), 1) = pi/3,
+  // theta2 = arctan2(sqrt(2), 1).
+  const float s2 = static_cast<float>(std::sqrt(2.0));
+  const Tensor g = Tensor::Vector({1.0f, 1.0f, s2});
+  const SphericalCoordinates c = ToSpherical(g);
+  EXPECT_NEAR(c.magnitude, 2.0, 1e-6);
+  ASSERT_EQ(c.angles.size(), 2u);
+  EXPECT_NEAR(c.angles[0], std::atan2(std::sqrt(3.0), 1.0), 1e-6);
+  EXPECT_NEAR(c.angles[1], std::atan2(std::sqrt(2.0), 1.0), 1e-6);
+}
+
+TEST(SphericalTest, ZeroVectorMapsToZero) {
+  const SphericalCoordinates c = ToSpherical(Tensor::Vector({0, 0, 0, 0}));
+  EXPECT_EQ(c.magnitude, 0.0);
+  for (double a : c.angles) EXPECT_EQ(a, 0.0);
+  const Tensor back = ToCartesian(c);
+  for (int64_t i = 0; i < back.numel(); ++i) EXPECT_EQ(back[i], 0.0f);
+}
+
+TEST(SphericalTest, MagnitudeMatchesL2Norm) {
+  Rng rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Tensor g = Tensor::Randn({16}, rng);
+    EXPECT_NEAR(ToSpherical(g).magnitude, g.L2Norm(), 1e-5);
+  }
+}
+
+TEST(SphericalTest, AngleRanges) {
+  Rng rng(102);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Tensor g = Tensor::Randn({8}, rng);
+    const SphericalCoordinates c = ToSpherical(g);
+    for (size_t z = 0; z + 1 < c.angles.size(); ++z) {
+      EXPECT_GE(c.angles[z], 0.0);
+      EXPECT_LE(c.angles[z], kPi);
+    }
+    EXPECT_GE(c.angles.back(), -kPi);
+    EXPECT_LE(c.angles.back(), kPi);
+  }
+}
+
+TEST(SphericalTest, ScalingPreservesDirection) {
+  Rng rng(103);
+  const Tensor g = Tensor::Randn({10}, rng);
+  const SphericalCoordinates a = ToSpherical(g);
+  const SphericalCoordinates b = ToSpherical(Scale(g, 3.5f));
+  ASSERT_EQ(a.angles.size(), b.angles.size());
+  for (size_t z = 0; z < a.angles.size(); ++z) {
+    EXPECT_NEAR(a.angles[z], b.angles[z], 1e-5);
+  }
+  EXPECT_NEAR(b.magnitude, 3.5 * a.magnitude, 1e-4);
+}
+
+// Property sweep: round-trip ToCartesian(ToSpherical(g)) == g across
+// dimensions.
+class SphericalRoundTripTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SphericalRoundTripTest, RoundTripRecoversVector) {
+  const int64_t d = GetParam();
+  Rng rng(1000 + static_cast<uint64_t>(d));
+  for (int trial = 0; trial < 10; ++trial) {
+    const Tensor g = Tensor::Randn({d}, rng);
+    const Tensor back = ToCartesian(ToSpherical(g));
+    EXPECT_LT(MaxAbsDiff(g, back), 1e-4)
+        << "dim=" << d << " trial=" << trial;
+  }
+}
+
+TEST_P(SphericalRoundTripTest, RoundTripWithAxisAlignedVectors) {
+  const int64_t d = GetParam();
+  for (int64_t axis = 0; axis < d; ++axis) {
+    Tensor g({d});
+    g[axis] = 2.0f;
+    const Tensor back = ToCartesian(ToSpherical(g));
+    EXPECT_LT(MaxAbsDiff(g, back), 1e-5) << "dim=" << d << " axis=" << axis;
+  }
+}
+
+TEST_P(SphericalRoundTripTest, RoundTripWithNegativeComponents) {
+  const int64_t d = GetParam();
+  Rng rng(2000 + static_cast<uint64_t>(d));
+  Tensor g = Tensor::Randn({d}, rng);
+  for (int64_t i = 0; i < d; ++i) g[i] = -std::fabs(g[i]);
+  const Tensor back = ToCartesian(ToSpherical(g));
+  EXPECT_LT(MaxAbsDiff(g, back), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SphericalRoundTripTest,
+                         ::testing::Values<int64_t>(2, 3, 4, 5, 8, 16, 64,
+                                                    256, 1024));
+
+TEST(SphericalTest, AngleSquaredDistance) {
+  EXPECT_DOUBLE_EQ(AngleSquaredDistance({0.0, 0.0}, {3.0, 4.0}), 25.0);
+  EXPECT_DOUBLE_EQ(AngleSquaredDistance({1.0}, {1.0}), 0.0);
+}
+
+TEST(SphericalTest, WrapAnglesCanonicalRanges) {
+  // First angles reflect into [0, pi]; last wraps into (-pi, pi].
+  const auto wrapped = WrapAngles({-0.5, kPi + 0.5, 3.0 * kPi});
+  EXPECT_NEAR(wrapped[0], 0.5, 1e-9);
+  EXPECT_NEAR(wrapped[1], kPi - 0.5, 1e-9);
+  EXPECT_NEAR(wrapped[2], kPi, 1e-9);
+  const auto wrapped2 = WrapAngles({0.3, -kPi - 0.2});
+  EXPECT_NEAR(wrapped2[0], 0.3, 1e-9);
+  EXPECT_NEAR(wrapped2[1], kPi - 0.2, 1e-9);
+}
+
+TEST(SphericalTest, ClampAnglesSaturates) {
+  const auto clamped = ClampAngles({-0.5, 4.0, -4.0});
+  EXPECT_EQ(clamped[0], 0.0);
+  EXPECT_NEAR(clamped[1], kPi, 1e-9);
+  EXPECT_NEAR(clamped[2], -kPi, 1e-9);
+}
+
+TEST(SphericalTest, WrapIsIdentityInsideRange) {
+  const std::vector<double> angles = {0.5, 2.0, -1.5};
+  const auto wrapped = WrapAngles(angles);
+  for (size_t i = 0; i < angles.size(); ++i) {
+    EXPECT_NEAR(wrapped[i], angles[i], 1e-12);
+  }
+}
+
+TEST(SphericalTest, CartesianFromExplicitAngles) {
+  // magnitude 2, angles (pi/2, 0) -> (0, 2, 0).
+  SphericalCoordinates c;
+  c.magnitude = 2.0;
+  c.angles = {kPi / 2.0, 0.0};
+  const Tensor g = ToCartesian(c);
+  EXPECT_NEAR(g[0], 0.0, 1e-6);
+  EXPECT_NEAR(g[1], 2.0, 1e-6);
+  EXPECT_NEAR(g[2], 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace geodp

@@ -1,0 +1,97 @@
+// Tests for metrics, summary statistics and the table printer.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "stats/metrics.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+#include "tensor/tensor_ops.h"
+
+namespace geodp {
+namespace {
+
+TEST(MetricsTest, DirectionMse) {
+  SphericalCoordinates a, b;
+  a.angles = {0.0, 0.0};
+  b.angles = {0.3, 0.4};
+  // Single pair: squared distance 0.25.
+  EXPECT_NEAR(DirectionMse({a}, {b}), 0.25, 1e-12);
+  // Two pairs averaged.
+  SphericalCoordinates c = a;
+  EXPECT_NEAR(DirectionMse({a, a}, {b, c}), 0.125, 1e-12);
+}
+
+TEST(MetricsTest, GradientMse) {
+  const Tensor a = Tensor::Vector({0, 0});
+  const Tensor b = Tensor::Vector({3, 4});
+  EXPECT_NEAR(GradientMse({a}, {b}), 25.0, 1e-9);
+  EXPECT_NEAR(GradientMse({a, a}, {b, a}), 12.5, 1e-9);
+}
+
+TEST(MetricsTest, ModelEfficiency) {
+  const Tensor w = Tensor::Vector({1, 1});
+  const Tensor opt = Tensor::Vector({0, 0});
+  EXPECT_NEAR(ModelEfficiency(w, opt), 2.0, 1e-9);
+}
+
+TEST(MetricsTest, AccuracyFromLogits) {
+  const Tensor logits = Tensor::FromVector({3, 2}, {1, 0, 0, 1, 1, 0});
+  EXPECT_NEAR(AccuracyFromLogits(logits, {0, 1, 1}), 2.0 / 3.0, 1e-9);
+}
+
+TEST(RunningStatTest, MatchesClosedForm) {
+  RunningStat stat;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(v);
+  EXPECT_EQ(stat.count(), 8);
+  EXPECT_NEAR(stat.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(stat.min(), 2.0);
+  EXPECT_EQ(stat.max(), 9.0);
+}
+
+TEST(RunningStatTest, SingleSampleHasZeroVariance) {
+  RunningStat stat;
+  stat.Add(3.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_EQ(stat.stderr_mean(), 0.0);
+}
+
+TEST(RunningStatTest, StderrShrinksWithSamples) {
+  Rng rng(1);
+  RunningStat small, large;
+  for (int i = 0; i < 10; ++i) small.Add(rng.Gaussian());
+  for (int i = 0; i < 10000; ++i) large.Add(rng.Gaussian());
+  EXPECT_LT(large.stderr_mean(), small.stderr_mean());
+}
+
+TEST(TablePrinterTest, AlignedOutputContainsCells) {
+  TablePrinter table({"method", "mse"});
+  table.AddRow({"DP", "0.123"});
+  table.AddRow({"GeoDP", "0.045"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("method"), std::string::npos);
+  EXPECT_NE(s.find("GeoDP"), std::string::npos);
+  EXPECT_NE(s.find("0.045"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream out;
+  table.PrintCsv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::FmtSci(0.000123, 2), "1.23e-04");
+}
+
+}  // namespace
+}  // namespace geodp
