@@ -1,0 +1,141 @@
+// Thread-scaling benchmark for the parallel execution subsystem: each
+// workload runs at 1/2/4/8 threads (the first benchmark argument) so the
+// reported times give the speedup curve directly. Workloads:
+//
+//   BM_ClipAccumulate  per-sample clip-and-accumulate, the dominant cost
+//                      of DP-SGD (ClipAndSum over a synthetic batch)
+//   BM_ClipPerturb     full private release: clip+accumulate, average,
+//                      then DP or GeoDP perturbation
+//   BM_MatMul          tiled parallel Matmul
+//   BM_BatchSpherical  batched ToSpherical/ToCartesian round trip
+//
+// On a machine with >= 4 cores the clip+accumulate workload is expected
+// to reach >= 2.5x at 4 threads (it is embarrassingly parallel with one
+// reduction); results are bit-identical across all thread counts by the
+// ParallelFor determinism contract.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "base/rng.h"
+#include "base/thread_pool.h"
+#include "clip/clipping.h"
+#include "core/perturbation.h"
+#include "core/spherical.h"
+#include "optim/geodp_sgd.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace geodp {
+namespace {
+
+std::vector<Tensor> MakeBatch(int64_t batch, int64_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> grads;
+  grads.reserve(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) {
+    grads.push_back(Tensor::Randn({dim}, rng));
+  }
+  return grads;
+}
+
+// Pins the global pool to state.range(0) threads for the benchmark body
+// and restores the default afterwards.
+class ThreadCountFixture {
+ public:
+  explicit ThreadCountFixture(int num_threads) {
+    SetGlobalThreadCount(num_threads);
+  }
+  ~ThreadCountFixture() { SetGlobalThreadCount(0); }
+};
+
+void BM_ClipAccumulate(benchmark::State& state) {
+  const ThreadCountFixture fixture(static_cast<int>(state.range(0)));
+  const int64_t batch = state.range(1);
+  const int64_t dim = state.range(2);
+  const std::vector<Tensor> grads = MakeBatch(batch, dim, 7);
+  const FlatClipper clipper(0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClipAndSum(grads, clipper));
+  }
+  state.SetItemsProcessed(state.iterations() * batch * dim);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+
+void BM_ClipPerturb(benchmark::State& state) {
+  const ThreadCountFixture fixture(static_cast<int>(state.range(0)));
+  const int64_t batch = state.range(1);
+  const int64_t dim = state.range(2);
+  const std::vector<Tensor> grads = MakeBatch(batch, dim, 11);
+  const FlatClipper clipper(0.1);
+  GeoDpOptions options;
+  options.base.clip_threshold = 0.1;
+  options.base.batch_size = batch;
+  options.base.noise_multiplier = 1.0;
+  options.beta = 0.1;
+  const GeoDpPerturber perturber(options);
+  Rng rng(13);
+  for (auto _ : state) {
+    Tensor avg = ClipAndSum(grads, clipper);
+    avg.ScaleInPlace(1.0f / static_cast<float>(batch));
+    benchmark::DoNotOptimize(perturber.Perturb(avg, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * batch * dim);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const ThreadCountFixture fixture(static_cast<int>(state.range(0)));
+  const int64_t n = state.range(1);
+  Rng rng(17);
+  const Tensor a = Tensor::Randn({n, n}, rng);
+  const Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+
+void BM_BatchSpherical(benchmark::State& state) {
+  const ThreadCountFixture fixture(static_cast<int>(state.range(0)));
+  const std::vector<Tensor> grads = MakeBatch(state.range(1), state.range(2), 19);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BatchToCartesian(BatchToSpherical(grads)));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+
+void ThreadArgs(benchmark::internal::Benchmark* b,
+                std::initializer_list<int64_t> rest) {
+  for (int64_t threads : {1, 2, 4, 8}) {
+    std::vector<int64_t> args = {threads};
+    args.insert(args.end(), rest.begin(), rest.end());
+    b->Args(args);
+  }
+}
+
+BENCHMARK(BM_ClipAccumulate)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      ThreadArgs(b, {256, 4096});
+    })
+    ->ArgNames({"threads", "batch", "dim"});
+BENCHMARK(BM_ClipPerturb)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      ThreadArgs(b, {256, 4096});
+    })
+    ->ArgNames({"threads", "batch", "dim"});
+BENCHMARK(BM_MatMul)
+    ->Apply([](benchmark::internal::Benchmark* b) { ThreadArgs(b, {256}); })
+    ->ArgNames({"threads", "n"});
+BENCHMARK(BM_BatchSpherical)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      ThreadArgs(b, {64, 2048});
+    })
+    ->ArgNames({"threads", "batch", "dim"});
+
+}  // namespace
+}  // namespace geodp
+
+BENCHMARK_MAIN();

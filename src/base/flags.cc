@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 
 namespace geodp {
 
@@ -172,6 +173,17 @@ std::string FlagParser::HelpText() const {
     out << "\n      " << flag.help << "\n";
   }
   return out.str();
+}
+
+void AddCommonFlags(FlagParser& parser) {
+  parser.AddInt("geodp_num_threads", 0,
+                "worker threads for parallel execution (0 = auto-detect "
+                "from GEODP_NUM_THREADS / hardware concurrency, 1 = serial)");
+}
+
+void ApplyCommonFlags(const FlagParser& parser) {
+  const int64_t num_threads = parser.GetInt("geodp_num_threads");
+  if (num_threads > 0) SetGlobalThreadCount(static_cast<int>(num_threads));
 }
 
 }  // namespace geodp

@@ -64,6 +64,15 @@ class FlagParser {
   std::vector<std::string> positional_;
 };
 
+/// Registers the library-wide flags every binary should accept. Currently:
+///   --geodp_num_threads  worker threads for ParallelFor
+///                        (0 = auto-detect, 1 = serial execution).
+void AddCommonFlags(FlagParser& parser);
+
+/// Applies the parsed common flags to the library (resizes the global
+/// thread pool). Call once after FlagParser::Parse succeeds.
+void ApplyCommonFlags(const FlagParser& parser);
+
 }  // namespace geodp
 
 #endif  // GEODP_BASE_FLAGS_H_

@@ -95,4 +95,39 @@ double Rng::Laplace(double b) {
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xD6E8FEB86659FD93ULL); }
 
+void Rng::Jump() {
+  // Jump polynomial from the xoshiro256++ reference implementation
+  // (Blackman & Vigna, public domain).
+  static constexpr uint64_t kJump[] = {0x180EC6D33CFD0ABAULL,
+                                       0xD5A61266F0C9392CULL,
+                                       0xA9582618E03FC9AAULL,
+                                       0x39ABDC4529B1661CULL};
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      Next();
+    }
+  }
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+  has_cached_gaussian_ = false;
+}
+
+Rng Rng::Substream(uint64_t root_seed, uint64_t stream_id) {
+  // stream_id + 1 keeps stream 0 distinct from the plain Rng(root_seed);
+  // the golden-ratio multiplier decorrelates consecutive ids before the
+  // SplitMix64 expansion in the constructor finishes the mixing.
+  Rng stream(root_seed ^ ((stream_id + 1) * 0x9E3779B97F4A7C15ULL));
+  stream.Jump();
+  return stream;
+}
+
 }  // namespace geodp

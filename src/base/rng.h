@@ -64,6 +64,19 @@ class Rng {
   /// own stream from one experiment seed.
   Rng Fork();
 
+  /// Advances the state by 2^128 steps (the standard xoshiro256++ jump),
+  /// equivalent to 2^128 calls to Next(). Used to separate substreams.
+  void Jump();
+
+  /// Member `stream_id` of a deterministic family of generators rooted at
+  /// `root_seed`: the id is mixed into the seed via SplitMix64 and the
+  /// stream is jumped once, so distinct ids give statistically independent
+  /// streams and the same (root_seed, stream_id) pair always gives the
+  /// same stream. This is the substream scheme parallel noise sampling
+  /// relies on: one root draw from the parent generator, one substream per
+  /// fixed-size chunk, so results are invariant to the thread count.
+  static Rng Substream(uint64_t root_seed, uint64_t stream_id);
+
  private:
   uint64_t state_[4];
   // Box-Muller produces pairs; the spare sample is cached here.

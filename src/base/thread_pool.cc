@@ -1,0 +1,187 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "base/check.h"
+
+namespace geodp {
+namespace {
+
+thread_local int tls_region_depth = 0;
+
+/// Marks the current thread as being inside a parallel region for the
+/// lifetime of the guard.
+struct RegionGuard {
+  RegionGuard() { ++tls_region_depth; }
+  ~RegionGuard() { --tls_region_depth; }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::InParallelRegion() { return tls_region_depth > 0; }
+
+void ThreadPool::RunParts(int num_parts, const std::function<void(int)>& fn) {
+  if (num_parts <= 0) return;
+  if (num_parts == 1 || num_threads_ <= 1 || InParallelRegion()) {
+    RegionGuard guard;
+    for (int part = 0; part < num_parts; ++part) fn(part);
+    return;
+  }
+
+  // Shared completion state for the offloaded parts. Tasks hold it by
+  // shared_ptr; `fn` is captured by reference and outlives the tasks
+  // because RunParts blocks until remaining == 0.
+  struct Sync {
+    std::mutex m;
+    std::condition_variable done;
+    int remaining = 0;
+    std::exception_ptr eptr;
+  };
+  auto sync = std::make_shared<Sync>();
+  sync->remaining = num_parts - 1;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int part = 1; part < num_parts; ++part) {
+      tasks_.push_back([&fn, part, sync] {
+        {
+          RegionGuard guard;
+          try {
+            fn(part);
+          } catch (...) {
+            std::lock_guard<std::mutex> sync_lock(sync->m);
+            if (!sync->eptr) sync->eptr = std::current_exception();
+          }
+        }
+        std::lock_guard<std::mutex> sync_lock(sync->m);
+        if (--sync->remaining == 0) sync->done.notify_all();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  std::exception_ptr caller_eptr;
+  {
+    RegionGuard guard;
+    try {
+      fn(0);
+    } catch (...) {
+      caller_eptr = std::current_exception();
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(sync->m);
+    sync->done.wait(lock, [&sync] { return sync->remaining == 0; });
+  }
+  if (caller_eptr) std::rethrow_exception(caller_eptr);
+  if (sync->eptr) std::rethrow_exception(sync->eptr);
+}
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("GEODP_NUM_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<int>(parsed);
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::shared_ptr<ThreadPool> g_pool;  // guarded by g_pool_mu
+
+std::shared_ptr<ThreadPool> GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool) g_pool = std::make_shared<ThreadPool>(DefaultThreadCount());
+  return g_pool;
+}
+
+}  // namespace
+
+int GetGlobalThreadCount() { return GlobalPool()->num_threads(); }
+
+void SetGlobalThreadCount(int num_threads) {
+  auto pool = std::make_shared<ThreadPool>(
+      num_threads <= 0 ? DefaultThreadCount() : num_threads);
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_pool = std::move(pool);
+}
+
+void ParallelForChunks(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+  GEODP_CHECK_GE(grain, 1);
+  if (begin >= end) return;
+  const int64_t num_chunks = (end - begin + grain - 1) / grain;
+  auto run_chunks = [&](int64_t chunk_begin, int64_t chunk_end) {
+    for (int64_t c = chunk_begin; c < chunk_end; ++c) {
+      const int64_t lo = begin + c * grain;
+      fn(c, lo, std::min(end, lo + grain));
+    }
+  };
+
+  std::shared_ptr<ThreadPool> pool = GlobalPool();
+  const int num_parts = static_cast<int>(
+      std::min<int64_t>(pool->num_threads(), num_chunks));
+  if (num_parts <= 1 || ThreadPool::InParallelRegion()) {
+    run_chunks(0, num_chunks);
+    return;
+  }
+  // Static partition: part p owns a contiguous block of chunks.
+  const int64_t per_part = num_chunks / num_parts;
+  const int64_t extra = num_chunks % num_parts;
+  pool->RunParts(num_parts, [&](int part) {
+    const int64_t lo =
+        part * per_part + std::min<int64_t>(part, extra);
+    const int64_t hi = lo + per_part + (part < extra ? 1 : 0);
+    run_chunks(lo, hi);
+  });
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  ParallelForChunks(begin, end, grain,
+                    [&fn](int64_t /*chunk*/, int64_t lo, int64_t hi) {
+                      fn(lo, hi);
+                    });
+}
+
+}  // namespace geodp

@@ -1,0 +1,96 @@
+// Fixed-size worker pool and ParallelFor, the parallel execution substrate
+// for every hot path in the library (matmul, im2col, per-sample clipping,
+// batched spherical transforms, noise sampling).
+//
+// Determinism contract: ParallelFor splits [begin, end) into fixed chunks
+// of `grain` elements. The chunk decomposition depends only on the range
+// and the grain — never on the thread count — and every chunk is executed
+// exactly once, so a computation whose floating-point result is a function
+// of the chunk structure (e.g. per-chunk partial sums reduced in chunk
+// order) is bit-identical whether it runs on 1 thread or 64. With a pool
+// of 1 thread ParallelFor degenerates to a plain serial loop over the same
+// chunks.
+
+#ifndef GEODP_BASE_THREAD_POOL_H_
+#define GEODP_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace geodp {
+
+/// A fixed set of worker threads executing fork-join parallel regions.
+/// A pool of size n runs regions on the calling thread plus n-1 workers;
+/// size 1 means fully serial execution with no threads spawned.
+class ThreadPool {
+ public:
+  /// Creates a pool of `num_threads` (clamped to >= 1). Spawns
+  /// num_threads - 1 workers; the caller of RunParts is the n-th thread.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(0), ..., fn(num_parts - 1), part 0 on the calling thread and
+  /// the rest on the workers. Blocks until every part has finished. If any
+  /// part throws, the first exception (preferring the caller's part) is
+  /// rethrown here; the remaining parts still run to completion.
+  ///
+  /// Called from inside a parallel region (a worker, or recursively from a
+  /// part), all parts run serially on the current thread — nesting cannot
+  /// deadlock.
+  void RunParts(int num_parts, const std::function<void(int)>& fn);
+
+  /// True while the current thread is executing inside RunParts.
+  static bool InParallelRegion();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> tasks_;  // guarded by mu_
+  bool stop_ = false;                        // guarded by mu_
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+};
+
+/// Thread count the global pool uses when nothing overrides it:
+/// the GEODP_NUM_THREADS environment variable if set to a positive
+/// integer, else std::thread::hardware_concurrency() (else 1).
+int DefaultThreadCount();
+
+/// Number of threads the global pool is currently configured with.
+int GetGlobalThreadCount();
+
+/// Reconfigures the global pool. `num_threads <= 0` restores the default;
+/// 1 forces serial execution. Safe to call between parallel regions, not
+/// concurrently with a running ParallelFor.
+void SetGlobalThreadCount(int num_threads);
+
+/// Splits [begin, end) into chunks of `grain` elements (the last chunk may
+/// be short) and calls fn(chunk_begin, chunk_end) once per chunk, in
+/// parallel on the global pool. Chunks are statically partitioned into
+/// contiguous blocks, one block per participating thread, and each block's
+/// chunks run in increasing order. fn must be safe to call concurrently on
+/// disjoint chunks.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Like ParallelFor but also passes the zero-based chunk index, for
+/// deterministic reductions into per-chunk slots:
+/// fn(chunk_index, chunk_begin, chunk_end).
+void ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
+                       const std::function<void(int64_t, int64_t, int64_t)>& fn);
+
+}  // namespace geodp
+
+#endif  // GEODP_BASE_THREAD_POOL_H_

@@ -1,10 +1,19 @@
 #include "clip/clipping.h"
 
 #include <cmath>
+#include <utility>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 
 namespace geodp {
+namespace {
+
+// Samples per ParallelFor chunk in AccumulateClipped. The chunk structure
+// (not the thread count) fixes the floating-point reduction order.
+constexpr int64_t kClipGrain = 4;
+
+}  // namespace
 
 void Clipper::OnStep(int64_t /*step*/) {}
 
@@ -68,6 +77,34 @@ std::unique_ptr<Clipper> MakeClipper(const std::string& name,
   if (name == "PSAC") return std::make_unique<PsacClipper>(clip_threshold);
   GEODP_CHECK(false) << "unknown clipper: " << name;
   return nullptr;
+}
+
+void AccumulateClipped(const std::vector<Tensor>& per_sample_gradients,
+                       const Clipper& clipper, Tensor& sum) {
+  if (per_sample_gradients.empty()) return;
+  const int64_t count = static_cast<int64_t>(per_sample_gradients.size());
+  const int64_t num_chunks = (count + kClipGrain - 1) / kClipGrain;
+  std::vector<Tensor> partials(static_cast<size_t>(num_chunks));
+  ParallelForChunks(0, count, kClipGrain,
+                    [&](int64_t chunk, int64_t lo, int64_t hi) {
+                      Tensor partial =
+                          clipper.Clip(per_sample_gradients[static_cast<size_t>(lo)]);
+                      for (int64_t i = lo + 1; i < hi; ++i) {
+                        partial.AddInPlace(clipper.Clip(
+                            per_sample_gradients[static_cast<size_t>(i)]));
+                      }
+                      partials[static_cast<size_t>(chunk)] =
+                          std::move(partial);
+                    });
+  for (const Tensor& partial : partials) sum.AddInPlace(partial);
+}
+
+Tensor ClipAndSum(const std::vector<Tensor>& per_sample_gradients,
+                  const Clipper& clipper) {
+  GEODP_CHECK(!per_sample_gradients.empty());
+  Tensor sum(per_sample_gradients.front().shape());
+  AccumulateClipped(per_sample_gradients, clipper, sum);
+  return sum;
 }
 
 }  // namespace geodp

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "tensor/tensor.h"
 
@@ -99,6 +100,21 @@ class PsacClipper : public Clipper {
 /// Factory by name: "flat", "AUTO-S", "PSAC".
 std::unique_ptr<Clipper> MakeClipper(const std::string& name,
                                      double clip_threshold);
+
+/// Clips every per-sample gradient with `clipper` and adds the clipped
+/// gradients into `sum` (shapes must match). The dominant per-sample cost
+/// of DP-SGD, parallelized across the batch on the global pool: each
+/// ParallelFor chunk accumulates into its own partial sum and the partials
+/// are reduced in chunk order, so the result is bit-identical at any
+/// thread count. Clipper::Clip must be const-thread-safe (all shipped
+/// clippers are: OnStep mutates, Clip only reads).
+void AccumulateClipped(const std::vector<Tensor>& per_sample_gradients,
+                       const Clipper& clipper, Tensor& sum);
+
+/// Sum of the clipped per-sample gradients (parallel, thread-count
+/// invariant). The batch must be non-empty.
+Tensor ClipAndSum(const std::vector<Tensor>& per_sample_gradients,
+                  const Clipper& clipper);
 
 }  // namespace geodp
 

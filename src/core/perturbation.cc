@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 
 namespace geodp {
 namespace {
@@ -11,6 +12,55 @@ void ValidateOptions(const PerturbationOptions& options) {
   GEODP_CHECK_GT(options.clip_threshold, 0.0);
   GEODP_CHECK_GE(options.batch_size, 1);
   GEODP_CHECK_GE(options.noise_multiplier, 0.0);
+}
+
+// Coordinates per noise substream. Noise is sampled in parallel from
+// per-chunk xoshiro256++ substreams rooted at a single draw from the
+// caller's generator, so a release is reproducible from the parent seed
+// and invariant to the thread count (the chunk structure, not the
+// scheduling, determines which variate lands on which coordinate).
+constexpr int64_t kNoiseGrain = 4096;
+
+// Adds i.i.d. N(0, stddev^2) noise to values[0..count) from substreams
+// rooted at `root`.
+void AddGaussianNoise(float* values, int64_t count, double stddev,
+                      uint64_t root) {
+  ParallelForChunks(0, count, kNoiseGrain,
+                    [&](int64_t chunk, int64_t lo, int64_t hi) {
+                      Rng stream =
+                          Rng::Substream(root, static_cast<uint64_t>(chunk));
+                      for (int64_t i = lo; i < hi; ++i) {
+                        values[i] +=
+                            static_cast<float>(stream.Gaussian(0.0, stddev));
+                      }
+                    });
+}
+
+// Same substream scheme for a double-valued angle vector.
+void AddGaussianNoise(std::vector<double>& values, double stddev,
+                      uint64_t root) {
+  ParallelForChunks(0, static_cast<int64_t>(values.size()), kNoiseGrain,
+                    [&](int64_t chunk, int64_t lo, int64_t hi) {
+                      Rng stream =
+                          Rng::Substream(root, static_cast<uint64_t>(chunk));
+                      for (int64_t i = lo; i < hi; ++i) {
+                        values[static_cast<size_t>(i)] +=
+                            stream.Gaussian(0.0, stddev);
+                      }
+                    });
+}
+
+void AddLaplaceNoise(std::vector<double>& values, double scale,
+                     uint64_t root) {
+  ParallelForChunks(0, static_cast<int64_t>(values.size()), kNoiseGrain,
+                    [&](int64_t chunk, int64_t lo, int64_t hi) {
+                      Rng stream =
+                          Rng::Substream(root, static_cast<uint64_t>(chunk));
+                      for (int64_t i = lo; i < hi; ++i) {
+                        values[static_cast<size_t>(i)] +=
+                            stream.Laplace(scale);
+                      }
+                    });
 }
 
 }  // namespace
@@ -28,10 +78,10 @@ Tensor DpPerturber::Perturb(const Tensor& avg_clipped_gradient,
                             Rng& rng) const {
   GEODP_CHECK_EQ(avg_clipped_gradient.ndim(), 1);
   Tensor out = avg_clipped_gradient;
-  const double stddev = CoordinateNoiseStddev();
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    out[i] += static_cast<float>(rng.Gaussian(0.0, stddev));
-  }
+  // One root draw advances the parent deterministically; the coordinate
+  // noise itself comes from per-chunk substreams (see AddGaussianNoise).
+  const uint64_t root = rng.Next();
+  AddGaussianNoise(out.data(), out.numel(), CoordinateNoiseStddev(), root);
   return out;
 }
 
@@ -65,9 +115,7 @@ SphericalCoordinates GeoDpPerturber::PerturbSpherical(
     noisy.magnitude = 0.0;
   }
   const double angle_stddev = DirectionNoiseStddev(coords.CartesianDim());
-  for (double& angle : noisy.angles) {
-    angle += rng.Gaussian(0.0, angle_stddev);
-  }
+  AddGaussianNoise(noisy.angles, angle_stddev, rng.Next());
   switch (options_.angle_handling) {
     case AngleHandling::kNone:
       break;
@@ -133,7 +181,7 @@ Tensor GeoLaplacePerturber::Perturb(const Tensor& avg_clipped_gradient,
   SphericalCoordinates coords = ToSpherical(avg_clipped_gradient);
   coords.magnitude += rng.Laplace(MagnitudeNoiseScale());
   const double angle_scale = DirectionNoiseScale(coords.CartesianDim());
-  for (double& angle : coords.angles) angle += rng.Laplace(angle_scale);
+  AddLaplaceNoise(coords.angles, angle_scale, rng.Next());
   switch (options_.angle_handling) {
     case AngleHandling::kNone:
       break;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 
 namespace geodp {
 namespace {
@@ -52,6 +53,32 @@ Tensor ToCartesian(const SphericalCoordinates& coords) {
   }
   g[d - 1] = static_cast<float>(coords.magnitude * sin_product);
   return g;
+}
+
+std::vector<SphericalCoordinates> BatchToSpherical(
+    const std::vector<Tensor>& gradients) {
+  std::vector<SphericalCoordinates> coords(gradients.size());
+  ParallelFor(0, static_cast<int64_t>(gradients.size()), /*grain=*/1,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  coords[static_cast<size_t>(i)] =
+                      ToSpherical(gradients[static_cast<size_t>(i)]);
+                }
+              });
+  return coords;
+}
+
+std::vector<Tensor> BatchToCartesian(
+    const std::vector<SphericalCoordinates>& coords) {
+  std::vector<Tensor> gradients(coords.size());
+  ParallelFor(0, static_cast<int64_t>(coords.size()), /*grain=*/1,
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  gradients[static_cast<size_t>(i)] =
+                      ToCartesian(coords[static_cast<size_t>(i)]);
+                }
+              });
+  return gradients;
 }
 
 double AngleSquaredDistance(const std::vector<double>& a,

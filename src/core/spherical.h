@@ -43,6 +43,16 @@ SphericalCoordinates ToSpherical(const Tensor& g);
 /// periodic); the result has dimension angles.size() + 1.
 Tensor ToCartesian(const SphericalCoordinates& coords);
 
+/// Converts a batch of vectors to spherical coordinates in parallel on
+/// the global pool. Each element is converted independently, so the
+/// result equals element-wise ToSpherical at any thread count.
+std::vector<SphericalCoordinates> BatchToSpherical(
+    const std::vector<Tensor>& gradients);
+
+/// Parallel inverse of BatchToSpherical.
+std::vector<Tensor> BatchToCartesian(
+    const std::vector<SphericalCoordinates>& coords);
+
 /// Squared L2 distance between two angle vectors (used by direction MSE,
 /// paper Def. 4). Sizes must match.
 double AngleSquaredDistance(const std::vector<double>& a,

@@ -1,8 +1,17 @@
 #include "nn/im2col.h"
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 
 namespace geodp {
+namespace {
+
+// Column-matrix rows (one per (c, kh, kw) triple) per ParallelFor chunk.
+// Each row is written entirely by one chunk, so the unfold is exact at
+// any thread count.
+constexpr int64_t kIm2ColRowGrain = 4;
+
+}  // namespace
 
 Tensor Im2Col(const Tensor& image, int64_t kernel_size, int64_t padding) {
   GEODP_CHECK_EQ(image.ndim(), 3);
@@ -20,27 +29,28 @@ Tensor Im2Col(const Tensor& image, int64_t kernel_size, int64_t padding) {
   const float* src = image.data();
   float* dst = columns.data();
   const int64_t spatial = out_h * out_w;
-  int64_t row = 0;
-  for (int64_t c = 0; c < channels; ++c) {
-    for (int64_t kh = 0; kh < kernel_size; ++kh) {
-      for (int64_t kw = 0; kw < kernel_size; ++kw, ++row) {
-        float* out_row = dst + row * spatial;
-        for (int64_t oh = 0; oh < out_h; ++oh) {
-          const int64_t ih = oh + kh - padding;
-          if (ih < 0 || ih >= height) {
-            for (int64_t ow = 0; ow < out_w; ++ow) out_row[oh * out_w + ow] = 0.0f;
-            continue;
-          }
-          const float* src_row = src + (c * height + ih) * width;
-          for (int64_t ow = 0; ow < out_w; ++ow) {
-            const int64_t iw = ow + kw - padding;
-            out_row[oh * out_w + ow] =
-                (iw < 0 || iw >= width) ? 0.0f : src_row[iw];
-          }
+  const int64_t num_rows = channels * kernel_size * kernel_size;
+  ParallelFor(0, num_rows, kIm2ColRowGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t row = lo; row < hi; ++row) {
+      const int64_t c = row / (kernel_size * kernel_size);
+      const int64_t kh = (row / kernel_size) % kernel_size;
+      const int64_t kw = row % kernel_size;
+      float* out_row = dst + row * spatial;
+      for (int64_t oh = 0; oh < out_h; ++oh) {
+        const int64_t ih = oh + kh - padding;
+        if (ih < 0 || ih >= height) {
+          for (int64_t ow = 0; ow < out_w; ++ow) out_row[oh * out_w + ow] = 0.0f;
+          continue;
+        }
+        const float* src_row = src + (c * height + ih) * width;
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          const int64_t iw = ow + kw - padding;
+          out_row[oh * out_w + ow] =
+              (iw < 0 || iw >= width) ? 0.0f : src_row[iw];
         }
       }
     }
-  }
+  });
   return columns;
 }
 
@@ -56,24 +66,30 @@ Tensor Col2Im(const Tensor& columns, int64_t channels, int64_t height,
   const float* src = columns.data();
   float* dst = image.data();
   const int64_t spatial = out_h * out_w;
-  int64_t row = 0;
-  for (int64_t c = 0; c < channels; ++c) {
-    for (int64_t kh = 0; kh < kernel_size; ++kh) {
-      for (int64_t kw = 0; kw < kernel_size; ++kw, ++row) {
-        const float* src_row = src + row * spatial;
-        for (int64_t oh = 0; oh < out_h; ++oh) {
-          const int64_t ih = oh + kh - padding;
-          if (ih < 0 || ih >= height) continue;
-          float* dst_row = dst + (c * height + ih) * width;
-          for (int64_t ow = 0; ow < out_w; ++ow) {
-            const int64_t iw = ow + kw - padding;
-            if (iw < 0 || iw >= width) continue;
-            dst_row[iw] += src_row[oh * out_w + ow];
+  // Overlapping receptive fields of one channel scatter into the same
+  // image plane, so the fold parallelizes over channels (disjoint planes);
+  // within a channel the kernel loops keep their serial accumulation
+  // order, so the result is bit-identical at any thread count.
+  ParallelFor(0, channels, /*grain=*/1, [&](int64_t c_begin, int64_t c_end) {
+    for (int64_t c = c_begin; c < c_end; ++c) {
+      int64_t row = c * kernel_size * kernel_size;
+      for (int64_t kh = 0; kh < kernel_size; ++kh) {
+        for (int64_t kw = 0; kw < kernel_size; ++kw, ++row) {
+          const float* src_row = src + row * spatial;
+          for (int64_t oh = 0; oh < out_h; ++oh) {
+            const int64_t ih = oh + kh - padding;
+            if (ih < 0 || ih >= height) continue;
+            float* dst_row = dst + (c * height + ih) * width;
+            for (int64_t ow = 0; ow < out_w; ++ow) {
+              const int64_t iw = ow + kw - padding;
+              if (iw < 0 || iw >= width) continue;
+              dst_row[iw] += src_row[oh * out_w + ow];
+            }
           }
         }
       }
     }
-  }
+  });
   return image;
 }
 

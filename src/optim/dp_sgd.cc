@@ -3,10 +3,25 @@
 #include <algorithm>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 #include "nn/parameter.h"
 #include "stats/metrics.h"
+#include "tensor/tensor_ops.h"
 
 namespace geodp {
+namespace {
+
+// Per-sample gradients are staged in blocks of this many samples: the
+// backward passes fill a block serially (modules cache activations, so
+// the model itself is not thread-safe), then the block's clip-and-
+// accumulate — the dominant per-sample cost — runs in parallel across
+// the pool. The block size also bounds staging memory to
+// kPipelineBlock * flat_dim floats. Block boundaries are a compile-time
+// constant, so the reduction order (and hence the result bits) does not
+// depend on the thread count.
+constexpr size_t kPipelineBlock = 64;
+
+}  // namespace
 
 PrivateBatchGradient ComputePerSampleGradients(
     Sequential& model, SoftmaxCrossEntropy& loss,
@@ -22,18 +37,25 @@ PrivateBatchGradient ComputePerSampleGradients(
   result.averaged_raw = Tensor({flat_dim});
   result.sample_losses.reserve(indices.size());
 
+  std::vector<Tensor> block;
+  block.reserve(std::min(kPipelineBlock, indices.size()));
+  auto flush_block = [&] {
+    AccumulateClipped(block, clipper, result.averaged_clipped);
+    AccumulateSum(block, result.averaged_raw);
+    block.clear();
+  };
   for (int64_t index : indices) {
     ZeroGradients(params);
     const Tensor x = dataset.StackImages({index});
     const std::vector<int64_t> y = {dataset.label(index)};
     const double sample_loss = loss.Forward(model.Forward(x), y);
     model.Backward(loss.Backward());
-    const Tensor flat = FlattenGradients(params);
-    result.averaged_raw.AddInPlace(flat);
-    result.averaged_clipped.AddInPlace(clipper.Clip(flat));
+    block.push_back(FlattenGradients(params));
     result.mean_loss += sample_loss;
     result.sample_losses.push_back(sample_loss);
+    if (block.size() == kPipelineBlock) flush_block();
   }
+  if (!block.empty()) flush_block();
   ZeroGradients(params);
 
   const float inv_b = 1.0f / static_cast<float>(result.batch_size);

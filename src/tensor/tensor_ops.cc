@@ -1,8 +1,29 @@
 #include "tensor/tensor_ops.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "base/thread_pool.h"
+
 namespace geodp {
+namespace {
+
+// Rows of the output each ParallelFor chunk owns. Every row is computed
+// entirely within one chunk, so results are bit-identical to the serial
+// loop at any thread count.
+constexpr int64_t kMatmulRowGrain = 8;
+constexpr int64_t kMatVecRowGrain = 64;
+
+// k-dimension tile for Matmul: keeps the active slice of b in cache while
+// an output row block is accumulated.
+constexpr int64_t kMatmulKTile = 64;
+
+// Samples per chunk when summing a batch of tensors; partial sums are
+// reduced in chunk order, fixing the floating-point association
+// independently of the thread count.
+constexpr int64_t kSumGrain = 4;
+
+}  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   Tensor out = a;
@@ -47,16 +68,24 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // i-k-j loop order keeps the inner loop contiguous in b and out.
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* orow = po + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+  // Rows are independent, so parallelizing over row blocks is exact; the
+  // k dimension is tiled so the slice of b stays cache-resident while a
+  // row block accumulates. Within a row, k still runs in increasing
+  // order, preserving the serial accumulation order bit-for-bit.
+  ParallelFor(0, m, kMatmulRowGrain, [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t k0 = 0; k0 < k; k0 += kMatmulKTile) {
+      const int64_t k1 = std::min(k, k0 + kMatmulKTile);
+      for (int64_t i = row_begin; i < row_end; ++i) {
+        float* orow = po + i * n;
+        for (int64_t kk = k0; kk < k1; ++kk) {
+          const float aik = pa[i * k + kk];
+          if (aik == 0.0f) continue;
+          const float* brow = pb + kk * n;
+          for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+        }
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -66,13 +95,15 @@ Tensor MatVec(const Tensor& a, const Tensor& x) {
   const int64_t m = a.dim(0), k = a.dim(1);
   GEODP_CHECK_EQ(k, x.dim(0));
   Tensor out({m});
-  for (int64_t i = 0; i < m; ++i) {
-    double sum = 0.0;
-    for (int64_t j = 0; j < k; ++j) {
-      sum += static_cast<double>(a[i * k + j]) * x[j];
+  ParallelFor(0, m, kMatVecRowGrain, [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      double sum = 0.0;
+      for (int64_t j = 0; j < k; ++j) {
+        sum += static_cast<double>(a[i * k + j]) * x[j];
+      }
+      out[i] = static_cast<float>(sum);
     }
-    out[i] = static_cast<float>(sum);
-  }
+  });
   return out;
 }
 
@@ -140,6 +171,32 @@ Tensor Concat1D(const std::vector<Tensor>& parts) {
     offset += p.numel();
   }
   return out;
+}
+
+void AccumulateSum(const std::vector<Tensor>& tensors, Tensor& sum) {
+  if (tensors.empty()) return;
+  const int64_t count = static_cast<int64_t>(tensors.size());
+  const int64_t num_chunks = (count + kSumGrain - 1) / kSumGrain;
+  // Per-chunk partial sums, reduced in chunk order: the floating-point
+  // association depends only on kSumGrain, not on the thread count.
+  std::vector<Tensor> partials(static_cast<size_t>(num_chunks));
+  ParallelForChunks(0, count, kSumGrain,
+                    [&](int64_t chunk, int64_t lo, int64_t hi) {
+                      Tensor partial = tensors[static_cast<size_t>(lo)];
+                      for (int64_t i = lo + 1; i < hi; ++i) {
+                        partial.AddInPlace(tensors[static_cast<size_t>(i)]);
+                      }
+                      partials[static_cast<size_t>(chunk)] =
+                          std::move(partial);
+                    });
+  for (const Tensor& partial : partials) sum.AddInPlace(partial);
+}
+
+Tensor SumTensors(const std::vector<Tensor>& tensors) {
+  GEODP_CHECK(!tensors.empty());
+  Tensor sum(tensors.front().shape());
+  AccumulateSum(tensors, sum);
+  return sum;
 }
 
 double CosineSimilarity(const Tensor& a, const Tensor& b) {

@@ -52,6 +52,15 @@ bool AllClose(const Tensor& a, const Tensor& b, double rtol = 1e-5,
 /// Concatenates 1-D tensors into one 1-D tensor.
 Tensor Concat1D(const std::vector<Tensor>& parts);
 
+/// Adds every tensor into `sum` (shapes must match). Runs in parallel on
+/// the global pool with a fixed chunk structure, so the result is
+/// bit-identical at any thread count.
+void AccumulateSum(const std::vector<Tensor>& tensors, Tensor& sum);
+
+/// Sum of a non-empty batch of same-shaped tensors (parallel,
+/// thread-count invariant).
+Tensor SumTensors(const std::vector<Tensor>& tensors);
+
 /// Cosine similarity of flattened tensors; returns 0 if either is zero.
 double CosineSimilarity(const Tensor& a, const Tensor& b);
 

@@ -169,8 +169,8 @@ TEST(GeoDpMsePropertiesTest, Figure1Shape) {
   options.beta = 0.1;
   const GeoDpPerturber geo(options);
 
-  const MsePair dp_mse = MeasureMse(data, dp, batch, 0.1, 50, 23);
-  const MsePair geo_mse = MeasureMse(data, geo, batch, 0.1, 50, 23);
+  const MsePair dp_mse = MeasureMse(data, dp, batch, 0.1, 150, 23);
+  const MsePair geo_mse = MeasureMse(data, geo, batch, 0.1, 150, 23);
   EXPECT_LT(geo_mse.direction, dp_mse.direction);
 }
 

@@ -1,0 +1,190 @@
+// Unit tests for the thread pool and ParallelFor: range/grain edge cases,
+// exception propagation, nesting, chunk-structure invariance, and the
+// --geodp_num_threads flag wiring.
+
+#include "base/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "base/flags.h"
+
+namespace geodp {
+namespace {
+
+// Restores the default global thread count when a test ends so tests do
+// not leak configuration into each other.
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() { SetGlobalThreadCount(0); }
+};
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadCountGuard guard;
+  SetGlobalThreadCount(4);
+  std::atomic<int> calls{0};
+  ParallelFor(0, 0, 1, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(5, 5, 3, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(7, 3, 2, [&](int64_t, int64_t) { ++calls; });  // inverted
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleElementRange) {
+  ThreadCountGuard guard;
+  SetGlobalThreadCount(4);
+  std::atomic<int> calls{0};
+  int64_t seen_lo = -1, seen_hi = -1;
+  ParallelFor(3, 4, 10, [&](int64_t lo, int64_t hi) {
+    ++calls;
+    seen_lo = lo;
+    seen_hi = hi;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_lo, 3);
+  EXPECT_EQ(seen_hi, 4);
+}
+
+TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
+  ThreadCountGuard guard;
+  for (int threads : {1, 2, 4, 8}) {
+    SetGlobalThreadCount(threads);
+    constexpr int64_t kN = 1000;
+    std::vector<std::atomic<int>> visits(kN);
+    ParallelFor(0, kN, 7, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) ++visits[static_cast<size_t>(i)];
+    });
+    for (int64_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(visits[static_cast<size_t>(i)].load(), 1)
+          << "index " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeRunsOneChunk) {
+  ThreadCountGuard guard;
+  SetGlobalThreadCount(8);
+  std::atomic<int> chunks{0};
+  ParallelForChunks(0, 5, 100, [&](int64_t chunk, int64_t lo, int64_t hi) {
+    ++chunks;
+    EXPECT_EQ(chunk, 0);
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 5);
+  });
+  EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkStructureIsThreadCountInvariant) {
+  ThreadCountGuard guard;
+  auto decompose = [](int threads) {
+    SetGlobalThreadCount(threads);
+    std::mutex mu;
+    std::set<std::pair<int64_t, int64_t>> chunks;
+    std::set<int64_t> ids;
+    ParallelForChunks(3, 250, 8, [&](int64_t chunk, int64_t lo, int64_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.insert({lo, hi});
+      ids.insert(chunk);
+    });
+    return std::make_pair(chunks, ids);
+  };
+  const auto serial = decompose(1);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(decompose(threads), serial) << threads << " threads";
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadCountGuard guard;
+  for (int threads : {1, 4}) {
+    SetGlobalThreadCount(threads);
+    EXPECT_THROW(
+        ParallelFor(0, 100, 1,
+                    [&](int64_t lo, int64_t) {
+                      if (lo == 42) throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+    // The pool stays usable after an exception.
+    std::atomic<int64_t> sum{0};
+    ParallelFor(0, 10, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) sum += i;
+    });
+    EXPECT_EQ(sum.load(), 45);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadCountGuard guard;
+  SetGlobalThreadCount(4);
+  constexpr int64_t kOuter = 16, kInner = 32;
+  std::vector<std::atomic<int>> visits(kOuter * kInner);
+  ParallelFor(0, kOuter, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      // Runs serially (nested regions degrade to serial), must not
+      // deadlock or double-visit.
+      ParallelFor(0, kInner, 4, [&](int64_t ilo, int64_t ihi) {
+        for (int64_t i = ilo; i < ihi; ++i) {
+          ++visits[static_cast<size_t>(o * kInner + i)];
+        }
+      });
+    }
+  });
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, RunPartsExecutesEveryPartOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  std::vector<std::atomic<int>> parts(10);
+  pool.RunParts(10, [&](int part) { ++parts[static_cast<size_t>(part)]; });
+  for (const auto& count : parts) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, SerialPoolSpawnsNoWorkersAndStillRuns) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int sum = 0;
+  pool.RunParts(5, [&](int part) { sum += part; });  // safe: serial
+  EXPECT_EQ(sum, 10);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadCountTakesEffect) {
+  ThreadCountGuard guard;
+  SetGlobalThreadCount(3);
+  EXPECT_EQ(GetGlobalThreadCount(), 3);
+  SetGlobalThreadCount(1);
+  EXPECT_EQ(GetGlobalThreadCount(), 1);
+  SetGlobalThreadCount(0);  // back to auto-detect
+  EXPECT_GE(GetGlobalThreadCount(), 1);
+}
+
+TEST(ThreadPoolTest, NumThreadsFlagConfiguresGlobalPool) {
+  ThreadCountGuard guard;
+  FlagParser parser;
+  AddCommonFlags(parser);
+  const char* argv[] = {"prog", "--geodp_num_threads=5"};
+  ASSERT_TRUE(parser.Parse(2, argv).ok());
+  ApplyCommonFlags(parser);
+  EXPECT_EQ(GetGlobalThreadCount(), 5);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsFlagKeepsCurrentDefault) {
+  ThreadCountGuard guard;
+  SetGlobalThreadCount(2);
+  FlagParser parser;
+  AddCommonFlags(parser);
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.Parse(1, argv).ok());
+  ApplyCommonFlags(parser);  // default 0 = leave the pool alone
+  EXPECT_EQ(GetGlobalThreadCount(), 2);
+}
+
+}  // namespace
+}  // namespace geodp

@@ -59,12 +59,14 @@ int RunTrain(int argc, const char* const* argv) {
   flags.AddBool("adam", false, "DP-Adam post-processing");
   flags.AddInt("seed", 1, "experiment seed");
   flags.AddString("save", "", "optional checkpoint output path");
+  AddCommonFlags(flags);
   const Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::printf("%s\n%s", status.ToString().c_str(),
                 flags.HelpText().c_str());
     return 1;
   }
+  ApplyCommonFlags(flags);
 
   const std::string dataset_name = flags.GetString("dataset");
   SyntheticImageOptions data_options;
@@ -154,12 +156,14 @@ int RunMse(int argc, const char* const* argv) {
   flags.AddDouble("clip", 0.1, "clipping threshold C");
   flags.AddInt("gradients", 256, "harvested gradient count");
   flags.AddInt("seed", 7, "seed");
+  AddCommonFlags(flags);
   const Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::printf("%s\n%s", status.ToString().c_str(),
                 flags.HelpText().c_str());
     return 1;
   }
+  ApplyCommonFlags(flags);
 
   GradientDatasetOptions harvest;
   harvest.num_gradients = flags.GetInt("gradients");
