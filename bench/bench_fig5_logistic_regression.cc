@@ -41,6 +41,7 @@ std::vector<double> RunCurve(const InMemoryDataset& train,
   options.beta = beta;
   options.record_loss_every = kRecordEvery;
   options.seed = 7;
+  AttachObserver(options);
   DpTrainer trainer(model.get(), &train, nullptr, options);
   return trainer.Train().loss_history;
 }
@@ -136,7 +137,8 @@ void Run() {
 }  // namespace bench
 }  // namespace geodp
 
-int main() {
+int main(int argc, char** argv) {
+  geodp::bench::InitBenchObservability(argc, argv);
   geodp::bench::Run();
   return 0;
 }

@@ -1,13 +1,40 @@
 #include "common/bench_util.h"
 
+#include <cstdlib>
 #include <iostream>
 
+#include "base/flags.h"
 #include "base/rng.h"
 #include "core/spherical.h"
+#include "obs/step_observer.h"
 #include "stats/metrics.h"
 
 namespace geodp {
 namespace bench {
+namespace {
+
+// Step writer shared by every trainer a bench binary constructs; opened by
+// InitBenchObservability, attached via AttachObserver. Leaked on purpose
+// (lives for the whole process, like the flag values themselves).
+JsonlStepWriter* g_step_writer = nullptr;
+
+}  // namespace
+
+void InitBenchObservability(int argc, const char* const* argv) {
+  FlagParser flags;
+  AddCommonFlags(flags);
+  const Status status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n" << flags.HelpText();
+    std::exit(1);
+  }
+  ApplyCommonFlags(flags);
+  g_step_writer = ApplyObservabilityFlags(flags).release();
+}
+
+void AttachObserver(TrainerOptions& options) {
+  options.step_observer = g_step_writer;
+}
 
 void PrintBanner(const std::string& id, const std::string& paper_setup,
                  const std::string& repro_setup) {

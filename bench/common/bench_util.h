@@ -20,6 +20,17 @@
 namespace geodp {
 namespace bench {
 
+/// Parses the library-wide --geodp_* flags (threads, metrics, trace) from
+/// a bench binary's argv and applies them: resizes the thread pool,
+/// enables tracing, and opens the bench-wide step writer when
+/// --geodp_metrics_out is set. Exits the process on a malformed flag.
+/// Call first thing in main().
+void InitBenchObservability(int argc, const char* const* argv);
+
+/// Points `options.step_observer` at the bench-wide step writer opened by
+/// InitBenchObservability (no-op when --geodp_metrics_out was not given).
+void AttachObserver(TrainerOptions& options);
+
 /// Prints the experiment header: id (e.g. "Figure 3(a)"), what the paper
 /// measured, and this repo's reduced-scale setup.
 void PrintBanner(const std::string& id, const std::string& paper_setup,

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validates a --geodp_metrics_out step-telemetry JSONL file.
+
+Used by the CI bench-smoke job after a short CLI training run. Checks:
+  * the file is non-empty and every line parses as a JSON object;
+  * each record carries the required per-step keys;
+  * attempts are consecutive from 0 and steps never go backwards
+    (one record per attempt; under SUR a rejected attempt repeats its step);
+  * epsilon-so-far is monotone non-decreasing (accountants only spend).
+
+Exits 0 when the file passes, 1 with a diagnostic otherwise. Uses only
+the standard library.
+"""
+
+import json
+import sys
+
+REQUIRED_KEYS = (
+    "step",
+    "attempt",
+    "batch_size",
+    "empty_lot",
+    "mean_loss",
+    "raw_grad_norm",
+    "clipped_grad_norm",
+    "clip_fraction",
+    "magnitude_noise_stddev",
+    "direction_noise_stddev",
+    "beta",
+    "sur_enabled",
+    "sur_accepted",
+    "sur_accepted_total",
+    "sur_rejected_total",
+    "epsilon",
+    "rdp_order",
+    "accounted_steps",
+)
+
+
+def fail(message):
+    print(f"check_metrics_jsonl: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <metrics.jsonl>")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+    except OSError as error:
+        fail(f"cannot read {path}: {error}")
+    if not lines:
+        fail(f"{path} is empty")
+
+    previous_epsilon = 0.0
+    for number, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(f"{path}:{number}: not valid JSON: {error}")
+        if not isinstance(record, dict):
+            fail(f"{path}:{number}: expected a JSON object")
+        missing = [key for key in REQUIRED_KEYS if key not in record]
+        if missing:
+            fail(f"{path}:{number}: missing keys {missing}")
+        if record["attempt"] != number - 1:
+            fail(
+                f"{path}:{number}: attempt {record['attempt']} != {number - 1} "
+                "(one record per attempt, consecutive from 0)"
+            )
+        if record["step"] > record["attempt"]:
+            fail(f"{path}:{number}: step {record['step']} exceeds attempt")
+        epsilon = record["epsilon"]
+        if not isinstance(epsilon, (int, float)):
+            fail(f"{path}:{number}: epsilon is not a number")
+        if epsilon < previous_epsilon:
+            fail(
+                f"{path}:{number}: epsilon decreased "
+                f"({previous_epsilon} -> {epsilon})"
+            )
+        previous_epsilon = epsilon
+
+    print(f"check_metrics_jsonl: OK: {len(lines)} records, "
+          f"final epsilon {previous_epsilon}")
+
+
+if __name__ == "__main__":
+    main()

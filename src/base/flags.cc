@@ -179,6 +179,12 @@ void AddCommonFlags(FlagParser& parser) {
   parser.AddInt("geodp_num_threads", 0,
                 "worker threads for parallel execution (0 = auto-detect "
                 "from GEODP_NUM_THREADS / hardware concurrency, 1 = serial)");
+  parser.AddString("geodp_metrics_out", "",
+                   "write one JSONL record of per-step training telemetry "
+                   "to this path (empty = disabled)");
+  parser.AddString("geodp_trace_out", "",
+                   "write a chrome://tracing-compatible JSON trace of the "
+                   "step phases to this path (empty = disabled)");
 }
 
 void ApplyCommonFlags(const FlagParser& parser) {

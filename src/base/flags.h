@@ -67,10 +67,14 @@ class FlagParser {
 /// Registers the library-wide flags every binary should accept. Currently:
 ///   --geodp_num_threads  worker threads for ParallelFor
 ///                        (0 = auto-detect, 1 = serial execution).
+///   --geodp_metrics_out  per-step training telemetry JSONL path ("" off)
+///   --geodp_trace_out    chrome://tracing JSON path ("" off)
 void AddCommonFlags(FlagParser& parser);
 
 /// Applies the parsed common flags to the library (resizes the global
-/// thread pool). Call once after FlagParser::Parse succeeds.
+/// thread pool). Call once after FlagParser::Parse succeeds. The
+/// observability flags are applied by ApplyObservabilityFlags
+/// (obs/step_observer.h), which lives above this layer.
 void ApplyCommonFlags(const FlagParser& parser);
 
 }  // namespace geodp

@@ -1,6 +1,8 @@
 #include "base/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -11,6 +13,24 @@ namespace geodp {
 namespace {
 
 thread_local int tls_region_depth = 0;
+
+std::atomic<ThreadPoolPartHook> g_part_hook{nullptr};
+
+// Runs one part, timing it for the telemetry hook when one is installed.
+// A part that throws reports no timing (the exception propagates).
+inline void RunHookedPart(const std::function<void(int)>& fn, int part) {
+  const ThreadPoolPartHook hook =
+      g_part_hook.load(std::memory_order_relaxed);
+  if (hook == nullptr) {
+    fn(part);
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  fn(part);
+  const auto end = std::chrono::steady_clock::now();
+  hook(part, std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+                 .count());
+}
 
 /// Marks the current thread as being inside a parallel region for the
 /// lifetime of the guard.
@@ -61,7 +81,7 @@ void ThreadPool::RunParts(int num_parts, const std::function<void(int)>& fn) {
   if (num_parts <= 0) return;
   if (num_parts == 1 || num_threads_ <= 1 || InParallelRegion()) {
     RegionGuard guard;
-    for (int part = 0; part < num_parts; ++part) fn(part);
+    for (int part = 0; part < num_parts; ++part) RunHookedPart(fn, part);
     return;
   }
 
@@ -84,7 +104,7 @@ void ThreadPool::RunParts(int num_parts, const std::function<void(int)>& fn) {
         {
           RegionGuard guard;
           try {
-            fn(part);
+            RunHookedPart(fn, part);
           } catch (...) {
             std::lock_guard<std::mutex> sync_lock(sync->m);
             if (!sync->eptr) sync->eptr = std::current_exception();
@@ -101,7 +121,7 @@ void ThreadPool::RunParts(int num_parts, const std::function<void(int)>& fn) {
   {
     RegionGuard guard;
     try {
-      fn(0);
+      RunHookedPart(fn, 0);
     } catch (...) {
       caller_eptr = std::current_exception();
     }
@@ -112,6 +132,10 @@ void ThreadPool::RunParts(int num_parts, const std::function<void(int)>& fn) {
   }
   if (caller_eptr) std::rethrow_exception(caller_eptr);
   if (sync->eptr) std::rethrow_exception(sync->eptr);
+}
+
+void SetThreadPoolPartHook(ThreadPoolPartHook hook) {
+  g_part_hook.store(hook, std::memory_order_relaxed);
 }
 
 int DefaultThreadCount() {

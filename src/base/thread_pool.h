@@ -91,6 +91,15 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
 void ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
                        const std::function<void(int64_t, int64_t, int64_t)>& fn);
 
+/// Telemetry hook for the pool: invoked on the executing thread right
+/// after each RunParts part completes, with the part index and its wall
+/// time in microseconds. Installed by the tracing layer (obs/trace.h);
+/// must be thread-safe and cheap. nullptr (the default) disables it at
+/// the cost of one relaxed atomic load per part. Install only while no
+/// parallel region is running.
+using ThreadPoolPartHook = void (*)(int part, int64_t duration_micros);
+void SetThreadPoolPartHook(ThreadPoolPartHook hook);
+
 }  // namespace geodp
 
 #endif  // GEODP_BASE_THREAD_POOL_H_

@@ -13,4 +13,18 @@ double Timer::ElapsedSeconds() const {
 
 double Timer::ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+int64_t Timer::ElapsedMicros() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(now - start_)
+      .count();
+}
+
+int64_t Timer::ProcessMicros() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
 }  // namespace geodp

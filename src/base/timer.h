@@ -21,6 +21,14 @@ class Timer {
   /// Milliseconds elapsed since construction or the last Reset().
   double ElapsedMillis() const;
 
+  /// Microseconds elapsed since construction or the last Reset(), as an
+  /// integer (trace-event resolution).
+  int64_t ElapsedMicros() const;
+
+  /// Monotonic microseconds since the process-wide epoch (fixed on first
+  /// call). Trace timestamps use this so all spans share one time base.
+  static int64_t ProcessMicros();
+
  private:
   std::chrono::steady_clock::time_point start_;
 };

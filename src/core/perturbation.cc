@@ -4,6 +4,7 @@
 
 #include "base/check.h"
 #include "base/thread_pool.h"
+#include "obs/trace.h"
 
 namespace geodp {
 namespace {
@@ -74,9 +75,14 @@ double DpPerturber::CoordinateNoiseStddev() const {
          static_cast<double>(options_.batch_size);
 }
 
+NoiseStddevs DpPerturber::Stddevs(int64_t /*dimension*/) const {
+  return {CoordinateNoiseStddev(), 0.0};
+}
+
 Tensor DpPerturber::Perturb(const Tensor& avg_clipped_gradient,
                             Rng& rng) const {
   GEODP_CHECK_EQ(avg_clipped_gradient.ndim(), 1);
+  const TraceSpan span("perturb.dp");
   Tensor out = avg_clipped_gradient;
   // One root draw advances the parent deterministically; the coordinate
   // noise itself comes from per-chunk substreams (see AddGaussianNoise).
@@ -129,13 +135,26 @@ SphericalCoordinates GeoDpPerturber::PerturbSpherical(
   return noisy;
 }
 
+NoiseStddevs GeoDpPerturber::Stddevs(int64_t dimension) const {
+  return {MagnitudeNoiseStddev(), DirectionNoiseStddev(dimension)};
+}
+
 Tensor GeoDpPerturber::Perturb(const Tensor& avg_clipped_gradient,
                                Rng& rng) const {
   GEODP_CHECK_EQ(avg_clipped_gradient.ndim(), 1);
   GEODP_CHECK_GE(avg_clipped_gradient.dim(0), 2)
       << "GeoDP needs at least a 2-dimensional gradient";
-  const SphericalCoordinates coords = ToSpherical(avg_clipped_gradient);
-  const SphericalCoordinates noisy = PerturbSpherical(coords, rng);
+  SphericalCoordinates coords;
+  {
+    const TraceSpan span("spherical.to_spherical");
+    coords = ToSpherical(avg_clipped_gradient);
+  }
+  SphericalCoordinates noisy;
+  {
+    const TraceSpan span("perturb.geodp");
+    noisy = PerturbSpherical(coords, rng);
+  }
+  const TraceSpan span("spherical.to_cartesian");
   return ToCartesian(noisy);
 }
 
@@ -172,6 +191,13 @@ double GeoLaplacePerturber::DirectionNoiseScale(int64_t dimension) const {
 
 double GeoLaplacePerturber::TotalEpsilon() const {
   return options_.magnitude_epsilon + options_.direction_epsilon;
+}
+
+NoiseStddevs GeoLaplacePerturber::Stddevs(int64_t dimension) const {
+  // Laplace(b) has stddev sqrt(2) * b.
+  const double kSqrt2 = std::sqrt(2.0);
+  return {kSqrt2 * MagnitudeNoiseScale(),
+          kSqrt2 * DirectionNoiseScale(dimension)};
 }
 
 Tensor GeoLaplacePerturber::Perturb(const Tensor& avg_clipped_gradient,

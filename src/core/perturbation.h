@@ -25,6 +25,15 @@
 
 namespace geodp {
 
+/// Noise scales of one release on a d-dimensional gradient, for telemetry
+/// (obs/step_observer.h). `magnitude` is the stddev on the magnitude (for
+/// DP: on each Cartesian coordinate); `direction` is the stddev on each
+/// angle for the geometric strategies, 0 otherwise.
+struct NoiseStddevs {
+  double magnitude = 0.0;
+  double direction = 0.0;
+};
+
 /// Interface: perturbs an averaged clipped gradient in a DP fashion.
 class Perturber {
  public:
@@ -36,6 +45,13 @@ class Perturber {
 
   /// Human-readable strategy name for reports.
   virtual std::string name() const = 0;
+
+  /// Noise stddevs this strategy would apply to a gradient of the given
+  /// dimensionality. The noise-free default reports zero.
+  virtual NoiseStddevs Stddevs(int64_t dimension) const {
+    (void)dimension;
+    return {};
+  }
 };
 
 /// Shared parameters of both strategies.
@@ -52,6 +68,7 @@ class DpPerturber : public Perturber {
 
   Tensor Perturb(const Tensor& avg_clipped_gradient, Rng& rng) const override;
   std::string name() const override { return "DP"; }
+  NoiseStddevs Stddevs(int64_t dimension) const override;
 
   /// Per-coordinate noise stddev on the averaged gradient: C*sigma/B.
   double CoordinateNoiseStddev() const;
@@ -90,6 +107,7 @@ class GeoDpPerturber : public Perturber {
 
   Tensor Perturb(const Tensor& avg_clipped_gradient, Rng& rng) const override;
   std::string name() const override { return "GeoDP"; }
+  NoiseStddevs Stddevs(int64_t dimension) const override;
 
   /// Perturbs explicitly in spherical coordinates (useful for measuring
   /// direction error without a second conversion).
@@ -130,6 +148,7 @@ class GeoLaplacePerturber : public Perturber {
 
   Tensor Perturb(const Tensor& avg_clipped_gradient, Rng& rng) const override;
   std::string name() const override { return "GeoDP-Laplace"; }
+  NoiseStddevs Stddevs(int64_t dimension) const override;
 
   /// Laplace scale on the magnitude: C / (eps_mag * B).
   double MagnitudeNoiseScale() const;

@@ -25,12 +25,17 @@ void BatchSampler::StartEpoch() {
 }
 
 std::vector<int64_t> BatchSampler::NextBatch() {
-  std::vector<int64_t> batch;
-  batch.reserve(static_cast<size_t>(batch_size_));
-  while (static_cast<int64_t>(batch.size()) < batch_size_) {
-    if (cursor_ >= dataset_size_) StartEpoch();
-    batch.push_back(order_[static_cast<size_t>(cursor_++)]);
-  }
+  // Reshuffle only at batch boundaries: crossing an epoch edge mid-batch
+  // would reshuffle the permutation while part of it is already in the
+  // batch, so an example could be drawn twice. A duplicated example
+  // contributes its clipped gradient twice, breaking the sensitivity-C
+  // bound the noise is calibrated to. If fewer than batch_size indices
+  // remain, the epoch tail is dropped (batches stay exactly batch_size,
+  // matching the sensitivity analysis; the tail rejoins the next shuffle).
+  if (cursor_ + batch_size_ > dataset_size_) StartEpoch();
+  const auto first = order_.begin() + static_cast<int64_t>(cursor_);
+  std::vector<int64_t> batch(first, first + batch_size_);
+  cursor_ += batch_size_;
   return batch;
 }
 

@@ -12,13 +12,16 @@
 namespace geodp {
 
 /// Cycles through a shuffled permutation of [0, dataset_size), reshuffling
-/// at each epoch boundary; batches have exactly `batch_size` indices.
+/// at each epoch boundary; batches have exactly `batch_size` indices and
+/// never contain duplicates (an epoch tail shorter than batch_size is
+/// dropped and rejoins the next shuffle — reshuffling mid-batch could draw
+/// an example twice, violating the sensitivity-C bound of DP-SGD).
 class BatchSampler {
  public:
   BatchSampler(int64_t dataset_size, int64_t batch_size, uint64_t seed,
                bool shuffle = true);
 
-  /// Next batch of indices; wraps across epochs.
+  /// Next batch of indices; reshuffles at batch boundaries across epochs.
   std::vector<int64_t> NextBatch();
 
   int64_t batch_size() const { return batch_size_; }

@@ -81,6 +81,29 @@ PrivacyGuarantee PrivacyLedger::ComposedGuarantee(double delta) const {
   return {gaussian_epsilon + laplace_epsilon, has_gaussian ? delta : 0.0};
 }
 
+int64_t PrivacyLedger::OptimalOrder(double delta) const {
+  GEODP_CHECK(delta > 0.0 && delta < 1.0);
+  RdpAccountant accountant;
+  bool has_gaussian = false;
+  for (const PrivacyEvent& event : events_) {
+    switch (event.kind) {
+      case PrivacyEvent::Kind::kGaussian:
+        accountant.AddGaussianSteps(event.noise_multiplier, event.count);
+        has_gaussian = true;
+        break;
+      case PrivacyEvent::Kind::kSubsampledGaussian:
+        accountant.AddSubsampledGaussianSteps(event.noise_multiplier,
+                                              event.sampling_rate,
+                                              event.count);
+        has_gaussian = true;
+        break;
+      case PrivacyEvent::Kind::kLaplace:
+        break;
+    }
+  }
+  return has_gaussian ? accountant.GetOptimalOrder(delta) : 0;
+}
+
 std::string PrivacyLedger::Report(double delta) const {
   std::ostringstream out;
   out << "privacy ledger (" << events_.size() << " entries, "
@@ -104,8 +127,12 @@ std::string PrivacyLedger::Report(double delta) const {
     out << "\n";
   }
   const PrivacyGuarantee guarantee = ComposedGuarantee(delta);
+  // A pure-Laplace ledger composes to (eps, 0)-DP; still echo the delta
+  // the caller asked about so the report is unambiguous.
   out << "  => (" << guarantee.epsilon << ", " << guarantee.delta
-      << ")-DP";
+      << ")-DP at requested delta=" << delta;
+  const int64_t order = OptimalOrder(delta);
+  if (order > 0) out << "\n  => optimal RDP order: " << order;
   return out.str();
 }
 

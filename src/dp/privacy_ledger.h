@@ -51,7 +51,14 @@ class PrivacyLedger {
   /// events added by basic composition (they are pure epsilon-DP).
   PrivacyGuarantee ComposedGuarantee(double delta) const;
 
-  /// Human-readable multi-line audit report.
+  /// RDP order achieving the composed Gaussian epsilon at the given delta
+  /// (0 when the ledger holds no Gaussian events).
+  int64_t OptimalOrder(double delta) const;
+
+  /// Human-readable multi-line audit report. Always states the requested
+  /// delta (the guarantee's delta is 0 for a pure-Laplace ledger, which
+  /// used to make the report ambiguous about what was asked for) and the
+  /// optimal RDP order when Gaussian events are present.
   std::string Report(double delta) const;
 
  private:

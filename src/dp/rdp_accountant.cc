@@ -75,6 +75,7 @@ void RdpAccountant::AddGaussianSteps(double noise_multiplier, int64_t steps) {
     rdp_[i] += static_cast<double>(steps) *
                GaussianRdp(noise_multiplier, static_cast<double>(orders_[i]));
   }
+  total_steps_ += steps;
 }
 
 void RdpAccountant::AddSubsampledGaussianSteps(double noise_multiplier,
@@ -86,6 +87,7 @@ void RdpAccountant::AddSubsampledGaussianSteps(double noise_multiplier,
                SubsampledGaussianRdp(noise_multiplier, sampling_rate,
                                      orders_[i]);
   }
+  total_steps_ += steps;
 }
 
 double RdpAccountant::GetEpsilon(double delta) const {
@@ -111,6 +113,15 @@ int64_t RdpAccountant::GetOptimalOrder(double delta) const {
     }
   }
   return best_order;
+}
+
+RdpSnapshot RdpAccountant::Snapshot(double delta) const {
+  RdpSnapshot snapshot;
+  snapshot.total_steps = total_steps_;
+  if (total_steps_ == 0) return snapshot;
+  snapshot.epsilon = GetEpsilon(delta);
+  snapshot.optimal_order = GetOptimalOrder(delta);
+  return snapshot;
 }
 
 }  // namespace geodp

@@ -24,6 +24,14 @@ double GaussianRdp(double noise_multiplier, double alpha);
 double SubsampledGaussianRdp(double noise_multiplier, double sampling_rate,
                              int64_t alpha);
 
+/// Point-in-time view of an accountant: the telemetry layer emits one per
+/// training step so epsilon-so-far is visible while a run is in flight.
+struct RdpSnapshot {
+  double epsilon = 0.0;      // 0 before any release is accounted
+  int64_t optimal_order = 0; // order achieving epsilon (0 before any spend)
+  int64_t total_steps = 0;   // releases accounted so far
+};
+
 /// Tracks cumulative RDP over a set of integer orders and converts to
 /// (epsilon, delta)-DP via epsilon = min_alpha rdp(alpha) +
 /// log(1/delta)/(alpha-1).
@@ -49,12 +57,21 @@ class RdpAccountant {
   /// The order achieving GetEpsilon().
   int64_t GetOptimalOrder(double delta) const;
 
+  /// Epsilon, optimal order, and release count in one call. Unlike
+  /// GetEpsilon, an accountant with no releases reports epsilon 0 (and
+  /// order 0) instead of the vacuous log(1/delta)/(alpha-1) bound.
+  RdpSnapshot Snapshot(double delta) const;
+
+  /// Releases accounted so far across both Add methods.
+  int64_t total_steps() const { return total_steps_; }
+
   const std::vector<int64_t>& orders() const { return orders_; }
   const std::vector<double>& cumulative_rdp() const { return rdp_; }
 
  private:
   std::vector<int64_t> orders_;
   std::vector<double> rdp_;  // cumulative, parallel to orders_
+  int64_t total_steps_ = 0;
 };
 
 }  // namespace geodp

@@ -1,0 +1,132 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace geodp {
+
+std::string FormatDouble(double value) {
+  char buffer[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+void MetricsRegistry::IncrementCounter(const std::string& name,
+                                       int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::ObserveHistogram(const std::string& name,
+                                       const std::vector<double>& upper_bounds,
+                                       double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Histogram& histogram = histograms_[name];
+  if (histogram.upper_bounds.empty()) {
+    GEODP_CHECK(!upper_bounds.empty()) << "histogram " << name
+                                       << " needs at least one bucket bound";
+    for (size_t i = 1; i < upper_bounds.size(); ++i) {
+      GEODP_CHECK_LT(upper_bounds[i - 1], upper_bounds[i])
+          << "histogram bounds must be strictly increasing";
+    }
+    histogram.upper_bounds = upper_bounds;
+    histogram.counts.assign(upper_bounds.size() + 1, 0);
+  }
+  size_t bucket = histogram.upper_bounds.size();  // overflow by default
+  for (size_t i = 0; i < histogram.upper_bounds.size(); ++i) {
+    if (value <= histogram.upper_bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++histogram.counts[bucket];
+  ++histogram.count;
+  histogram.sum += value;
+}
+
+int64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+HistogramSnapshot MetricsRegistry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snapshot;
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) return snapshot;
+  snapshot.upper_bounds = it->second.upper_bounds;
+  snapshot.counts = it->second.counts;
+  snapshot.count = it->second.count;
+  snapshot.sum = it->second.sum;
+  return snapshot;
+}
+
+std::string MetricsRegistry::ToJsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_) {
+    out << "{\"type\":\"counter\",\"name\":\"" << name << "\",\"value\":"
+        << value << "}\n";
+  }
+  for (const auto& [name, value] : gauges_) {
+    out << "{\"type\":\"gauge\",\"name\":\"" << name << "\",\"value\":"
+        << FormatDouble(value) << "}\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out << "{\"type\":\"histogram\",\"name\":\"" << name << "\",\"bounds\":[";
+    for (size_t i = 0; i < histogram.upper_bounds.size(); ++i) {
+      if (i > 0) out << ",";
+      out << FormatDouble(histogram.upper_bounds[i]);
+    }
+    out << "],\"counts\":[";
+    for (size_t i = 0; i < histogram.counts.size(); ++i) {
+      if (i > 0) out << ",";
+      out << histogram.counts[i];
+    }
+    out << "],\"count\":" << histogram.count << ",\"sum\":"
+        << FormatDouble(histogram.sum) << "}\n";
+  }
+  return out.str();
+}
+
+Status MetricsRegistry::WriteJsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot open " + path);
+  out << ToJsonl();
+  out.flush();
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::Ok();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace geodp

@@ -1,0 +1,96 @@
+// Thread-safe metrics registry: named counters, gauges, and fixed-bucket
+// histograms with deterministic JSONL export. Components record into the
+// process-wide registry (MetricsRegistry::Global()); the export walks the
+// metrics in name order and formats every number with a shortest
+// round-trip representation, so two runs that produce bit-identical
+// values produce byte-identical JSONL — the property the thread-count
+// determinism tests assert.
+
+#ifndef GEODP_OBS_METRICS_H_
+#define GEODP_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace geodp {
+
+/// Formats a double with the shortest decimal representation that parses
+/// back to the same bits ("%.15g" widened to "%.17g" as needed). Used by
+/// every JSON emitter in the observability layer so output is a pure
+/// function of the value.
+std::string FormatDouble(double value);
+
+/// Snapshot of one histogram: cumulative-free bucket counts plus the
+/// running count/sum for mean recovery.
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;  // bucket b covers (bound[b-1], bound[b]]
+  std::vector<int64_t> counts;       // size upper_bounds.size() + 1 (overflow)
+  int64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Named counters / gauges / histograms behind one mutex. All methods are
+/// safe to call concurrently; histogram bucket bounds are fixed at first
+/// observation.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to a (creating-on-first-use) monotone counter.
+  void IncrementCounter(const std::string& name, int64_t delta = 1);
+
+  /// Sets a last-value-wins gauge.
+  void SetGauge(const std::string& name, double value);
+
+  /// Records `value` into the histogram `name`. The first observation
+  /// fixes the (sorted, strictly increasing) bucket upper bounds; later
+  /// observations ignore `upper_bounds`. Values above the last bound land
+  /// in the overflow bucket.
+  void ObserveHistogram(const std::string& name,
+                        const std::vector<double>& upper_bounds, double value);
+
+  int64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  HistogramSnapshot histogram(const std::string& name) const;
+
+  /// One JSON object per line, metrics sorted by (type, name):
+  ///   {"type":"counter","name":...,"value":...}
+  ///   {"type":"gauge","name":...,"value":...}
+  ///   {"type":"histogram","name":...,"bounds":[...],"counts":[...],
+  ///    "count":...,"sum":...}
+  std::string ToJsonl() const;
+
+  /// Writes ToJsonl() to `path` (overwriting).
+  Status WriteJsonl(const std::string& path) const;
+
+  /// Drops every metric (tests and between-experiment hygiene).
+  void Reset();
+
+  /// Process-wide registry shared by the trainer and the CLI.
+  static MetricsRegistry& Global();
+
+ private:
+  struct Histogram {
+    std::vector<double> upper_bounds;
+    std::vector<int64_t> counts;
+    int64_t count = 0;
+    double sum = 0.0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_OBS_METRICS_H_

@@ -1,0 +1,63 @@
+#include "obs/step_observer.h"
+
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace geodp {
+
+std::string StepRecordToJson(const StepRecord& record) {
+  std::ostringstream out;
+  out << "{\"step\":" << record.step << ",\"attempt\":" << record.attempt
+      << ",\"batch_size\":" << record.batch_size << ",\"empty_lot\":"
+      << (record.empty_lot ? "true" : "false") << ",\"mean_loss\":"
+      << FormatDouble(record.mean_loss) << ",\"raw_grad_norm\":"
+      << FormatDouble(record.raw_grad_norm) << ",\"clipped_grad_norm\":"
+      << FormatDouble(record.clipped_grad_norm) << ",\"clip_fraction\":"
+      << FormatDouble(record.clip_fraction) << ",\"magnitude_noise_stddev\":"
+      << FormatDouble(record.magnitude_noise_stddev)
+      << ",\"direction_noise_stddev\":"
+      << FormatDouble(record.direction_noise_stddev) << ",\"beta\":"
+      << FormatDouble(record.beta) << ",\"sur_enabled\":"
+      << (record.sur_enabled ? "true" : "false") << ",\"sur_accepted\":"
+      << (record.sur_accepted ? "true" : "false") << ",\"sur_accepted_total\":"
+      << record.sur_accepted_total << ",\"sur_rejected_total\":"
+      << record.sur_rejected_total << ",\"epsilon\":"
+      << FormatDouble(record.epsilon) << ",\"rdp_order\":" << record.rdp_order
+      << ",\"accounted_steps\":" << record.accounted_steps << "}";
+  return out.str();
+}
+
+JsonlStepWriter::JsonlStepWriter(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    status_ = Status::InvalidArgument("cannot open " + path);
+  }
+}
+
+JsonlStepWriter::~JsonlStepWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlStepWriter::OnStep(const StepRecord& record) {
+  if (file_ == nullptr) return;
+  const std::string line = StepRecordToJson(record);
+  if (std::fprintf(file_, "%s\n", line.c_str()) < 0 ||
+      std::fflush(file_) != 0) {
+    if (status_.ok()) status_ = Status::Internal("write failed for " + path_);
+    return;
+  }
+  ++records_written_;
+}
+
+std::unique_ptr<JsonlStepWriter> ApplyObservabilityFlags(
+    const FlagParser& parser) {
+  const std::string trace_path = parser.GetString("geodp_trace_out");
+  if (!trace_path.empty()) EnableTracing(trace_path);
+  const std::string metrics_path = parser.GetString("geodp_metrics_out");
+  if (metrics_path.empty()) return nullptr;
+  return std::make_unique<JsonlStepWriter>(metrics_path);
+}
+
+}  // namespace geodp

@@ -1,0 +1,103 @@
+// Per-step training telemetry: the trainer fills one StepRecord per
+// optimizer attempt — the per-step quantities the paper's analysis is
+// about (gradient norms, clip fraction, noise stddevs, beta, SUR
+// decisions, accumulated epsilon) — and hands it to a StepObserver.
+// JsonlStepWriter serializes records to a JSONL file with a fixed key
+// order and shortest-round-trip number formatting, so a run whose step
+// values are thread-count invariant (the ParallelFor determinism
+// contract) emits byte-identical telemetry at any --geodp_num_threads.
+
+#ifndef GEODP_OBS_STEP_OBSERVER_H_
+#define GEODP_OBS_STEP_OBSERVER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/flags.h"
+#include "base/status.h"
+
+namespace geodp {
+
+/// Everything one training step reports. Doubles are exact values from
+/// the step (no rounding); empty Poisson lots set `empty_lot` and leave
+/// the gradient fields zero.
+struct StepRecord {
+  int64_t step = 0;           // accepted-update index this attempt targets
+  int64_t attempt = 0;        // loop iteration (>= step under SUR retries)
+  int64_t batch_size = 0;     // realized lot size (0 for an empty lot)
+  bool empty_lot = false;     // Poisson draw selected no examples
+  double mean_loss = 0.0;     // mean per-sample loss (0 when empty_lot)
+  double raw_grad_norm = 0.0;      // L2 of the averaged pre-clip gradient
+  double clipped_grad_norm = 0.0;  // L2 of the averaged clipped gradient
+  double clip_fraction = 0.0;      // share of samples with norm > C
+  double magnitude_noise_stddev = 0.0;  // stddev on magnitude / coordinate
+  double direction_noise_stddev = 0.0;  // stddev per angle (GeoDP family)
+  double beta = 0.0;          // bounding factor used this step
+  bool sur_enabled = false;
+  bool sur_accepted = false;  // this attempt's decision (true without SUR)
+  int64_t sur_accepted_total = 0;
+  int64_t sur_rejected_total = 0;
+  double epsilon = 0.0;        // accountant epsilon after this step
+  int64_t rdp_order = 0;       // order achieving it (0 before any spend)
+  int64_t accounted_steps = 0; // releases charged to the accountant
+};
+
+/// Hook invoked once per training step. Implementations must tolerate
+/// being called from exactly one thread (the training loop).
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+
+  virtual void OnStep(const StepRecord& record) = 0;
+};
+
+/// Serializes a record as one deterministic JSON object (fixed key order,
+/// FormatDouble numbers). Exposed for tests and custom sinks.
+std::string StepRecordToJson(const StepRecord& record);
+
+/// Buffers records in memory (tests, programmatic consumers).
+class CollectingStepObserver : public StepObserver {
+ public:
+  void OnStep(const StepRecord& record) override { records_.push_back(record); }
+
+  const std::vector<StepRecord>& records() const { return records_; }
+
+ private:
+  std::vector<StepRecord> records_;
+};
+
+/// Appends one JSON line per step to a file, flushing after each record
+/// so telemetry survives a crashed run.
+class JsonlStepWriter : public StepObserver {
+ public:
+  explicit JsonlStepWriter(const std::string& path);
+  ~JsonlStepWriter() override;
+
+  void OnStep(const StepRecord& record) override;
+
+  /// Ok unless the file could not be opened or a write failed.
+  const Status& status() const { return status_; }
+  const std::string& path() const { return path_; }
+  int64_t records_written() const { return records_written_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  Status status_;
+  int64_t records_written_ = 0;
+};
+
+/// Applies the observability flags registered by AddCommonFlags:
+/// --geodp_trace_out enables global tracing to that path, and
+/// --geodp_metrics_out opens a per-step JSONL writer. Returns the writer
+/// (nullptr when the flag is unset); the caller owns it and must keep it
+/// alive while training runs with it attached.
+std::unique_ptr<JsonlStepWriter> ApplyObservabilityFlags(
+    const FlagParser& parser);
+
+}  // namespace geodp
+
+#endif  // GEODP_OBS_STEP_OBSERVER_H_

@@ -1,0 +1,117 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "base/thread_pool.h"
+#include "base/timer.h"
+
+namespace geodp {
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  int64_t ts_us;
+  int64_t dur_us;
+  int tid;
+};
+
+std::atomic<bool> g_enabled{false};
+
+std::mutex g_mu;
+std::vector<TraceEvent> g_events;  // guarded by g_mu
+std::string g_path;                // guarded by g_mu
+
+void AppendEvent(const char* name, int64_t ts_us, int64_t dur_us) {
+  const int tid = CurrentTraceThreadId();
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_events.push_back({name, ts_us, dur_us, tid});
+}
+
+// Thread-pool dispatch instrumentation: one slice per executed part.
+void PoolPartHook(int /*part*/, int64_t duration_us) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  AppendEvent("pool.part", Timer::ProcessMicros() - duration_us, duration_us);
+}
+
+void AtExitFlush() { (void)FlushTrace(); }
+
+}  // namespace
+
+int CurrentTraceThreadId() {
+  static std::atomic<int> next_id{0};
+  thread_local int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void EnableTracing(const std::string& path) {
+  static bool atexit_registered = [] {
+    std::atexit(AtExitFlush);
+    return true;
+  }();
+  (void)atexit_registered;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_path = path;
+    g_events.clear();
+  }
+  SetThreadPoolPartHook(&PoolPartHook);
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void DisableTracing() {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  (void)FlushTrace();
+  g_enabled.store(false, std::memory_order_relaxed);
+  SetThreadPoolPartHook(nullptr);
+}
+
+bool TracingEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+Status FlushTrace() {
+  std::vector<TraceEvent> events;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (g_path.empty()) return Status::Ok();
+    // Copy rather than drain: every flush rewrites the full trace, so a
+    // later flush (including the atexit one) can never truncate events an
+    // earlier flush already persisted.
+    events = g_events;
+    path = g_path;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot open " + path);
+  out << "{\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n{\"name\":\"" << events[i].name << "\",\"ph\":\"X\",\"ts\":"
+        << events[i].ts_us << ",\"dur\":" << events[i].dur_us
+        << ",\"pid\":0,\"tid\":" << events[i].tid << "}";
+  }
+  out << "\n]}\n";
+  out.flush();
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::Ok();
+}
+
+int64_t BufferedTraceEventCount() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return static_cast<int64_t>(g_events.size());
+}
+
+TraceSpan::TraceSpan(const char* name)
+    : name_(name),
+      start_us_(g_enabled.load(std::memory_order_relaxed)
+                    ? Timer::ProcessMicros()
+                    : -1) {}
+
+TraceSpan::~TraceSpan() {
+  if (start_us_ < 0 || !g_enabled.load(std::memory_order_relaxed)) return;
+  AppendEvent(name_, start_us_, Timer::ProcessMicros() - start_us_);
+}
+
+}  // namespace geodp

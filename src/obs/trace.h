@@ -1,0 +1,69 @@
+// RAII trace spans writing chrome://tracing-compatible JSON.
+//
+// EnableTracing(path) turns collection on; TraceSpan instances then record
+// complete ("ph":"X") events with microsecond timestamps relative to
+// process start, tagged with a small stable per-thread id. FlushTrace()
+// (also registered atexit) serializes the buffer to the configured path —
+// load the file via chrome://tracing or https://ui.perfetto.dev.
+//
+// When tracing is disabled a TraceSpan costs one relaxed atomic load and
+// no allocation, so instrumentation can stay on every hot path. Trace
+// output contains wall-clock durations and is therefore NOT expected to
+// be identical across runs or thread counts — only the metrics/step-record
+// outputs carry that guarantee.
+
+#ifndef GEODP_OBS_TRACE_H_
+#define GEODP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+
+namespace geodp {
+
+/// Starts collecting trace events; FlushTrace() will write them to
+/// `path`. Clears any previously buffered events and installs the
+/// thread-pool part hook so RunParts dispatch shows up as "pool.part"
+/// slices. Registers an atexit flush the first time it is called.
+void EnableTracing(const std::string& path);
+
+/// Flushes buffered events (if tracing was ever enabled) and stops
+/// collection.
+void DisableTracing();
+
+/// True between EnableTracing and DisableTracing.
+bool TracingEnabled();
+
+/// Writes every event buffered so far to the configured path as a JSON
+/// object {"traceEvents":[...]} (rewriting the whole file, so repeated
+/// flushes only ever grow the persisted trace). Collection stays enabled.
+/// No-op returning Ok when tracing was never enabled.
+Status FlushTrace();
+
+/// Number of currently buffered events (tests).
+int64_t BufferedTraceEventCount();
+
+/// Small dense id of the calling thread, assigned on first use. Event
+/// "tid" fields use this instead of the opaque OS thread id so traces are
+/// easy to read.
+int CurrentTraceThreadId();
+
+/// RAII span: records [construction, destruction) as one complete event.
+/// `name` must outlive the span — pass a string literal.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_us_;  // -1 when tracing was disabled at construction
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_OBS_TRACE_H_

@@ -5,6 +5,7 @@
 #include "base/check.h"
 #include "base/thread_pool.h"
 #include "nn/parameter.h"
+#include "obs/trace.h"
 #include "stats/metrics.h"
 #include "tensor/tensor_ops.h"
 
@@ -26,7 +27,7 @@ constexpr size_t kPipelineBlock = 64;
 PrivateBatchGradient ComputePerSampleGradients(
     Sequential& model, SoftmaxCrossEntropy& loss,
     const InMemoryDataset& dataset, const std::vector<int64_t>& indices,
-    const Clipper& clipper) {
+    const Clipper& clipper, bool record_sample_norms) {
   GEODP_CHECK(!indices.empty());
   const std::vector<Parameter*> params = model.Parameters();
   const int64_t flat_dim = TotalParameterCount(params);
@@ -36,26 +37,36 @@ PrivateBatchGradient ComputePerSampleGradients(
   result.averaged_clipped = Tensor({flat_dim});
   result.averaged_raw = Tensor({flat_dim});
   result.sample_losses.reserve(indices.size());
+  if (record_sample_norms) result.sample_grad_norms.reserve(indices.size());
 
   std::vector<Tensor> block;
   block.reserve(std::min(kPipelineBlock, indices.size()));
-  auto flush_block = [&] {
+  size_t pos = 0;
+  while (pos < indices.size()) {
+    const size_t block_end =
+        std::min(pos + kPipelineBlock, indices.size());
+    {
+      const TraceSpan span("step.forward_backward");
+      for (; pos < block_end; ++pos) {
+        const int64_t index = indices[pos];
+        ZeroGradients(params);
+        const Tensor x = dataset.StackImages({index});
+        const std::vector<int64_t> y = {dataset.label(index)};
+        const double sample_loss = loss.Forward(model.Forward(x), y);
+        model.Backward(loss.Backward());
+        block.push_back(FlattenGradients(params));
+        if (record_sample_norms) {
+          result.sample_grad_norms.push_back(block.back().L2Norm());
+        }
+        result.mean_loss += sample_loss;
+        result.sample_losses.push_back(sample_loss);
+      }
+    }
+    const TraceSpan span("step.clip_accumulate");
     AccumulateClipped(block, clipper, result.averaged_clipped);
     AccumulateSum(block, result.averaged_raw);
     block.clear();
-  };
-  for (int64_t index : indices) {
-    ZeroGradients(params);
-    const Tensor x = dataset.StackImages({index});
-    const std::vector<int64_t> y = {dataset.label(index)};
-    const double sample_loss = loss.Forward(model.Forward(x), y);
-    model.Backward(loss.Backward());
-    block.push_back(FlattenGradients(params));
-    result.mean_loss += sample_loss;
-    result.sample_losses.push_back(sample_loss);
-    if (block.size() == kPipelineBlock) flush_block();
   }
-  if (!block.empty()) flush_block();
   ZeroGradients(params);
 
   const float inv_b = 1.0f / static_cast<float>(result.batch_size);

@@ -23,16 +23,21 @@ struct PrivateBatchGradient {
   Tensor averaged_raw;      // (1/B) * sum_j g_j  (noise-free reference)
   double mean_loss = 0.0;   // mean per-sample loss over the batch
   std::vector<double> sample_losses;  // per-sample losses, batch order
+  // Pre-clip L2 norm of each per-sample gradient, batch order. Only
+  // filled when requested (telemetry pays for the extra norm pass, the
+  // plain training path does not).
+  std::vector<double> sample_grad_norms;
   int64_t batch_size = 0;
 };
 
 /// Runs each indexed example through the model with batch size 1, clips its
 /// flattened gradient with `clipper`, and returns both the clipped and raw
-/// averages. Leaves the accumulated parameter gradients zeroed.
+/// averages. Leaves the accumulated parameter gradients zeroed. Set
+/// `record_sample_norms` to also fill sample_grad_norms.
 PrivateBatchGradient ComputePerSampleGradients(
     Sequential& model, SoftmaxCrossEntropy& loss,
     const InMemoryDataset& dataset, const std::vector<int64_t>& indices,
-    const Clipper& clipper);
+    const Clipper& clipper, bool record_sample_norms = false);
 
 /// Mean loss of the model on up to `max_examples` examples (0 = all),
 /// evaluated in batches. Does not touch gradients.

@@ -7,12 +7,74 @@
 #include "clip/clipping.h"
 #include "data/dataloader.h"
 #include "nn/loss.h"
-#include "optim/adaptive_beta.h"
 #include "nn/parameter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "optim/adaptive_beta.h"
 #include "optim/dp_sgd.h"
 #include "optim/techniques.h"
 
 namespace geodp {
+namespace {
+
+// Fills one StepRecord from the step's intermediates and hands it to the
+// observer, mirroring into the global metrics registry. Only called when
+// an observer is attached, so none of this costs the plain training path.
+void EmitStepTelemetry(StepObserver& observer,
+                       const PrivateBatchGradient& grads,
+                       const Perturber& perturber, const Clipper& clipper,
+                       const RdpAccountant& accountant,
+                       const TrainerOptions& options, int64_t step,
+                       int64_t attempt, double current_beta,
+                       bool step_accepted, const SelectiveUpdater& selective,
+                       int64_t flat_dim) {
+  StepRecord record;
+  record.step = step;
+  record.attempt = attempt;
+  record.batch_size = grads.batch_size;
+  record.empty_lot = grads.batch_size == 0;
+  record.mean_loss = record.empty_lot ? 0.0 : grads.mean_loss;
+  record.raw_grad_norm = grads.averaged_raw.L2Norm();
+  record.clipped_grad_norm = grads.averaged_clipped.L2Norm();
+  if (!grads.sample_grad_norms.empty()) {
+    int64_t clipped = 0;
+    for (const double norm : grads.sample_grad_norms) {
+      if (norm > clipper.clip_threshold()) ++clipped;
+    }
+    record.clip_fraction =
+        static_cast<double>(clipped) /
+        static_cast<double>(grads.sample_grad_norms.size());
+  }
+  const NoiseStddevs stddevs = perturber.Stddevs(flat_dim);
+  record.magnitude_noise_stddev = stddevs.magnitude;
+  record.direction_noise_stddev = stddevs.direction;
+  record.beta = current_beta;
+  record.sur_enabled = options.selective_update;
+  record.sur_accepted = step_accepted;
+  record.sur_accepted_total = selective.accepted();
+  record.sur_rejected_total = selective.rejected();
+  const RdpSnapshot snapshot = accountant.Snapshot(options.delta);
+  record.epsilon = snapshot.epsilon;
+  record.rdp_order = snapshot.optimal_order;
+  record.accounted_steps = snapshot.total_steps;
+  observer.OnStep(record);
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.IncrementCounter("trainer.steps");
+  if (record.empty_lot) registry.IncrementCounter("trainer.empty_lots");
+  if (options.selective_update) {
+    registry.IncrementCounter(step_accepted ? "trainer.sur_accepted"
+                                            : "trainer.sur_rejected");
+  }
+  if (!record.empty_lot) {
+    registry.ObserveHistogram("trainer.clip_fraction",
+                              {0.1, 0.25, 0.5, 0.75, 0.9, 1.0},
+                              record.clip_fraction);
+  }
+  registry.SetGauge("trainer.epsilon", record.epsilon);
+}
+
+}  // namespace
 
 DpTrainer::DpTrainer(Sequential* model, const InMemoryDataset* train,
                      const InMemoryDataset* test, TrainerOptions options)
@@ -70,10 +132,14 @@ TrainingResult DpTrainer::Train() {
   const int64_t max_attempts = options_.selective_update
                                    ? 3 * options_.iterations
                                    : options_.iterations;
+  StepObserver* const observer = options_.step_observer;
+  const bool observing = observer != nullptr;
+
   int64_t accepted_updates = 0;
   for (int64_t attempt = 0;
        attempt < max_attempts && accepted_updates < options_.iterations;
        ++attempt) {
+    const TraceSpan step_span("step");
     const int64_t t = accepted_updates;
     clipper->OnStep(t);
     const std::vector<int64_t> batch =
@@ -84,13 +150,18 @@ TrainingResult DpTrainer::Train() {
     PrivateBatchGradient grads;
     if (batch.empty()) {
       // A Poisson draw can be empty: the "lot" contributes zero gradient
-      // and the step is pure noise.
+      // and the step is pure noise. Its loss is undefined and its
+      // direction carries no signal, so it is excluded from loss_history
+      // and from the adaptive-beta envelope below; the step telemetry
+      // counts it instead.
       grads.averaged_clipped = Tensor({flat_dim});
       grads.averaged_raw = Tensor({flat_dim});
       grads.batch_size = 0;
+      ++result.empty_lots;
     } else {
-      grads =
-          ComputePerSampleGradients(*model_, loss, *train_, batch, *clipper);
+      grads = ComputePerSampleGradients(*model_, loss, *train_, batch,
+                                        *clipper,
+                                        /*record_sample_norms=*/observing);
     }
     if (options_.poisson_sampling && !batch.empty()) {
       // Renormalize: divide the clipped sum by the nominal lot size B
@@ -106,7 +177,7 @@ TrainingResult DpTrainer::Train() {
       }
     }
 
-    if (adapt_beta) {
+    if (adapt_beta && !batch.empty()) {
       beta_controller.Observe(ToSpherical(grads.averaged_clipped));
       current_beta = beta_controller.CurrentBeta();
       perturber = MakePerturberForMethod(options_.method, base, current_beta,
@@ -119,8 +190,10 @@ TrainingResult DpTrainer::Train() {
                                             sampling_rate, 1);
     }
 
+    bool step_accepted = true;
     if (options_.selective_update) {
       // Snapshot, apply, test, revert on failure.
+      const TraceSpan sur_span("step.sur_eval");
       const Tensor snapshot = FlattenValues(params);
       const double loss_before = EvaluateMeanLoss(
           *model_, *train_, options_.sur_eval_examples);
@@ -135,9 +208,10 @@ TrainingResult DpTrainer::Train() {
         ++accepted_updates;
       } else {
         SetValuesFromFlat(params, snapshot);
-        continue;  // rejected attempts do not advance training
+        step_accepted = false;  // rejected attempts do not advance training
       }
     } else {
+      const TraceSpan apply_span("step.optimizer_apply");
       if (options_.use_adam) {
         adam.Step(params, noisy);
       } else {
@@ -146,11 +220,17 @@ TrainingResult DpTrainer::Train() {
       ++accepted_updates;
     }
 
-    if (options_.record_loss_every > 0 &&
+    if (step_accepted && !batch.empty() && options_.record_loss_every > 0 &&
         (t % options_.record_loss_every == 0 ||
          t == options_.iterations - 1)) {
       result.loss_iterations.push_back(t);
       result.loss_history.push_back(grads.mean_loss);
+    }
+
+    if (observing) {
+      EmitStepTelemetry(*observer, grads, *perturber, *clipper, accountant,
+                        options_, t, attempt, current_beta, step_accepted,
+                        selective, flat_dim);
     }
   }
 

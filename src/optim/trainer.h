@@ -13,6 +13,7 @@
 #include "data/dataset.h"
 #include "dp/rdp_accountant.h"
 #include "nn/sequential.h"
+#include "obs/step_observer.h"
 #include "optim/dp_adam.h"
 #include "optim/geodp_sgd.h"
 
@@ -48,6 +49,11 @@ struct TrainerOptions {
   double delta = 1e-5;                     // accounting target delta
   uint64_t seed = 1;
   int64_t record_loss_every = 10;          // 0 = never
+  // Per-step telemetry sink (obs/step_observer.h). Borrowed, may be null;
+  // when null the trainer skips every telemetry computation (per-sample
+  // norm recording, accountant snapshots, metrics counters) so the hot
+  // path pays nothing.
+  StepObserver* step_observer = nullptr;
 };
 
 /// Everything a training run reports.
@@ -60,6 +66,10 @@ struct TrainingResult {
   int64_t sur_accepted = 0;
   int64_t sur_rejected = 0;
   double final_beta = 0.0;      // last beta used (varies with adaptive_beta)
+  // Poisson lots that drew no examples (pure-noise steps). Their loss is
+  // undefined, so they are excluded from loss_history and from the
+  // adaptive-beta direction envelope.
+  int64_t empty_lots = 0;
 };
 
 /// Trains a model privately on a dataset. The model is mutated in place.

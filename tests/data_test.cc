@@ -151,6 +151,36 @@ TEST(BatchSamplerTest, NoShuffleIsSequential) {
   EXPECT_EQ(sampler.NextBatch(), (std::vector<int64_t>{2, 3}));
 }
 
+TEST(BatchSamplerTest, NoDuplicatesWhenBatchStraddlesEpochBoundary) {
+  // Regression: the sampler used to reshuffle mid-batch when an epoch ran
+  // out of indices, so an example drawn from the old permutation's tail
+  // could be drawn again from the fresh permutation's head — a duplicate
+  // inside one batch, which breaks the sensitivity-C assumption of DP-SGD
+  // (a duplicated example contributes its clipped gradient twice). With
+  // 10 % 4 != 0 the old code reshuffled inside every third batch.
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    BatchSampler sampler(10, 4, seed);
+    for (int b = 0; b < 60; ++b) {
+      const std::vector<int64_t> batch = sampler.NextBatch();
+      ASSERT_EQ(batch.size(), 4u);
+      const std::set<int64_t> unique(batch.begin(), batch.end());
+      ASSERT_EQ(unique.size(), batch.size())
+          << "duplicate index in batch (seed " << seed << ", batch " << b
+          << ")";
+    }
+  }
+}
+
+TEST(BatchSamplerTest, DropsShortEpochTailWithoutShuffle) {
+  // 5 % 2 != 0: after {0,1} and {2,3} only index 4 remains, which is fewer
+  // than a batch — the tail is dropped and the next batch restarts the
+  // epoch instead of mixing two permutations.
+  BatchSampler sampler(5, 2, /*seed=*/6, /*shuffle=*/false);
+  EXPECT_EQ(sampler.NextBatch(), (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(sampler.NextBatch(), (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(sampler.NextBatch(), (std::vector<int64_t>{0, 1}));
+}
+
 TEST(PoissonSamplerTest, MeanBatchSizeMatchesRate) {
   PoissonSampler sampler(1000, 0.05, /*seed=*/4);
   double total = 0.0;

@@ -9,6 +9,7 @@
 #include "dp/calibration.h"
 #include "dp/gaussian_mechanism.h"
 #include "dp/privacy_ledger.h"
+#include "dp/rdp_accountant.h"
 
 namespace geodp {
 namespace {
@@ -118,6 +119,41 @@ TEST(PrivacyLedgerTest, ReportMentionsEventsAndGuarantee) {
   EXPECT_NE(report.find("subsampled-gaussian"), std::string::npos);
   EXPECT_NE(report.find("demo"), std::string::npos);
   EXPECT_NE(report.find(")-DP"), std::string::npos);
+}
+
+TEST(PrivacyLedgerTest, ReportStatesRequestedDeltaForPureLaplace) {
+  // Regression: a pure-Laplace ledger composes to (eps, 0)-DP, and the
+  // report used to show only that 0 — leaving the delta the caller asked
+  // about out of the audit trail entirely.
+  PrivacyLedger ledger;
+  ledger.RecordLaplace(0.25, 4, "hyperparameter queries");
+  const std::string report = ledger.Report(1e-5);
+  EXPECT_NE(report.find("requested delta=1e-05"), std::string::npos);
+  // No Gaussian events: no RDP order to report.
+  EXPECT_EQ(report.find("optimal RDP order"), std::string::npos);
+}
+
+TEST(PrivacyLedgerTest, ReportSurfacesOptimalRdpOrder) {
+  PrivacyLedger ledger;
+  ledger.RecordSubsampledGaussian(1.0, 0.01, 500);
+  const int64_t order = ledger.OptimalOrder(1e-5);
+  EXPECT_GT(order, 0);
+  const std::string report = ledger.Report(1e-5);
+  EXPECT_NE(
+      report.find("optimal RDP order: " + std::to_string(order)),
+      std::string::npos);
+  EXPECT_NE(report.find("requested delta="), std::string::npos);
+}
+
+TEST(PrivacyLedgerTest, OptimalOrderMatchesAccountant) {
+  PrivacyLedger ledger;
+  ledger.RecordSubsampledGaussian(1.5, 0.02, 300);
+  RdpAccountant accountant;
+  accountant.AddSubsampledGaussianSteps(1.5, 0.02, 300);
+  EXPECT_EQ(ledger.OptimalOrder(1e-5), accountant.GetOptimalOrder(1e-5));
+  // Laplace events do not disturb the Gaussian order.
+  ledger.RecordLaplace(0.1);
+  EXPECT_EQ(ledger.OptimalOrder(1e-5), accountant.GetOptimalOrder(1e-5));
 }
 
 }  // namespace

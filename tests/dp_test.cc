@@ -224,5 +224,27 @@ TEST(RdpAccountantTest, ZeroStepsZeroEpsilonPlusConversionTerm) {
   EXPECT_NEAR(eps, std::log(1e5) / (1024.0 - 1.0), 1e-9);
 }
 
+TEST(RdpAccountantTest, SnapshotReportsZeroBeforeAnySpend) {
+  // Unlike GetEpsilon (which reports the vacuous conversion term), a
+  // snapshot of an untouched accountant is all zeros — what the per-step
+  // telemetry should show before the first release.
+  const RdpAccountant accountant;
+  const RdpSnapshot snapshot = accountant.Snapshot(1e-5);
+  EXPECT_EQ(snapshot.epsilon, 0.0);
+  EXPECT_EQ(snapshot.optimal_order, 0);
+  EXPECT_EQ(snapshot.total_steps, 0);
+}
+
+TEST(RdpAccountantTest, SnapshotMatchesGettersAfterSpend) {
+  RdpAccountant accountant;
+  accountant.AddSubsampledGaussianSteps(1.0, 0.01, 100);
+  accountant.AddGaussianSteps(2.0, 5);
+  const RdpSnapshot snapshot = accountant.Snapshot(1e-5);
+  EXPECT_DOUBLE_EQ(snapshot.epsilon, accountant.GetEpsilon(1e-5));
+  EXPECT_EQ(snapshot.optimal_order, accountant.GetOptimalOrder(1e-5));
+  EXPECT_EQ(snapshot.total_steps, 105);
+  EXPECT_EQ(accountant.total_steps(), 105);
+}
+
 }  // namespace
 }  // namespace geodp

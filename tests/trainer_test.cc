@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "base/rng.h"
 #include "data/synthetic_images.h"
 #include "models/logistic_regression.h"
@@ -255,6 +257,58 @@ TEST(DpTrainerTest, PoissonMatchesFixedBatchRoughly) {
   const double poisson = run(true);
   EXPECT_LT(poisson, fixed * 1.3);
   EXPECT_GT(poisson, fixed * 0.7);
+}
+
+TEST(DpTrainerTest, EmptyPoissonLotsAreCountedNotRecorded) {
+  // Tiny dataset and lot size: sampling rate 1/8 gives P(empty lot) =
+  // (7/8)^8 ~ 0.34, so a 60-step run is all but guaranteed to draw empty
+  // lots. They used to push a spurious 0.0 into loss_history; now they are
+  // counted in empty_lots and excluded from the loss record.
+  const InMemoryDataset train = MakeTrainSet(8, 37);
+  auto model = MakeModel(38);
+  TrainerOptions options;
+  options.method = PerturbationMethod::kDp;
+  options.poisson_sampling = true;
+  options.batch_size = 1;
+  options.iterations = 60;
+  options.learning_rate = 0.1;
+  options.noise_multiplier = 1.0;
+  options.record_loss_every = 1;  // record every non-empty step
+  options.seed = 39;
+  DpTrainer trainer(model.get(), &train, nullptr, options);
+  const TrainingResult result = trainer.Train();
+
+  EXPECT_GT(result.empty_lots, 0);
+  // Cross-entropy is strictly positive, so any 0.0 entry could only be the
+  // old empty-lot placeholder.
+  for (const double loss : result.loss_history) EXPECT_GT(loss, 0.0);
+  EXPECT_LT(result.loss_history.size(),
+            static_cast<size_t>(options.iterations));
+}
+
+TEST(DpTrainerTest, AdaptiveBetaIgnoresEmptyPoissonLots) {
+  // A zero-magnitude gradient has no direction; feeding its spherical form
+  // to the adaptive-beta controller used to poison the direction envelope.
+  // The controller must now see only non-empty lots and keep beta in (0, 1].
+  const InMemoryDataset train = MakeTrainSet(8, 40);
+  auto model = MakeModel(41);
+  TrainerOptions options;
+  options.method = PerturbationMethod::kGeoDp;
+  options.adaptive_beta = true;
+  options.poisson_sampling = true;
+  options.batch_size = 1;
+  options.iterations = 40;
+  options.learning_rate = 0.1;
+  options.noise_multiplier = 0.5;
+  options.beta = 0.1;
+  options.seed = 42;
+  DpTrainer trainer(model.get(), &train, nullptr, options);
+  const TrainingResult result = trainer.Train();
+
+  EXPECT_GT(result.empty_lots, 0);
+  EXPECT_GT(result.final_beta, 0.0);
+  EXPECT_LE(result.final_beta, 1.0);
+  EXPECT_TRUE(std::isfinite(result.final_train_loss));
 }
 
 TEST(DpTrainerTest, DeterministicGivenSeed) {

@@ -23,6 +23,9 @@
 #include "models/mlp.h"
 #include "models/resnet.h"
 #include "nn/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/step_observer.h"
+#include "obs/trace.h"
 #include "optim/trainer.h"
 #include "stats/metrics.h"
 
@@ -67,6 +70,8 @@ int RunTrain(int argc, const char* const* argv) {
     return 1;
   }
   ApplyCommonFlags(flags);
+  const std::unique_ptr<JsonlStepWriter> step_writer =
+      ApplyObservabilityFlags(flags);
 
   const std::string dataset_name = flags.GetString("dataset");
   SyntheticImageOptions data_options;
@@ -119,6 +124,7 @@ int RunTrain(int argc, const char* const* argv) {
   options.use_adam = flags.GetBool("adam");
   options.seed = static_cast<uint64_t>(flags.GetInt("seed")) + 2;
   options.record_loss_every = std::max<int64_t>(options.iterations / 10, 1);
+  options.step_observer = step_writer.get();
 
   DpTrainer trainer(model.get(), &train, &test, options);
   const TrainingResult result = trainer.Train();
@@ -134,6 +140,25 @@ int RunTrain(int argc, const char* const* argv) {
     std::printf("  iter %5lld loss %.4f\n",
                 static_cast<long long>(result.loss_iterations[i]),
                 result.loss_history[i]);
+  }
+
+  if (step_writer != nullptr) {
+    if (!step_writer->status().ok()) {
+      std::printf("metrics: %s\n", step_writer->status().ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics: %lld step records -> %s\n",
+                static_cast<long long>(step_writer->records_written()),
+                step_writer->path().c_str());
+  }
+  if (TracingEnabled()) {
+    const Status trace_status = FlushTrace();
+    if (!trace_status.ok()) {
+      std::printf("trace: %s\n", trace_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %lld events flushed\n",
+                static_cast<long long>(BufferedTraceEventCount()));
   }
 
   const std::string save_path = flags.GetString("save");
