@@ -4,8 +4,10 @@
 Used by the CI bench-smoke job after a short CLI training run. Checks:
   * the file is non-empty and every line parses as a JSON object;
   * each record carries the required per-step keys;
-  * attempts are consecutive from 0 and steps never go backwards
-    (one record per attempt; under SUR a rejected attempt repeats its step);
+  * attempts are consecutive from the first record's attempt and steps
+    never go backwards (one record per attempt; under SUR a rejected
+    attempt repeats its step). A resumed run's tail starts at a nonzero
+    attempt, so only consecutiveness is required, not a zero origin;
   * epsilon-so-far is monotone non-decreasing (accountants only spend).
 
 Exits 0 when the file passes, 1 with a diagnostic otherwise. Uses only
@@ -20,6 +22,7 @@ REQUIRED_KEYS = (
     "attempt",
     "batch_size",
     "empty_lot",
+    "nonfinite_skipped",
     "mean_loss",
     "raw_grad_norm",
     "clipped_grad_norm",
@@ -55,6 +58,7 @@ def main():
         fail(f"{path} is empty")
 
     previous_epsilon = 0.0
+    first_attempt = None
     for number, line in enumerate(lines, start=1):
         try:
             record = json.loads(line)
@@ -65,10 +69,14 @@ def main():
         missing = [key for key in REQUIRED_KEYS if key not in record]
         if missing:
             fail(f"{path}:{number}: missing keys {missing}")
-        if record["attempt"] != number - 1:
+        if first_attempt is None:
+            first_attempt = record["attempt"]
+        expected_attempt = first_attempt + number - 1
+        if record["attempt"] != expected_attempt:
             fail(
-                f"{path}:{number}: attempt {record['attempt']} != {number - 1} "
-                "(one record per attempt, consecutive from 0)"
+                f"{path}:{number}: attempt {record['attempt']} != "
+                f"{expected_attempt} (one record per attempt, consecutive "
+                f"from {first_attempt})"
             )
         if record["step"] > record["attempt"]:
             fail(f"{path}:{number}: step {record['step']} exceeds attempt")

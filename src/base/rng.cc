@@ -49,7 +49,7 @@ double Rng::Uniform(double lo, double hi) {
 }
 
 uint64_t Rng::UniformInt(uint64_t bound) {
-  GEODP_CHECK_GT(bound, 0u);
+  if (bound == 0) return 0;  // empty range: avoid the modulo-by-zero below
   // Rejection sampling to avoid modulo bias.
   const uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
   uint64_t r = Next();
@@ -119,6 +119,20 @@ void Rng::Jump() {
   state_[2] = s2;
   state_[3] = s3;
   has_cached_gaussian_ = false;
+}
+
+RngState Rng::ExportState() const {
+  RngState snapshot;
+  for (int i = 0; i < 4; ++i) snapshot.state[i] = state_[i];
+  snapshot.has_cached_gaussian = has_cached_gaussian_;
+  snapshot.cached_gaussian = cached_gaussian_;
+  return snapshot;
+}
+
+void Rng::ImportState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.state[i];
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
 }
 
 Rng Rng::Substream(uint64_t root_seed, uint64_t stream_id) {

@@ -16,6 +16,16 @@
 
 namespace geodp {
 
+/// Complete serializable state of an Rng: the xoshiro256++ words plus the
+/// Box-Muller spare-sample cache. Restoring this state resumes the stream
+/// bit-for-bit, which is what lets a checkpointed training run reproduce
+/// the exact noise draws it would have made uninterrupted.
+struct RngState {
+  uint64_t state[4] = {0, 0, 0, 0};
+  bool has_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+};
+
 /// Deterministic pseudo-random generator (xoshiro256++, not crypto-secure;
 /// a production DP deployment would swap in a CSPRNG behind this interface).
 class Rng {
@@ -36,7 +46,8 @@ class Rng {
   /// Uniform double in [lo, hi).
   double Uniform(double lo, double hi);
 
-  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Uniform integer in [0, bound). A bound of 0 (e.g. sampling from an
+  /// empty dataset) returns 0 instead of dividing by zero.
   uint64_t UniformInt(uint64_t bound);
 
   /// Standard normal variate (mean 0, stddev 1) via Box-Muller.
@@ -76,6 +87,14 @@ class Rng {
   /// relies on: one root draw from the parent generator, one substream per
   /// fixed-size chunk, so results are invariant to the thread count.
   static Rng Substream(uint64_t root_seed, uint64_t stream_id);
+
+  /// Snapshot of the full generator state (xoshiro words + Box-Muller
+  /// cache) for checkpointing.
+  RngState ExportState() const;
+
+  /// Restores a snapshot taken with ExportState; the stream continues
+  /// exactly where the exporting generator left off.
+  void ImportState(const RngState& state);
 
  private:
   uint64_t state_[4];

@@ -1,0 +1,86 @@
+#include "ckpt/fault_injection.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace geodp {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& site, int64_t hit, Action action) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  site_ = site;
+  target_hit_ = hit;
+  hits_ = 0;
+  action_ = action;
+  armed_.store(action != Action::kNone, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  site_.clear();
+  target_hit_ = 0;
+  hits_ = 0;
+  action_ = Action::kNone;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+FaultInjector::Action FaultInjector::Fire(const std::string& site) {
+  if (!armed()) return Action::kNone;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (action_ == Action::kNone || site != site_) return Action::kNone;
+  if (++hits_ != target_hit_) return Action::kNone;
+  const Action action = action_;
+  if (action == Action::kCrash) {
+    // Simulated preemption: no destructors, no buffers flushed beyond what
+    // the checkpoint protocol already fsynced — exactly like kill -9.
+    std::fprintf(stderr, "fault_injection: crash at %s (hit %lld)\n",
+                 site.c_str(), static_cast<long long>(hits_));
+    std::_Exit(kCrashExitCode);
+  }
+  // Corrupting actions are one-shot so the run continues past them.
+  action_ = Action::kNone;
+  armed_.store(false, std::memory_order_relaxed);
+  return action;
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  if (spec.empty()) return Status::Ok();
+  const size_t at = spec.find('@');
+  const size_t colon = spec.rfind(':');
+  if (at == std::string::npos || colon == std::string::npos || colon <= at) {
+    return Status::InvalidArgument(
+        "fail-point spec must be <site>@<hit>:<action>, got: " + spec);
+  }
+  const std::string site = spec.substr(0, at);
+  const std::string hit_text = spec.substr(at + 1, colon - at - 1);
+  const std::string action_text = spec.substr(colon + 1);
+  if (site.empty()) {
+    return Status::InvalidArgument("fail-point site is empty: " + spec);
+  }
+  char* end = nullptr;
+  const long long hit = std::strtoll(hit_text.c_str(), &end, 10);
+  if (end == hit_text.c_str() || *end != '\0' || hit <= 0) {
+    return Status::InvalidArgument("fail-point hit must be a positive "
+                                   "integer: " + spec);
+  }
+  Action action;
+  if (action_text == "crash") {
+    action = Action::kCrash;
+  } else if (action_text == "short_write") {
+    action = Action::kShortWrite;
+  } else if (action_text == "bit_flip") {
+    action = Action::kBitFlip;
+  } else {
+    return Status::InvalidArgument(
+        "unknown fail-point action (want crash|short_write|bit_flip): " +
+        action_text);
+  }
+  Global().Arm(site, hit, action);
+  return Status::Ok();
+}
+
+}  // namespace geodp

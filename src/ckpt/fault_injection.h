@@ -1,0 +1,83 @@
+// Fail-point hooks for crash-safety testing.
+//
+// Production code calls FaultInjector::Fire(site) at carefully chosen
+// points (end of a training step, inside the checkpoint write protocol).
+// Normally this is a single relaxed atomic load returning kNone. Tests and
+// the CLI can arm exactly one fail point — "<site>@<hit>:<action>" — and
+// the matching Fire call then returns the action (crash the process,
+// truncate the write, flip a bit), letting us prove that kill-at-any-step
+// resume is bit-identical and that torn checkpoint writes are never
+// resumed from.
+//
+// Fail-point catalog (see docs/fault_tolerance.md):
+//   trainer.step        end of each training attempt, after any checkpoint
+//   ckpt.before_write   entry of SaveTrainingCheckpoint
+//   ckpt.write          payload about to be written (short_write/bit_flip
+//                       corrupt the bytes; crash dies before the rename)
+//   ckpt.before_rename  temp file durable, final rename not yet done
+
+#ifndef GEODP_CKPT_FAULT_INJECTION_H_
+#define GEODP_CKPT_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "base/status.h"
+
+namespace geodp {
+
+/// Process-wide fail-point registry. One fail point can be armed at a
+/// time; firing is thread-safe.
+class FaultInjector {
+ public:
+  enum class Action {
+    kNone = 0,     // fail point not armed / not this site / not this hit
+    kCrash,        // terminate the process immediately (simulated kill -9)
+    kShortWrite,   // truncate the bytes being written (torn write)
+    kBitFlip,      // flip one bit in the bytes being written (bit rot)
+  };
+
+  static FaultInjector& Global();
+
+  /// Arms `site` to return `action` on its `hit`-th Fire (1-based). Any
+  /// previously armed fail point is replaced.
+  void Arm(const std::string& site, int64_t hit, Action action);
+
+  /// Disarms and resets the hit counter.
+  void Disarm();
+
+  /// True when a fail point is armed (single relaxed atomic load; this is
+  /// all a Fire call costs when fault injection is off).
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Reports this site being reached. Returns the armed action when this
+  /// is the armed site's configured hit, kNone otherwise. A returned
+  /// action other than kCrash disarms the fail point (one-shot).
+  /// kCrash terminates the process via _Exit(kCrashExitCode) — callers
+  /// never observe it.
+  Action Fire(const std::string& site);
+
+  /// Exit code used by Action::kCrash, distinguishable from normal failures.
+  static constexpr int kCrashExitCode = 87;
+
+  /// Arms the global injector from a CLI spec "<site>@<hit>:<action>",
+  /// e.g. "trainer.step@25:crash" or "ckpt.write@2:bit_flip". Actions:
+  /// crash, short_write, bit_flip. An empty spec is a no-op.
+  static Status ArmFromSpec(const std::string& spec);
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;
+  std::string site_;
+  int64_t target_hit_ = 0;
+  int64_t hits_ = 0;
+  Action action_ = Action::kNone;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_CKPT_FAULT_INJECTION_H_

@@ -1,5 +1,6 @@
 #include "data/dataloader.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "base/check.h"
@@ -8,12 +9,10 @@ namespace geodp {
 
 BatchSampler::BatchSampler(int64_t dataset_size, int64_t batch_size,
                            uint64_t seed, bool shuffle)
-    : dataset_size_(dataset_size),
-      batch_size_(batch_size),
+    : dataset_size_(std::max<int64_t>(dataset_size, 0)),
+      batch_size_(std::max<int64_t>(batch_size, 0)),
       shuffle_(shuffle),
       rng_(seed) {
-  GEODP_CHECK_GT(dataset_size_, 0);
-  GEODP_CHECK_GT(batch_size_, 0);
   order_.resize(static_cast<size_t>(dataset_size_));
   std::iota(order_.begin(), order_.end(), 0);
   StartEpoch();
@@ -25,6 +24,11 @@ void BatchSampler::StartEpoch() {
 }
 
 std::vector<int64_t> BatchSampler::NextBatch() {
+  // Zero-size dataset or batch: nothing to sample. Returning an empty
+  // batch (instead of CHECK-aborting) lets the trainer report a
+  // configuration error through Status.
+  const int64_t effective = std::min(batch_size_, dataset_size_);
+  if (effective == 0) return {};
   // Reshuffle only at batch boundaries: crossing an epoch edge mid-batch
   // would reshuffle the permutation while part of it is already in the
   // batch, so an example could be drawn twice. A duplicated example
@@ -32,19 +36,35 @@ std::vector<int64_t> BatchSampler::NextBatch() {
   // bound the noise is calibrated to. If fewer than batch_size indices
   // remain, the epoch tail is dropped (batches stay exactly batch_size,
   // matching the sensitivity analysis; the tail rejoins the next shuffle).
-  if (cursor_ + batch_size_ > dataset_size_) StartEpoch();
+  if (cursor_ + effective > dataset_size_) StartEpoch();
   const auto first = order_.begin() + static_cast<int64_t>(cursor_);
-  std::vector<int64_t> batch(first, first + batch_size_);
-  cursor_ += batch_size_;
+  std::vector<int64_t> batch(first, first + effective);
+  cursor_ += effective;
   return batch;
+}
+
+BatchSamplerState BatchSampler::ExportState() const {
+  BatchSamplerState state;
+  state.rng = rng_.ExportState();
+  state.order = order_;
+  state.cursor = cursor_;
+  return state;
+}
+
+void BatchSampler::ImportState(const BatchSamplerState& state) {
+  GEODP_CHECK_EQ(state.order.size(), order_.size());
+  GEODP_CHECK(state.cursor >= 0 &&
+              state.cursor <= static_cast<int64_t>(state.order.size()));
+  rng_.ImportState(state.rng);
+  order_ = state.order;
+  cursor_ = state.cursor;
 }
 
 PoissonSampler::PoissonSampler(int64_t dataset_size, double sampling_rate,
                                uint64_t seed)
-    : dataset_size_(dataset_size), sampling_rate_(sampling_rate), rng_(seed) {
-  GEODP_CHECK_GT(dataset_size_, 0);
-  GEODP_CHECK(sampling_rate_ > 0.0 && sampling_rate_ <= 1.0);
-}
+    : dataset_size_(std::max<int64_t>(dataset_size, 0)),
+      sampling_rate_(std::clamp(sampling_rate, 0.0, 1.0)),
+      rng_(seed) {}
 
 std::vector<int64_t> PoissonSampler::NextBatch() {
   std::vector<int64_t> batch;
@@ -52,6 +72,12 @@ std::vector<int64_t> PoissonSampler::NextBatch() {
     if (rng_.Uniform() < sampling_rate_) batch.push_back(i);
   }
   return batch;
+}
+
+RngState PoissonSampler::ExportState() const { return rng_.ExportState(); }
+
+void PoissonSampler::ImportState(const RngState& state) {
+  rng_.ImportState(state);
 }
 
 }  // namespace geodp

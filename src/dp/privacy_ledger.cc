@@ -47,6 +47,26 @@ void PrivacyLedger::RecordLaplace(double epsilon, int64_t count,
   events_.push_back(std::move(event));
 }
 
+void PrivacyLedger::RecordSubsampledGaussianCoalesced(double noise_multiplier,
+                                                      double sampling_rate,
+                                                      std::string note) {
+  if (!events_.empty()) {
+    PrivacyEvent& last = events_.back();
+    if (last.kind == PrivacyEvent::Kind::kSubsampledGaussian &&
+        last.noise_multiplier == noise_multiplier &&
+        last.sampling_rate == sampling_rate && last.note == note) {
+      ++last.count;
+      return;
+    }
+  }
+  RecordSubsampledGaussian(noise_multiplier, sampling_rate, 1,
+                           std::move(note));
+}
+
+void PrivacyLedger::RestoreEvents(std::vector<PrivacyEvent> events) {
+  events_ = std::move(events);
+}
+
 int64_t PrivacyLedger::TotalReleases() const {
   int64_t total = 0;
   for (const PrivacyEvent& event : events_) total += event.count;

@@ -43,6 +43,17 @@ class PrivacyLedger {
   void RecordLaplace(double epsilon, int64_t count = 1,
                      std::string note = "");
 
+  /// Like RecordSubsampledGaussian, but merges into the previous event
+  /// when it has identical parameters (kind, sigma, rate, note) instead of
+  /// appending. Per-step training releases then stay O(1) ledger entries
+  /// per parameter regime, which keeps checkpoint snapshots small.
+  void RecordSubsampledGaussianCoalesced(double noise_multiplier,
+                                         double sampling_rate,
+                                         std::string note = "");
+
+  /// Checkpoint support: replaces the event log with a restored snapshot.
+  void RestoreEvents(std::vector<PrivacyEvent> events);
+
   const std::vector<PrivacyEvent>& events() const { return events_; }
   int64_t TotalReleases() const;
 

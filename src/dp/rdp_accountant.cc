@@ -115,6 +115,29 @@ int64_t RdpAccountant::GetOptimalOrder(double delta) const {
   return best_order;
 }
 
+Status RdpAccountant::RestoreState(const std::vector<int64_t>& orders,
+                                   const std::vector<double>& cumulative_rdp,
+                                   int64_t total_steps) {
+  if (orders != orders_) {
+    return Status::FailedPrecondition(
+        "accountant order grid mismatch: cannot restore RDP snapshot");
+  }
+  if (cumulative_rdp.size() != orders_.size()) {
+    return Status::InvalidArgument("RDP value count does not match orders");
+  }
+  if (total_steps < 0) {
+    return Status::InvalidArgument("negative accounted step count");
+  }
+  for (const double value : cumulative_rdp) {
+    if (!(value >= 0.0) || !std::isfinite(value)) {
+      return Status::InvalidArgument("RDP values must be finite and >= 0");
+    }
+  }
+  rdp_ = cumulative_rdp;
+  total_steps_ = total_steps;
+  return Status::Ok();
+}
+
 RdpSnapshot RdpAccountant::Snapshot(double delta) const {
   RdpSnapshot snapshot;
   snapshot.total_steps = total_steps_;

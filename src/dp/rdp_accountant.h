@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/status.h"
+
 namespace geodp {
 
 /// RDP of the (un-subsampled) Gaussian mechanism with noise multiplier
@@ -64,6 +66,15 @@ class RdpAccountant {
 
   /// Releases accounted so far across both Add methods.
   int64_t total_steps() const { return total_steps_; }
+
+  /// Checkpoint support: restores a snapshot taken from `orders()`,
+  /// `cumulative_rdp()` and `total_steps()`. Fails (without mutating the
+  /// accountant) when the saved orders do not match this accountant's or
+  /// the values are malformed — resuming onto a mismatched accountant
+  /// would silently misreport epsilon.
+  Status RestoreState(const std::vector<int64_t>& orders,
+                      const std::vector<double>& cumulative_rdp,
+                      int64_t total_steps);
 
   const std::vector<int64_t>& orders() const { return orders_; }
   const std::vector<double>& cumulative_rdp() const { return rdp_; }

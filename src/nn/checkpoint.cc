@@ -55,8 +55,11 @@ Status LoadCheckpoint(Layer& model, const std::string& path) {
   }
   uint32_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in.good()) {
+    return Status::InvalidArgument("truncated checkpoint header");
+  }
   const std::vector<Parameter*> params = model.Parameters();
-  if (!in.good() || count != params.size()) {
+  if (count != params.size()) {
     return Status::FailedPrecondition("parameter count mismatch");
   }
   // Read everything first so a mismatch cannot leave the model partially

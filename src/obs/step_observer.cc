@@ -11,7 +11,8 @@ std::string StepRecordToJson(const StepRecord& record) {
   std::ostringstream out;
   out << "{\"step\":" << record.step << ",\"attempt\":" << record.attempt
       << ",\"batch_size\":" << record.batch_size << ",\"empty_lot\":"
-      << (record.empty_lot ? "true" : "false") << ",\"mean_loss\":"
+      << (record.empty_lot ? "true" : "false") << ",\"nonfinite_skipped\":"
+      << record.nonfinite_skipped << ",\"mean_loss\":"
       << FormatDouble(record.mean_loss) << ",\"raw_grad_norm\":"
       << FormatDouble(record.raw_grad_norm) << ",\"clipped_grad_norm\":"
       << FormatDouble(record.clipped_grad_norm) << ",\"clip_fraction\":"

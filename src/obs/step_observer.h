@@ -29,6 +29,9 @@ struct StepRecord {
   int64_t attempt = 0;        // loop iteration (>= step under SUR retries)
   int64_t batch_size = 0;     // realized lot size (0 for an empty lot)
   bool empty_lot = false;     // Poisson draw selected no examples
+  // Samples dropped this step because their loss/gradient was NaN or Inf
+  // (optim/dp_sgd.h); they contribute zero gradient to the update.
+  int64_t nonfinite_skipped = 0;
   double mean_loss = 0.0;     // mean per-sample loss (0 when empty_lot)
   double raw_grad_norm = 0.0;      // L2 of the averaged pre-clip gradient
   double clipped_grad_norm = 0.0;  // L2 of the averaged clipped gradient

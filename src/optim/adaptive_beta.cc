@@ -45,6 +45,22 @@ void AdaptiveBetaController::Observe(const SphericalCoordinates& direction) {
   ++observations_;
 }
 
+AdaptiveBetaState AdaptiveBetaController::ExportState() const {
+  AdaptiveBetaState state;
+  state.observations = observations_;
+  state.min_angle = min_angle_;
+  state.max_angle = max_angle_;
+  return state;
+}
+
+void AdaptiveBetaController::ImportState(const AdaptiveBetaState& state) {
+  GEODP_CHECK_GE(state.observations, 0);
+  GEODP_CHECK_EQ(state.min_angle.size(), state.max_angle.size());
+  observations_ = state.observations;
+  min_angle_ = state.min_angle;
+  max_angle_ = state.max_angle;
+}
+
 double AdaptiveBetaController::CurrentBeta() const {
   if (observations_ == 0) return ceiling_;
   double mean_ratio = 0.0;

@@ -20,6 +20,13 @@
 
 namespace geodp {
 
+/// Serializable snapshot of the adaptive-beta direction envelope.
+struct AdaptiveBetaState {
+  int64_t observations = 0;
+  std::vector<double> min_angle;
+  std::vector<double> max_angle;
+};
+
 /// Streaming beta estimator.
 class AdaptiveBetaController {
  public:
@@ -37,6 +44,10 @@ class AdaptiveBetaController {
   double CurrentBeta() const;
 
   int64_t observations() const { return observations_; }
+
+  /// Checkpoint support: snapshot / restore the decayed envelope.
+  AdaptiveBetaState ExportState() const;
+  void ImportState(const AdaptiveBetaState& state);
 
  private:
   double floor_;

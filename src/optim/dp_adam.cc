@@ -15,6 +15,23 @@ FlatAdam::FlatAdam(int64_t flat_dim, AdamOptions options)
   GEODP_CHECK_GT(options_.epsilon, 0.0);
 }
 
+FlatAdamState FlatAdam::ExportState() const {
+  FlatAdamState state;
+  state.m = m_;
+  state.v = v_;
+  state.step = step_;
+  return state;
+}
+
+void FlatAdam::ImportState(const FlatAdamState& state) {
+  GEODP_CHECK_EQ(state.m.numel(), m_.numel());
+  GEODP_CHECK_EQ(state.v.numel(), v_.numel());
+  GEODP_CHECK_GE(state.step, 0);
+  m_ = state.m;
+  v_ = state.v;
+  step_ = state.step;
+}
+
 void FlatAdam::Step(const std::vector<Parameter*>& params,
                     const Tensor& flat_gradient) {
   GEODP_CHECK_EQ(flat_gradient.numel(), m_.numel());

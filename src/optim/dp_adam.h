@@ -14,6 +14,14 @@
 
 namespace geodp {
 
+/// Serializable snapshot of a FlatAdam: both moment vectors and the bias-
+/// correction step counter.
+struct FlatAdamState {
+  Tensor m;
+  Tensor v;
+  int64_t step = 0;
+};
+
 /// Adam hyperparameters.
 struct AdamOptions {
   double learning_rate = 0.01;
@@ -34,6 +42,10 @@ class FlatAdam {
             const Tensor& flat_gradient);
 
   int64_t step_count() const { return step_; }
+
+  /// Checkpoint support: snapshot / restore moments and step counter.
+  FlatAdamState ExportState() const;
+  void ImportState(const FlatAdamState& state);
 
  private:
   AdamOptions options_;

@@ -1,6 +1,7 @@
 #include "optim/dp_sgd.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "base/check.h"
 #include "base/thread_pool.h"
@@ -41,6 +42,7 @@ PrivateBatchGradient ComputePerSampleGradients(
 
   std::vector<Tensor> block;
   block.reserve(std::min(kPipelineBlock, indices.size()));
+  int64_t finite_samples = 0;
   size_t pos = 0;
   while (pos < indices.size()) {
     const size_t block_end =
@@ -54,11 +56,24 @@ PrivateBatchGradient ComputePerSampleGradients(
         const std::vector<int64_t> y = {dataset.label(index)};
         const double sample_loss = loss.Forward(model.Forward(x), y);
         model.Backward(loss.Backward());
-        block.push_back(FlattenGradients(params));
-        if (record_sample_norms) {
-          result.sample_grad_norms.push_back(block.back().L2Norm());
+        Tensor grad = FlattenGradients(params);
+        // Any non-finite gradient element makes the L2 norm non-finite,
+        // so one norm (a pass the clipper needs anyway, orders of
+        // magnitude cheaper than the backward pass) detects NaN/Inf
+        // poisoning. Such samples are dropped from the averages; the
+        // model stays finite and training degrades gracefully instead of
+        // diverging.
+        const double norm = grad.L2Norm();
+        const bool finite =
+            std::isfinite(sample_loss) && std::isfinite(norm);
+        if (finite) {
+          block.push_back(std::move(grad));
+          result.mean_loss += sample_loss;
+          ++finite_samples;
+        } else {
+          ++result.nonfinite_skipped;
         }
-        result.mean_loss += sample_loss;
+        if (record_sample_norms) result.sample_grad_norms.push_back(norm);
         result.sample_losses.push_back(sample_loss);
       }
     }
@@ -72,7 +87,10 @@ PrivateBatchGradient ComputePerSampleGradients(
   const float inv_b = 1.0f / static_cast<float>(result.batch_size);
   result.averaged_clipped.ScaleInPlace(inv_b);
   result.averaged_raw.ScaleInPlace(inv_b);
-  result.mean_loss /= static_cast<double>(result.batch_size);
+  result.mean_loss = finite_samples > 0
+                         ? result.mean_loss /
+                               static_cast<double>(finite_samples)
+                         : 0.0;
   return result;
 }
 

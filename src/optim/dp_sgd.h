@@ -28,6 +28,12 @@ struct PrivateBatchGradient {
   // plain training path does not).
   std::vector<double> sample_grad_norms;
   int64_t batch_size = 0;
+  // Samples whose loss or gradient came out non-finite (NaN/Inf). They
+  // contribute zero gradient — the averages stay finite and the update is
+  // still divided by the full batch size, so the sensitivity bound is
+  // unaffected — and are excluded from mean_loss. sample_losses keeps the
+  // raw (possibly non-finite) values so it stays batch-aligned.
+  int64_t nonfinite_skipped = 0;
 };
 
 /// Runs each indexed example through the model with batch size 1, clips its

@@ -1,6 +1,7 @@
 #include "optim/techniques.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "base/check.h"
 
@@ -42,6 +43,9 @@ std::vector<int64_t> ImportanceSampler::NextBatch() {
 
 void ImportanceSampler::UpdateLoss(int64_t index, double loss) {
   GEODP_CHECK(index >= 0 && index < dataset_size_);
+  // A NaN/Inf loss (sample skipped by the non-finite guard) would poison
+  // the EMA and make the weight table unusable; ignore it.
+  if (!std::isfinite(loss)) return;
   // Floor keeps every example reachable.
   const double value = std::max(loss, 1e-3);
   double& w = weights_[static_cast<size_t>(index)];
@@ -58,8 +62,31 @@ double ImportanceSampler::weight(int64_t index) const {
   return weights_[static_cast<size_t>(index)];
 }
 
+ImportanceSamplerState ImportanceSampler::ExportState() const {
+  ImportanceSamplerState state;
+  state.rng = rng_.ExportState();
+  state.weights = weights_;
+  state.seen.assign(seen_.begin(), seen_.end());
+  return state;
+}
+
+void ImportanceSampler::ImportState(const ImportanceSamplerState& state) {
+  GEODP_CHECK_EQ(state.weights.size(), weights_.size());
+  GEODP_CHECK_EQ(state.seen.size(), seen_.size());
+  rng_.ImportState(state.rng);
+  weights_ = state.weights;
+  seen_.assign(state.seen.begin(), state.seen.end());
+}
+
 SelectiveUpdater::SelectiveUpdater(double tolerance) : tolerance_(tolerance) {
   GEODP_CHECK_GE(tolerance_, 0.0);
+}
+
+void SelectiveUpdater::RestoreCounts(int64_t accepted, int64_t rejected) {
+  GEODP_CHECK_GE(accepted, 0);
+  GEODP_CHECK_GE(rejected, 0);
+  accepted_ = accepted;
+  rejected_ = rejected;
 }
 
 bool SelectiveUpdater::ShouldAccept(double loss_before, double loss_after) {

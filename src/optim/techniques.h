@@ -14,6 +14,14 @@
 
 namespace geodp {
 
+/// Serializable snapshot of an ImportanceSampler: generator state plus the
+/// per-example weight table.
+struct ImportanceSamplerState {
+  RngState rng;
+  std::vector<double> weights;
+  std::vector<bool> seen;
+};
+
 /// Importance sampling: examples are drawn with probability proportional to
 /// an exponential moving average of their recent loss, so hard examples are
 /// visited more often. Unseen examples carry the current mean weight.
@@ -25,11 +33,17 @@ class ImportanceSampler {
   /// Draws `batch_size` indices with replacement, weight-proportional.
   std::vector<int64_t> NextBatch();
 
-  /// Feeds back the observed loss of an example.
+  /// Feeds back the observed loss of an example. Non-finite losses (a
+  /// sample that produced a NaN/Inf loss is skipped by the trainer) are
+  /// ignored so they cannot poison the weight table.
   void UpdateLoss(int64_t index, double loss);
 
   /// Current sampling weight of an example (exposed for tests).
   double weight(int64_t index) const;
+
+  /// Checkpoint support: snapshot / restore the full sampler state.
+  ImportanceSamplerState ExportState() const;
+  void ImportState(const ImportanceSamplerState& state);
 
  private:
   int64_t dataset_size_;
@@ -52,6 +66,9 @@ class SelectiveUpdater {
 
   int64_t accepted() const { return accepted_; }
   int64_t rejected() const { return rejected_; }
+
+  /// Checkpoint support: restores the acceptance counters.
+  void RestoreCounts(int64_t accepted, int64_t rejected);
 
  private:
   double tolerance_;

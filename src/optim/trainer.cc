@@ -1,9 +1,14 @@
 #include "optim/trainer.h"
 
+#include <ios>
 #include <memory>
+#include <sstream>
+#include <utility>
 
 #include "base/check.h"
 #include "base/rng.h"
+#include "ckpt/checkpoint.h"
+#include "ckpt/fault_injection.h"
 #include "clip/clipping.h"
 #include "data/dataloader.h"
 #include "nn/loss.h"
@@ -33,6 +38,7 @@ void EmitStepTelemetry(StepObserver& observer,
   record.attempt = attempt;
   record.batch_size = grads.batch_size;
   record.empty_lot = grads.batch_size == 0;
+  record.nonfinite_skipped = grads.nonfinite_skipped;
   record.mean_loss = record.empty_lot ? 0.0 : grads.mean_loss;
   record.raw_grad_norm = grads.averaged_raw.L2Norm();
   record.clipped_grad_norm = grads.averaged_clipped.L2Norm();
@@ -62,6 +68,10 @@ void EmitStepTelemetry(StepObserver& observer,
   MetricsRegistry& registry = MetricsRegistry::Global();
   registry.IncrementCounter("trainer.steps");
   if (record.empty_lot) registry.IncrementCounter("trainer.empty_lots");
+  if (record.nonfinite_skipped > 0) {
+    registry.IncrementCounter("trainer.nonfinite_samples",
+                              record.nonfinite_skipped);
+  }
   if (options.selective_update) {
     registry.IncrementCounter(step_accepted ? "trainer.sur_accepted"
                                             : "trainer.sur_rejected");
@@ -74,21 +84,115 @@ void EmitStepTelemetry(StepObserver& observer,
   registry.SetGauge("trainer.epsilon", record.epsilon);
 }
 
+// Canonical string of every option that shapes the training trajectory.
+// Stored in each checkpoint and compared on resume, so a checkpoint can
+// never silently continue a differently-configured run. `iterations` is
+// deliberately excluded: resuming with a larger bound extends training,
+// and the first steps of a run do not depend on when it will stop.
+// Doubles are rendered as hexfloat, so the comparison is bit-exact.
+std::string OptionsFingerprint(const TrainerOptions& o, int64_t train_size) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << "v1"
+      << "|method=" << static_cast<int>(o.method)
+      << "|train_size=" << train_size
+      << "|batch=" << o.batch_size
+      << "|lr=" << o.learning_rate
+      << "|clip=" << o.clip_threshold
+      << "|sigma=" << o.noise_multiplier
+      << "|beta=" << o.beta
+      << "|adaptive_beta=" << o.adaptive_beta
+      << "|beta_floor=" << o.adaptive_beta_floor
+      << "|angles=" << static_cast<int>(o.angle_handling)
+      << "|clipper=" << o.clipper
+      << "|poisson=" << o.poisson_sampling
+      << "|is=" << o.importance_sampling
+      << "|sur=" << o.selective_update
+      << "|sur_tol=" << o.sur_tolerance
+      << "|sur_eval=" << o.sur_eval_examples
+      << "|adam=" << o.use_adam
+      << "|delta=" << o.delta
+      << "|seed=" << o.seed
+      << "|record_loss=" << o.record_loss_every;
+  return out.str();
+}
+
 }  // namespace
+
+Status ValidateTrainerOptions(const TrainerOptions& options,
+                              int64_t train_size) {
+  if (train_size <= 0) {
+    return Status::InvalidArgument("training dataset is empty");
+  }
+  if (options.batch_size <= 0) {
+    return Status::InvalidArgument(
+        "batch_size must be positive, got " +
+        std::to_string(options.batch_size));
+  }
+  if (options.batch_size > train_size) {
+    return Status::InvalidArgument(
+        "batch_size " + std::to_string(options.batch_size) +
+        " exceeds dataset size " + std::to_string(train_size));
+  }
+  if (options.iterations <= 0) {
+    return Status::InvalidArgument(
+        "iterations must be positive, got " +
+        std::to_string(options.iterations));
+  }
+  if (!(options.learning_rate > 0.0)) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  if (!(options.clip_threshold > 0.0)) {
+    return Status::InvalidArgument("clip_threshold must be positive");
+  }
+  if (!(options.noise_multiplier >= 0.0)) {
+    return Status::InvalidArgument("noise_multiplier must be >= 0");
+  }
+  if (!(options.beta > 0.0 && options.beta <= 1.0)) {
+    return Status::InvalidArgument("beta must be in (0, 1]");
+  }
+  if (!(options.delta > 0.0 && options.delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (options.selective_update && options.sur_eval_examples <= 0) {
+    return Status::InvalidArgument(
+        "sur_eval_examples must be positive when selective_update is on");
+  }
+  if (!(options.sur_tolerance >= 0.0)) {
+    return Status::InvalidArgument("sur_tolerance must be >= 0");
+  }
+  if (options.checkpoint_every < 0) {
+    return Status::InvalidArgument("checkpoint_every must be >= 0");
+  }
+  if (options.checkpoint_every > 0 && options.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "checkpoint_every > 0 requires checkpoint_dir");
+  }
+  if (options.checkpoint_keep < 1) {
+    return Status::InvalidArgument("checkpoint_keep must be >= 1");
+  }
+  return Status::Ok();
+}
 
 DpTrainer::DpTrainer(Sequential* model, const InMemoryDataset* train,
                      const InMemoryDataset* test, TrainerOptions options)
     : model_(model), train_(train), test_(test), options_(options) {
+  // Null pointers are programming errors; everything value-shaped is
+  // validated by Run() so callers get a Status instead of an abort.
   GEODP_CHECK(model_ != nullptr);
   GEODP_CHECK(train_ != nullptr);
-  GEODP_CHECK_GT(train_->size(), 0);
-  GEODP_CHECK_GT(options_.batch_size, 0);
-  GEODP_CHECK_LE(options_.batch_size, train_->size());
-  GEODP_CHECK_GT(options_.iterations, 0);
-  GEODP_CHECK_GT(options_.learning_rate, 0.0);
 }
 
 TrainingResult DpTrainer::Train() {
+  StatusOr<TrainingResult> result = Run();
+  GEODP_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+StatusOr<TrainingResult> DpTrainer::Run() {
+  const Status valid = ValidateTrainerOptions(options_, train_->size());
+  if (!valid.ok()) return valid;
+
   Rng rng(options_.seed);
   Rng noise_rng = rng.Fork();
 
@@ -124,8 +228,96 @@ TrainingResult DpTrainer::Train() {
   RdpAccountant accountant;
   const double sampling_rate = static_cast<double>(options_.batch_size) /
                                static_cast<double>(train_->size());
+  const std::string fingerprint =
+      OptionsFingerprint(options_, train_->size());
 
   TrainingResult result;
+  int64_t accepted_updates = 0;
+  int64_t start_attempt = 0;
+
+  if (!options_.resume_from.empty()) {
+    StatusOr<FoundCheckpoint> found =
+        FindLatestGoodCheckpoint(options_.resume_from);
+    if (!found.ok()) return found.status();
+    const TrainingCheckpoint& c = found.value().checkpoint;
+    if (c.options_fingerprint != fingerprint) {
+      return Status::FailedPrecondition(
+          "checkpoint " + found.value().path +
+          " was written by a differently-configured run; refusing to "
+          "resume (got \"" + c.options_fingerprint + "\", want \"" +
+          fingerprint + "\")");
+    }
+    // Validate every restored shape before mutating anything, so a
+    // mismatched checkpoint leaves the model and trainer untouched.
+    if (c.param_names.size() != params.size()) {
+      return Status::FailedPrecondition(
+          "checkpoint parameter count mismatch");
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (c.param_names[i] != params[i]->name ||
+          c.param_values[i].shape() != params[i]->value.shape()) {
+        return Status::FailedPrecondition(
+            "checkpoint parameter mismatch at \"" + c.param_names[i] +
+            "\"");
+      }
+    }
+    if (static_cast<int64_t>(c.uniform_sampler.order.size()) !=
+            train_->size() ||
+        c.uniform_sampler.cursor < 0 ||
+        c.uniform_sampler.cursor > train_->size()) {
+      return Status::FailedPrecondition(
+          "checkpoint batch-sampler state does not fit this dataset");
+    }
+    if (static_cast<int64_t>(c.importance_sampler.weights.size()) !=
+            train_->size() ||
+        c.importance_sampler.seen.size() !=
+            c.importance_sampler.weights.size()) {
+      return Status::FailedPrecondition(
+          "checkpoint importance-sampler state does not fit this dataset");
+    }
+    if (c.adam.m.numel() != flat_dim || c.adam.v.numel() != flat_dim ||
+        c.adam.step < 0) {
+      return Status::FailedPrecondition(
+          "checkpoint optimizer state does not fit this model");
+    }
+    if (c.beta_controller.observations < 0 ||
+        c.beta_controller.min_angle.size() !=
+            c.beta_controller.max_angle.size()) {
+      return Status::FailedPrecondition(
+          "checkpoint adaptive-beta state is inconsistent");
+    }
+    if (c.sur_accepted < 0 || c.sur_rejected < 0) {
+      return Status::FailedPrecondition(
+          "checkpoint SUR counters are inconsistent");
+    }
+    const Status accounting = accountant.RestoreState(
+        c.accountant_orders, c.accountant_rdp, c.accountant_steps);
+    if (!accounting.ok()) return accounting;
+
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = c.param_values[i];
+    }
+    noise_rng.ImportState(c.noise_rng);
+    uniform_sampler.ImportState(c.uniform_sampler);
+    poisson_sampler.ImportState(c.poisson_rng);
+    importance_sampler.ImportState(c.importance_sampler);
+    adam.ImportState(c.adam);
+    beta_controller.ImportState(c.beta_controller);
+    selective.RestoreCounts(c.sur_accepted, c.sur_rejected);
+    result.ledger.RestoreEvents(c.ledger_events);
+    result.loss_iterations = c.loss_iterations;
+    result.loss_history = c.loss_history;
+    result.empty_lots = c.empty_lots;
+    result.nonfinite_skipped = c.nonfinite_skipped;
+    current_beta = c.current_beta;
+    if (adapt_beta) {
+      perturber = MakePerturberForMethod(options_.method, base, current_beta,
+                                         options_.angle_handling);
+    }
+    accepted_updates = c.accepted_updates;
+    start_attempt = c.next_attempt;
+  }
+
   // SUR (DPSUR semantics): a rejected update does not count as a training
   // iteration — the loop keeps drawing fresh noisy updates (each spending
   // privacy budget) until one is accepted, up to an attempt cap.
@@ -134,9 +326,10 @@ TrainingResult DpTrainer::Train() {
                                    : options_.iterations;
   StepObserver* const observer = options_.step_observer;
   const bool observing = observer != nullptr;
+  const bool checkpointing = options_.checkpoint_every > 0;
+  FaultInjector& faults = FaultInjector::Global();
 
-  int64_t accepted_updates = 0;
-  for (int64_t attempt = 0;
+  for (int64_t attempt = start_attempt;
        attempt < max_attempts && accepted_updates < options_.iterations;
        ++attempt) {
     const TraceSpan step_span("step");
@@ -162,6 +355,7 @@ TrainingResult DpTrainer::Train() {
       grads = ComputePerSampleGradients(*model_, loss, *train_, batch,
                                         *clipper,
                                         /*record_sample_norms=*/observing);
+      result.nonfinite_skipped += grads.nonfinite_skipped;
     }
     if (options_.poisson_sampling && !batch.empty()) {
       // Renormalize: divide the clipped sum by the nominal lot size B
@@ -188,6 +382,8 @@ TrainingResult DpTrainer::Train() {
         options_.noise_multiplier > 0.0) {
       accountant.AddSubsampledGaussianSteps(options_.noise_multiplier,
                                             sampling_rate, 1);
+      result.ledger.RecordSubsampledGaussianCoalesced(
+          options_.noise_multiplier, sampling_rate, "dp-sgd step");
     }
 
     bool step_accepted = true;
@@ -232,6 +428,44 @@ TrainingResult DpTrainer::Train() {
                         options_, t, attempt, current_beta, step_accepted,
                         selective, flat_dim);
     }
+
+    if (checkpointing && (attempt + 1) % options_.checkpoint_every == 0) {
+      const TraceSpan ckpt_span("step.checkpoint");
+      TrainingCheckpoint ckpt;
+      ckpt.next_attempt = attempt + 1;
+      ckpt.accepted_updates = accepted_updates;
+      ckpt.loss_iterations = result.loss_iterations;
+      ckpt.loss_history = result.loss_history;
+      ckpt.empty_lots = result.empty_lots;
+      ckpt.nonfinite_skipped = result.nonfinite_skipped;
+      ckpt.sur_accepted = selective.accepted();
+      ckpt.sur_rejected = selective.rejected();
+      ckpt.current_beta = current_beta;
+      ckpt.param_names.reserve(params.size());
+      ckpt.param_values.reserve(params.size());
+      for (const Parameter* param : params) {
+        ckpt.param_names.push_back(param->name);
+        ckpt.param_values.push_back(param->value);
+      }
+      ckpt.noise_rng = noise_rng.ExportState();
+      ckpt.uniform_sampler = uniform_sampler.ExportState();
+      ckpt.poisson_rng = poisson_sampler.ExportState();
+      ckpt.importance_sampler = importance_sampler.ExportState();
+      ckpt.adam = adam.ExportState();
+      ckpt.accountant_orders = accountant.orders();
+      ckpt.accountant_rdp = accountant.cumulative_rdp();
+      ckpt.accountant_steps = accountant.total_steps();
+      ckpt.ledger_events = result.ledger.events();
+      ckpt.beta_controller = beta_controller.ExportState();
+      ckpt.options_fingerprint = fingerprint;
+      const std::string path = options_.checkpoint_dir + "/" +
+                               CheckpointFileName(attempt + 1);
+      const Status saved = SaveTrainingCheckpoint(ckpt, path);
+      if (!saved.ok()) return saved;
+      PruneOldCheckpoints(options_.checkpoint_dir, options_.checkpoint_keep);
+    }
+
+    faults.Fire("trainer.step");
   }
 
   result.final_train_loss =

@@ -1,6 +1,7 @@
 // End-to-end private training loop: per-sample clipping, perturbation
 // (none / DP / GeoDP), optional importance sampling, selective update,
-// Adam post-processing, and RDP privacy accounting.
+// Adam post-processing, RDP privacy accounting, and crash-safe
+// checkpointing with bit-identical resume (docs/fault_tolerance.md).
 
 #ifndef GEODP_OPTIM_TRAINER_H_
 #define GEODP_OPTIM_TRAINER_H_
@@ -9,8 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "base/status.h"
 #include "core/perturbation.h"
 #include "data/dataset.h"
+#include "dp/privacy_ledger.h"
 #include "dp/rdp_accountant.h"
 #include "nn/sequential.h"
 #include "obs/step_observer.h"
@@ -54,6 +57,22 @@ struct TrainerOptions {
   // norm recording, accountant snapshots, metrics counters) so the hot
   // path pays nothing.
   StepObserver* step_observer = nullptr;
+
+  // -- Crash safety (ckpt/checkpoint.h) --------------------------------
+  // Write a full-state checkpoint every this many attempts (0 = never; the
+  // training loop then does no checkpoint work at all).
+  int64_t checkpoint_every = 0;
+  // Directory for checkpoint files; required when checkpoint_every > 0.
+  std::string checkpoint_dir;
+  // Checkpoint files retained after each write (older ones are pruned).
+  // Keeping >= 2 means a corrupt newest file still leaves a fallback.
+  int64_t checkpoint_keep = 2;
+  // When non-empty, resume from the newest valid checkpoint in this
+  // directory before training. The remaining steps replay bit-identically:
+  // same batches, same noise, same telemetry bytes, same epsilon as an
+  // uninterrupted run. Options must match the checkpointed run
+  // (`iterations` may differ, so training can be extended).
+  std::string resume_from;
 };
 
 /// Everything a training run reports.
@@ -70,7 +89,20 @@ struct TrainingResult {
   // undefined, so they are excluded from loss_history and from the
   // adaptive-beta direction envelope.
   int64_t empty_lots = 0;
+  // Per-sample gradients/losses dropped for being NaN/Inf (optim/dp_sgd.h).
+  // The model parameters stay finite regardless of this count.
+  int64_t nonfinite_skipped = 0;
+  // Audit trail of every privacy release the run made (restored releases
+  // included when resuming, so the composed guarantee covers the whole
+  // training history, not just the final segment).
+  PrivacyLedger ledger;
 };
+
+/// Validates a configuration against a dataset of `train_size` examples.
+/// Returns a descriptive error for out-of-range values instead of letting
+/// the training loop abort on them.
+Status ValidateTrainerOptions(const TrainerOptions& options,
+                              int64_t train_size);
 
 /// Trains a model privately on a dataset. The model is mutated in place.
 class DpTrainer {
@@ -79,7 +111,12 @@ class DpTrainer {
   DpTrainer(Sequential* model, const InMemoryDataset* train,
             const InMemoryDataset* test, TrainerOptions options);
 
-  /// Runs the full loop and returns the report.
+  /// Runs the full loop and returns the report. Fails with a descriptive
+  /// Status on invalid options, unusable checkpoint configuration, or a
+  /// resume directory whose checkpoints do not match this run.
+  StatusOr<TrainingResult> Run();
+
+  /// Legacy wrapper around Run() that aborts on error.
   TrainingResult Train();
 
   const TrainerOptions& options() const { return options_; }

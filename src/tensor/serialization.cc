@@ -7,75 +7,157 @@
 #include <ostream>
 #include <vector>
 
+#include "base/crc32.h"
+
 namespace geodp {
 namespace {
 
 constexpr char kMagic[4] = {'G', 'D', 'P', 'T'};
-constexpr uint32_t kVersion = 1;
+// v1: magic, version, ndim, extents, raw float32 data.
+// v2 appends an integrity trailer: u64 payload length (bytes from magic
+// through the end of the data) and the CRC-32 of those bytes, so torn
+// writes and bit flips fail loudly at read time. v1 files (no trailer)
+// are still readable.
+constexpr uint32_t kLegacyVersion = 1;
+constexpr uint32_t kVersion = 2;
 // Refuses absurd inputs so a corrupt header cannot trigger huge allocations.
 constexpr uint32_t kMaxDims = 16;
 constexpr int64_t kMaxElements = int64_t{1} << 34;
+// Tensor data is read in bounded chunks: a corrupt extent then fails with
+// "truncated" after a small allocation instead of attempting to reserve
+// the full (bogus) element count up front.
+constexpr size_t kReadChunkBytes = size_t{1} << 20;
 
 template <typename T>
-void WritePod(std::ostream& out, const T& value) {
+void WritePod(std::ostream& out, const T& value, uint32_t& crc) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  crc = Crc32Update(crc, &value, sizeof(T));
 }
 
 template <typename T>
-bool ReadPod(std::istream& in, T* value) {
+bool ReadPod(std::istream& in, T* value, uint32_t& crc) {
   in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return in.good();
+  if (!in.good()) return false;
+  crc = Crc32Update(crc, value, sizeof(T));
+  return true;
+}
+
+// Reads exactly `bytes` into `data`, growing it in bounded chunks and
+// updating `crc`. Growing as the bytes actually arrive (instead of
+// resizing to the full claimed count up front) means a corrupt extent
+// fails with "truncated" after at most one chunk past the real file
+// size, rather than zero-filling a multi-gigabyte allocation first.
+// Returns false on a short read.
+bool ReadDataChunked(std::istream& in, std::vector<float>& data,
+                     size_t bytes, uint32_t& crc) {
+  size_t done = 0;
+  while (done < bytes) {
+    const size_t chunk = std::min(kReadChunkBytes, bytes - done);
+    data.resize((done + chunk) / sizeof(float));
+    char* dest = reinterpret_cast<char*>(data.data()) + done;
+    in.read(dest, static_cast<std::streamsize>(chunk));
+    const auto got = static_cast<size_t>(in.gcount());
+    if (got < chunk) return false;
+    crc = Crc32Update(crc, dest, got);
+    done += got;
+  }
+  return true;
 }
 
 }  // namespace
 
 Status WriteTensor(const Tensor& tensor, std::ostream& out) {
+  uint32_t crc = Crc32Init();
   out.write(kMagic, sizeof(kMagic));
-  WritePod(out, kVersion);
+  crc = Crc32Update(crc, kMagic, sizeof(kMagic));
+  uint64_t payload_length = sizeof(kMagic);
+  WritePod(out, kVersion, crc);
+  payload_length += sizeof(kVersion);
   const uint32_t ndim = static_cast<uint32_t>(tensor.ndim());
-  WritePod(out, ndim);
+  WritePod(out, ndim, crc);
+  payload_length += sizeof(ndim);
   for (int i = 0; i < tensor.ndim(); ++i) {
-    WritePod(out, static_cast<int64_t>(tensor.dim(i)));
+    WritePod(out, static_cast<int64_t>(tensor.dim(i)), crc);
+    payload_length += sizeof(int64_t);
   }
-  out.write(reinterpret_cast<const char*>(tensor.data()),
-            static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  const size_t data_bytes =
+      static_cast<size_t>(tensor.numel()) * sizeof(float);
+  if (data_bytes > 0) {
+    out.write(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<std::streamsize>(data_bytes));
+    crc = Crc32Update(crc, tensor.data(), data_bytes);
+  }
+  payload_length += data_bytes;
+  // Integrity trailer (v2): payload length then CRC-32 of the payload.
+  out.write(reinterpret_cast<const char*>(&payload_length),
+            sizeof(payload_length));
+  const uint32_t checksum = Crc32Finish(crc);
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
   if (!out.good()) return Status::Internal("stream write failed");
   return Status::Ok();
 }
 
 StatusOr<Tensor> ReadTensor(std::istream& in) {
+  uint32_t crc = Crc32Init();
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("bad tensor magic");
   }
+  crc = Crc32Update(crc, magic, sizeof(magic));
+  uint64_t payload_length = sizeof(magic);
   uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
+  if (!ReadPod(in, &version, crc) ||
+      (version != kLegacyVersion && version != kVersion)) {
     return Status::InvalidArgument("unsupported tensor version");
   }
+  payload_length += sizeof(version);
   uint32_t ndim = 0;
-  if (!ReadPod(in, &ndim) || ndim > kMaxDims) {
+  if (!ReadPod(in, &ndim, crc) || ndim > kMaxDims) {
     return Status::InvalidArgument("bad tensor rank");
   }
+  payload_length += sizeof(ndim);
   std::vector<int64_t> shape(ndim);
-  int64_t numel = 1;
+  // An empty (default-constructed) tensor has rank 0 and holds no data;
+  // it is not a rank-0 scalar.
+  int64_t numel = ndim == 0 ? 0 : 1;
   for (uint32_t i = 0; i < ndim; ++i) {
-    if (!ReadPod(in, &shape[i]) || shape[i] <= 0) {
+    if (!ReadPod(in, &shape[i], crc) || shape[i] <= 0) {
       return Status::InvalidArgument("bad tensor extent");
     }
+    payload_length += sizeof(int64_t);
     numel *= shape[i];
     if (numel > kMaxElements) {
       return Status::InvalidArgument("tensor too large");
     }
   }
-  std::vector<float> data(static_cast<size_t>(numel));
-  in.read(reinterpret_cast<char*>(data.data()),
-          static_cast<std::streamsize>(data.size() * sizeof(float)));
-  if (!in.good() && !(in.eof() && in.gcount() ==
-                          static_cast<std::streamsize>(data.size() *
-                                                       sizeof(float)))) {
+  const size_t data_bytes = static_cast<size_t>(numel) * sizeof(float);
+  std::vector<float> data;
+  if (!ReadDataChunked(in, data, data_bytes, crc)) {
     return Status::InvalidArgument("truncated tensor data");
   }
+  payload_length += data_bytes;
+  if (version == kVersion) {
+    uint64_t stored_length = 0;
+    uint32_t stored_crc = 0;
+    in.read(reinterpret_cast<char*>(&stored_length), sizeof(stored_length));
+    in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+    if (!in.good() && !in.eof()) {
+      return Status::InvalidArgument("truncated tensor trailer");
+    }
+    if (static_cast<size_t>(in.gcount()) != sizeof(stored_crc)) {
+      return Status::InvalidArgument("truncated tensor trailer");
+    }
+    if (stored_length != payload_length) {
+      return Status::InvalidArgument("tensor payload length mismatch");
+    }
+    if (stored_crc != Crc32Finish(crc)) {
+      return Status::InvalidArgument("tensor checksum mismatch");
+    }
+  }
+  // A rank-0 stream is an empty (default-constructed) tensor;
+  // FromVector would treat the empty shape as a scalar.
+  if (shape.empty()) return Tensor();
   return Tensor::FromVector(std::move(shape), std::move(data));
 }
 

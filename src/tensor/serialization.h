@@ -1,6 +1,9 @@
 // Binary serialization of tensors: a small versioned little-endian format
-// ("GDPT"): magic, version, ndim, extents, raw float32 data. Used by model
-// checkpoints and by experiment result caching.
+// ("GDPT"): magic, version, ndim, extents, raw float32 data, and (since
+// v2) an integrity trailer — payload length + CRC-32 — so truncated or
+// bit-flipped files fail with a clear Status instead of yielding garbage.
+// v1 files (no trailer) remain readable. Used by model checkpoints and by
+// experiment result caching.
 
 #ifndef GEODP_TENSOR_SERIALIZATION_H_
 #define GEODP_TENSOR_SERIALIZATION_H_

@@ -144,6 +144,43 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_EQ(same, 0);
 }
 
+TEST(RngTest, UniformIntZeroBoundReturnsZero) {
+  // Sampling from an empty range (e.g. a zero-size dataset) must not
+  // divide by zero; the defined result is 0.
+  Rng rng(5);
+  EXPECT_EQ(rng.UniformInt(0), 0u);
+  // The generator still works afterwards.
+  EXPECT_LT(rng.UniformInt(10), 10u);
+}
+
+TEST(RngTest, ExportImportStateResumesStreamExactly) {
+  Rng original(77);
+  for (int i = 0; i < 37; ++i) original.Next();
+  // Draw one Gaussian so the Box-Muller spare sample is cached: the
+  // snapshot must carry it, or the resumed stream drifts by one draw.
+  original.Gaussian();
+  const RngState snapshot = original.ExportState();
+
+  Rng resumed(123456);  // unrelated seed — all state comes from the import
+  resumed.ImportState(snapshot);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(resumed.Next(), original.Next());
+  }
+  EXPECT_EQ(resumed.Gaussian(), original.Gaussian());
+  EXPECT_EQ(resumed.Uniform(), original.Uniform());
+}
+
+TEST(RngTest, ExportedStateCarriesGaussianCache) {
+  Rng rng(9);
+  rng.Gaussian();  // leaves a cached spare sample
+  const RngState state = rng.ExportState();
+  EXPECT_TRUE(state.has_cached_gaussian);
+
+  Rng other(10);
+  other.ImportState(state);
+  EXPECT_EQ(other.Gaussian(), rng.Gaussian());
+}
+
 TEST(StatusTest, DefaultIsOk) {
   Status s;
   EXPECT_TRUE(s.ok());

@@ -181,6 +181,49 @@ TEST(BatchSamplerTest, DropsShortEpochTailWithoutShuffle) {
   EXPECT_EQ(sampler.NextBatch(), (std::vector<int64_t>{0, 1}));
 }
 
+TEST(BatchSamplerTest, ZeroSizeDatasetYieldsEmptyBatches) {
+  BatchSampler sampler(0, 8, 1);
+  EXPECT_TRUE(sampler.NextBatch().empty());
+  EXPECT_TRUE(sampler.NextBatch().empty());
+}
+
+TEST(BatchSamplerTest, ZeroBatchSizeYieldsEmptyBatches) {
+  BatchSampler sampler(16, 0, 1);
+  EXPECT_TRUE(sampler.NextBatch().empty());
+}
+
+TEST(BatchSamplerTest, StateRoundTripContinuesExactSequence) {
+  BatchSampler original(50, 8, 33);
+  // Advance into the middle of an epoch so the snapshot must carry the
+  // permutation and the cursor, not just the generator.
+  for (int i = 0; i < 11; ++i) original.NextBatch();
+  const BatchSamplerState snapshot = original.ExportState();
+
+  BatchSampler restored(50, 8, 999);  // different seed: state must win
+  restored.ImportState(snapshot);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(restored.NextBatch(), original.NextBatch()) << "batch " << i;
+  }
+}
+
+TEST(PoissonSamplerTest, ZeroSizeDatasetYieldsEmptyBatches) {
+  PoissonSampler sampler(0, 0.5, 1);
+  EXPECT_TRUE(sampler.NextBatch().empty());
+  EXPECT_TRUE(sampler.NextBatch().empty());
+}
+
+TEST(PoissonSamplerTest, StateRoundTripContinuesExactSequence) {
+  PoissonSampler original(64, 0.2, 33);
+  for (int i = 0; i < 7; ++i) original.NextBatch();
+  const RngState snapshot = original.ExportState();
+
+  PoissonSampler restored(64, 0.2, 999);
+  restored.ImportState(snapshot);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(restored.NextBatch(), original.NextBatch()) << "batch " << i;
+  }
+}
+
 TEST(PoissonSamplerTest, MeanBatchSizeMatchesRate) {
   PoissonSampler sampler(1000, 0.05, /*seed=*/4);
   double total = 0.0;

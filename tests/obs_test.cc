@@ -181,6 +181,7 @@ TEST(StepObserverTest, StepRecordToJsonHasFixedKeyOrder) {
   EXPECT_EQ(
       StepRecordToJson(record),
       "{\"step\":3,\"attempt\":4,\"batch_size\":32,\"empty_lot\":false,"
+      "\"nonfinite_skipped\":0,"
       "\"mean_loss\":2.5,\"raw_grad_norm\":1.5,\"clipped_grad_norm\":0.5,"
       "\"clip_fraction\":0.25,\"magnitude_noise_stddev\":0.125,"
       "\"direction_noise_stddev\":0.0625,\"beta\":0.01,\"sur_enabled\":true,"

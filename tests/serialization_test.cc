@@ -1,6 +1,7 @@
 // Tests for tensor serialization and model checkpoints.
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <string>
 
@@ -63,6 +64,64 @@ TEST(TensorSerializationTest, RejectsTruncatedData) {
   const std::string bytes = buffer.str();
   std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
   EXPECT_FALSE(ReadTensor(truncated).ok());
+}
+
+TEST(TensorSerializationTest, BitFlipAnywhereIsDetected) {
+  // The v2 integrity trailer (payload length + CRC-32) must catch a single
+  // bit flip at any offset, including inside the float payload where no
+  // structural check would notice.
+  Rng rng(41);
+  const Tensor original = Tensor::Randn({5, 5}, rng);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTensor(original, buffer).ok());
+  const std::string bytes = buffer.str();
+  for (size_t offset = 0; offset < bytes.size(); ++offset) {
+    std::string bad = bytes;
+    bad[offset] = static_cast<char>(bad[offset] ^ 0x04);
+    std::stringstream corrupted(bad);
+    EXPECT_FALSE(ReadTensor(corrupted).ok())
+        << "bit flip at offset " << offset << " went undetected";
+  }
+}
+
+TEST(TensorSerializationTest, TruncatedTrailerIsDetected) {
+  Rng rng(42);
+  const Tensor original = Tensor::Randn({8}, rng);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTensor(original, buffer).ok());
+  const std::string bytes = buffer.str();
+  // Cut anywhere inside the 12-byte trailer: the data is all present, so
+  // only the trailer checks can notice.
+  for (size_t cut = bytes.size() - 12; cut < bytes.size(); ++cut) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_FALSE(ReadTensor(truncated).ok())
+        << "trailer truncation at " << cut << " went undetected";
+  }
+}
+
+TEST(TensorSerializationTest, ReadsLegacyV1WithoutTrailer) {
+  // A v1 file is the v2 byte stream minus the trailer, with version 1 in
+  // the header. Old files must stay readable.
+  Rng rng(43);
+  const Tensor original = Tensor::Randn({3, 2}, rng);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTensor(original, buffer).ok());
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 12);  // strip u64 length + u32 crc
+  const uint32_t v1 = 1;
+  std::memcpy(bytes.data() + 4, &v1, sizeof(v1));
+  std::stringstream legacy(bytes);
+  StatusOr<Tensor> restored = ReadTensor(legacy);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(AllClose(restored.value(), original, 0.0, 0.0));
+}
+
+TEST(TensorSerializationTest, EmptyTensorRoundTrips) {
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTensor(Tensor(), buffer).ok());
+  StatusOr<Tensor> restored = ReadTensor(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().numel(), 0);
 }
 
 TEST(TensorSerializationTest, FileRoundTrip) {

@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "base/rng.h"
 #include "data/synthetic_images.h"
 #include "models/logistic_regression.h"
 #include "nn/parameter.h"
+#include "obs/step_observer.h"
 #include "optim/dp_sgd.h"
 #include "optim/trainer.h"
 #include "tensor/tensor_ops.h"
@@ -328,6 +330,116 @@ TEST(DpTrainerTest, DeterministicGivenSeed) {
     return FlattenValues(model->Parameters());
   };
   EXPECT_TRUE(AllClose(run(), run()));
+}
+
+// Expects Run() to fail with the given code and a message mentioning
+// `needle`, without aborting the process.
+void ExpectInvalid(const InMemoryDataset& train, TrainerOptions options,
+                   const std::string& needle) {
+  auto model = MakeModel(2);
+  DpTrainer trainer(model.get(), &train, nullptr, options);
+  StatusOr<TrainingResult> run = trainer.Run();
+  ASSERT_FALSE(run.ok()) << "expected rejection for: " << needle;
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(run.status().message().find(needle), std::string::npos)
+      << "message was: " << run.status().message();
+}
+
+TEST(DpTrainerTest, InvalidOptionsReturnDescriptiveStatus) {
+  const InMemoryDataset train = MakeTrainSet(32, 1);
+  TrainerOptions good;
+  good.batch_size = 16;
+  good.iterations = 5;
+
+  TrainerOptions options = good;
+  options.batch_size = 0;
+  ExpectInvalid(train, options, "batch_size");
+
+  options = good;
+  options.batch_size = 1000;  // exceeds dataset size
+  ExpectInvalid(train, options, "batch_size");
+
+  options = good;
+  options.iterations = 0;
+  ExpectInvalid(train, options, "iterations");
+
+  options = good;
+  options.learning_rate = -1.0;
+  ExpectInvalid(train, options, "learning_rate");
+
+  options = good;
+  options.noise_multiplier = -0.5;
+  ExpectInvalid(train, options, "noise_multiplier");
+
+  options = good;
+  options.clip_threshold = 0.0;
+  ExpectInvalid(train, options, "clip_threshold");
+
+  options = good;
+  options.beta = 1.5;
+  ExpectInvalid(train, options, "beta");
+
+  options = good;
+  options.checkpoint_every = 4;  // no checkpoint_dir
+  ExpectInvalid(train, options, "checkpoint_dir");
+}
+
+TEST(DpTrainerTest, EmptyDatasetIsRejectedNotCrashed) {
+  const InMemoryDataset empty;
+  auto model = MakeModel(2);
+  TrainerOptions options;
+  options.batch_size = 16;
+  options.iterations = 5;
+  DpTrainer trainer(model.get(), &empty, nullptr, options);
+  StatusOr<TrainingResult> run = trainer.Run();
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DpTrainerTest, NonFiniteSamplesAreSkippedNotPropagated) {
+  // Rig the dataset: one example with an Inf pixel (blows up the loss) and
+  // one with a NaN pixel (poisons its gradient). With batch == dataset
+  // size both appear in every lot; the guard must drop them while the
+  // remaining samples keep training, and the model must stay finite.
+  InMemoryDataset train;
+  Rng rng(11);
+  for (int i = 0; i < 24; ++i) {
+    Tensor image = Tensor::Randn({1, 8, 8}, rng);
+    if (i == 3) image[5] = std::numeric_limits<float>::infinity();
+    if (i == 7) image[9] = std::numeric_limits<float>::quiet_NaN();
+    train.Add(std::move(image), i % 10);
+  }
+
+  auto model = MakeModel(2);
+  CollectingStepObserver observer;
+  TrainerOptions options;
+  options.method = PerturbationMethod::kDp;
+  options.batch_size = 24;
+  options.iterations = 8;
+  options.learning_rate = 0.5;
+  options.noise_multiplier = 0.5;
+  options.seed = 13;
+  options.step_observer = &observer;
+  DpTrainer trainer(model.get(), &train, nullptr, options);
+  StatusOr<TrainingResult> run = trainer.Run();
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  // Both poisoned samples are skipped on every one of the 8 steps.
+  EXPECT_EQ(run.value().nonfinite_skipped, 16);
+  int64_t observed = 0;
+  for (const StepRecord& record : observer.records()) {
+    observed += record.nonfinite_skipped;
+  }
+  EXPECT_EQ(observed, run.value().nonfinite_skipped);
+
+  // Every weight is still finite, and the clean samples actually trained.
+  const Tensor weights = FlattenValues(model->Parameters());
+  for (int64_t i = 0; i < weights.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(weights[i])) << "weight " << i;
+  }
+  for (const double loss : run.value().loss_history) {
+    EXPECT_TRUE(std::isfinite(loss));
+  }
 }
 
 }  // namespace

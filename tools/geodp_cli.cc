@@ -13,6 +13,7 @@
 
 #include "base/flags.h"
 #include "base/rng.h"
+#include "ckpt/fault_injection.h"
 #include "core/privacy_region.h"
 #include "data/gradient_dataset.h"
 #include "data/synthetic_images.h"
@@ -62,6 +63,16 @@ int RunTrain(int argc, const char* const* argv) {
   flags.AddBool("adam", false, "DP-Adam post-processing");
   flags.AddInt("seed", 1, "experiment seed");
   flags.AddString("save", "", "optional checkpoint output path");
+  flags.AddString("geodp_checkpoint_dir", "",
+                  "directory for crash-safe training checkpoints");
+  flags.AddInt("geodp_checkpoint_every", 1,
+               "attempts between checkpoints (with --geodp_checkpoint_dir)");
+  flags.AddBool("geodp_resume", false,
+                "resume from the newest valid checkpoint in "
+                "--geodp_checkpoint_dir");
+  flags.AddString("geodp_failpoint", "",
+                  "fault injection spec <site>@<hit>:<action> "
+                  "(crash | short_write | bit_flip)");
   AddCommonFlags(flags);
   const Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
@@ -125,9 +136,27 @@ int RunTrain(int argc, const char* const* argv) {
   options.seed = static_cast<uint64_t>(flags.GetInt("seed")) + 2;
   options.record_loss_every = std::max<int64_t>(options.iterations / 10, 1);
   options.step_observer = step_writer.get();
+  const std::string checkpoint_dir = flags.GetString("geodp_checkpoint_dir");
+  if (!checkpoint_dir.empty()) {
+    options.checkpoint_dir = checkpoint_dir;
+    options.checkpoint_every = flags.GetInt("geodp_checkpoint_every");
+    if (flags.GetBool("geodp_resume")) options.resume_from = checkpoint_dir;
+  }
+
+  const Status failpoint_status =
+      FaultInjector::ArmFromSpec(flags.GetString("geodp_failpoint"));
+  if (!failpoint_status.ok()) {
+    std::printf("%s\n", failpoint_status.ToString().c_str());
+    return 1;
+  }
 
   DpTrainer trainer(model.get(), &train, &test, options);
-  const TrainingResult result = trainer.Train();
+  StatusOr<TrainingResult> run = trainer.Run();
+  if (!run.ok()) {
+    std::printf("train: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const TrainingResult& result = run.value();
 
   std::printf("model=%s dataset=%s method=%s sigma=%.3f beta=%.4f\n",
               model_name.c_str(), dataset_name.c_str(),
@@ -136,6 +165,10 @@ int RunTrain(int argc, const char* const* argv) {
   std::printf("final train loss : %.4f\n", result.final_train_loss);
   std::printf("test accuracy    : %.2f%%\n", result.test_accuracy * 100);
   std::printf("epsilon (RDP)    : %.3f at delta=1e-5\n", result.epsilon);
+  if (result.nonfinite_skipped > 0) {
+    std::printf("nonfinite samples: %lld skipped\n",
+                static_cast<long long>(result.nonfinite_skipped));
+  }
   for (size_t i = 0; i < result.loss_history.size(); ++i) {
     std::printf("  iter %5lld loss %.4f\n",
                 static_cast<long long>(result.loss_iterations[i]),
