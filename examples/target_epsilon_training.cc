@@ -30,8 +30,14 @@ int main() {
 
   const double sampling_rate =
       static_cast<double>(kBatch) / static_cast<double>(train.size());
-  const double sigma = NoiseMultiplierForTargetEpsilon(
+  const StatusOr<double> sigma_or = NoiseMultiplierForTargetEpsilon(
       kTargetEpsilon, kDelta, sampling_rate, kIterations);
+  if (!sigma_or.ok()) {
+    std::fprintf(stderr, "calibration failed: %s\n",
+                 sigma_or.status().ToString().c_str());
+    return 1;
+  }
+  const double sigma = sigma_or.value();
   std::printf("budget: (eps=%.2f, delta=%.0e) over %lld steps at q=%.4f\n",
               kTargetEpsilon, kDelta, static_cast<long long>(kIterations),
               sampling_rate);

@@ -12,6 +12,9 @@ Used by the CI bench-smoke job after a short CLI training run. Checks:
 
 Exits 0 when the file passes, 1 with a diagnostic otherwise. Uses only
 the standard library.
+
+`--self-check` lints this script itself (pyflakes if available, else a
+stdlib AST pass) so the CI static-analysis job covers the Python side too.
 """
 
 import json
@@ -45,9 +48,55 @@ def fail(message):
     sys.exit(1)
 
 
+def self_check():
+    """Lints this file. Prefers pyflakes; falls back to compiling the AST
+    with a duplicate-name scan so the check still bites where pyflakes is
+    not installed."""
+    import ast
+
+    source_path = __file__
+    try:
+        with open(source_path, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as error:
+        fail(f"self-check: cannot read {source_path}: {error}")
+
+    try:
+        from pyflakes.api import check as pyflakes_check
+        from pyflakes.reporter import Reporter
+
+        errors = pyflakes_check(
+            source, source_path, Reporter(sys.stderr, sys.stderr)
+        )
+        if errors:
+            fail(f"self-check: pyflakes reported {errors} problem(s)")
+        print("check_metrics_jsonl: OK: self-check passed (pyflakes)")
+        return
+    except ImportError:
+        pass
+
+    try:
+        tree = ast.parse(source, filename=source_path)
+        compile(tree, source_path, "exec")
+    except SyntaxError as error:
+        fail(f"self-check: syntax error: {error}")
+    top_level = [
+        node.name
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    duplicates = {name for name in top_level if top_level.count(name) > 1}
+    if duplicates:
+        fail(f"self-check: duplicate top-level definitions: {duplicates}")
+    print("check_metrics_jsonl: OK: self-check passed (stdlib ast fallback)")
+
+
 def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-check":
+        self_check()
+        return
     if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} <metrics.jsonl>")
+        fail(f"usage: {sys.argv[0]} <metrics.jsonl> | --self-check")
     path = sys.argv[1]
     try:
         with open(path, encoding="utf-8") as handle:

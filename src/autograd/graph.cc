@@ -318,13 +318,14 @@ Var SoftmaxCrossEntropyOp(Graph& g, Var logits,
     double denom = 0.0;
     for (int64_t k = 0; k < classes; ++k) {
       const double e =
-          std::exp(static_cast<double>(z[b * classes + k]) - row_max);
+          std::exp(static_cast<double>(z[b * classes + k]) -
+                   static_cast<double>(row_max));
       probabilities[b * classes + k] = static_cast<float>(e);
       denom += e;
     }
     for (int64_t k = 0; k < classes; ++k) {
-      probabilities[b * classes + k] =
-          static_cast<float>(probabilities[b * classes + k] / denom);
+      probabilities[b * classes + k] = static_cast<float>(
+          static_cast<double>(probabilities[b * classes + k]) / denom);
     }
     total_loss -= std::log(std::max(
         static_cast<double>(

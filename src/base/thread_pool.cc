@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <memory>
 
 #include "base/check.h"
+#include "base/timer.h"
 
 namespace geodp {
 namespace {
@@ -25,11 +25,9 @@ inline void RunHookedPart(const std::function<void(int)>& fn, int part) {
     fn(part);
     return;
   }
-  const auto start = std::chrono::steady_clock::now();
+  const Timer timer;
   fn(part);
-  const auto end = std::chrono::steady_clock::now();
-  hook(part, std::chrono::duration_cast<std::chrono::microseconds>(end - start)
-                 .count());
+  hook(part, timer.ElapsedMicros());
 }
 
 /// Marks the current thread as being inside a parallel region for the

@@ -39,6 +39,7 @@ FaultInjector::Action FaultInjector::Fire(const std::string& site) {
     // the checkpoint protocol already fsynced — exactly like kill -9.
     std::fprintf(stderr, "fault_injection: crash at %s (hit %lld)\n",
                  site.c_str(), static_cast<long long>(hits_));
+    // geodp: check-ok simulated preemption is this class's contract
     std::_Exit(kCrashExitCode);
   }
   // Corrupting actions are one-shot so the run continues past them.

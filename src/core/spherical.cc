@@ -26,7 +26,7 @@ SphericalCoordinates ToSpherical(const Tensor& g) {
   double sum_sq = 0.0;
   for (int64_t z = d - 1; z >= 0; --z) {
     tail[static_cast<size_t>(z)] = std::sqrt(sum_sq);
-    sum_sq += static_cast<double>(g[z]) * g[z];
+    sum_sq += static_cast<double>(g[z]) * static_cast<double>(g[z]);
   }
   coords.magnitude = std::sqrt(sum_sq);
   if (coords.magnitude == 0.0) return coords;  // all angles stay 0

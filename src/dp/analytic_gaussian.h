@@ -7,6 +7,8 @@
 #ifndef GEODP_DP_ANALYTIC_GAUSSIAN_H_
 #define GEODP_DP_ANALYTIC_GAUSSIAN_H_
 
+#include "base/status.h"
+
 namespace geodp {
 
 /// Standard normal CDF Phi(x).
@@ -15,13 +17,16 @@ double StandardNormalCdf(double x);
 /// The exact delta achieved by a Gaussian mechanism with noise multiplier
 /// sigma (sensitivity 1) at privacy parameter epsilon:
 ///   delta = Phi(1/(2 sigma) - eps*sigma) - e^eps * Phi(-1/(2 sigma) - eps*sigma).
+/// Precondition (checked): sigma > 0 and epsilon > 0.
 double AnalyticGaussianDelta(double sigma, double epsilon);
 
 /// Smallest noise multiplier sigma such that the Gaussian mechanism is
 /// (epsilon, delta)-DP, found by bisection on AnalyticGaussianDelta
 /// (monotone decreasing in sigma). Exact up to `tolerance` on delta.
-double AnalyticGaussianSigma(double epsilon, double delta,
-                             double tolerance = 1e-12);
+/// Returns InvalidArgument on bad inputs and OutOfRange if no sigma below
+/// the bracket ceiling satisfies the budget.
+StatusOr<double> AnalyticGaussianSigma(double epsilon, double delta,
+                                       double tolerance = 1e-12);
 
 }  // namespace geodp
 

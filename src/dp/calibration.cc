@@ -1,44 +1,98 @@
 #include "dp/calibration.h"
 
-#include "base/check.h"
+#include <sstream>
+
 #include "dp/rdp_accountant.h"
 
 namespace geodp {
+namespace {
 
-double TrainingRunEpsilon(double sigma, double sampling_rate, int64_t steps,
-                          double delta) {
+Status ValidateRunShape(double sampling_rate, int64_t steps, double delta) {
+  if (!(sampling_rate > 0.0 && sampling_rate <= 1.0)) {
+    std::ostringstream message;
+    message << "sampling rate must be in (0, 1], got " << sampling_rate;
+    return Status::InvalidArgument(message.str());
+  }
+  if (steps < 0) {
+    std::ostringstream message;
+    message << "steps must be >= 0, got " << steps;
+    return Status::InvalidArgument(message.str());
+  }
+  if (!(delta > 0.0 && delta < 1.0)) {
+    std::ostringstream message;
+    message << "delta must be in (0, 1), got " << delta;
+    return Status::InvalidArgument(message.str());
+  }
+  return Status::Ok();
+}
+
+// Core accounting step shared by the public entry points, called only with
+// already-validated arguments so the bisection loop stays Status-free.
+double RunEpsilon(double sigma, double sampling_rate, int64_t steps,
+                  double delta) {
   RdpAccountant accountant;
   accountant.AddSubsampledGaussianSteps(sigma, sampling_rate, steps);
   return accountant.GetEpsilon(delta);
 }
 
-double NoiseMultiplierForTargetEpsilon(double target_epsilon, double delta,
-                                       double sampling_rate, int64_t steps,
-                                       double precision) {
-  GEODP_CHECK_GT(target_epsilon, 0.0);
-  GEODP_CHECK(delta > 0.0 && delta < 1.0);
-  GEODP_CHECK_GT(steps, 0);
-  GEODP_CHECK_GT(precision, 0.0);
+}  // namespace
+
+StatusOr<double> TrainingRunEpsilon(double sigma, double sampling_rate,
+                                    int64_t steps, double delta) {
+  if (!(sigma > 0.0)) {
+    std::ostringstream message;
+    message << "noise multiplier sigma must be > 0, got " << sigma;
+    return Status::InvalidArgument(message.str());
+  }
+  const Status shape = ValidateRunShape(sampling_rate, steps, delta);
+  if (!shape.ok()) return shape;
+  return RunEpsilon(sigma, sampling_rate, steps, delta);
+}
+
+StatusOr<double> NoiseMultiplierForTargetEpsilon(double target_epsilon,
+                                                 double delta,
+                                                 double sampling_rate,
+                                                 int64_t steps,
+                                                 double precision) {
+  if (!(target_epsilon > 0.0)) {
+    std::ostringstream message;
+    message << "target epsilon must be > 0, got " << target_epsilon;
+    return Status::InvalidArgument(message.str());
+  }
+  if (steps <= 0) {
+    std::ostringstream message;
+    message << "steps must be > 0, got " << steps;
+    return Status::InvalidArgument(message.str());
+  }
+  if (!(precision > 0.0)) {
+    std::ostringstream message;
+    message << "precision must be > 0, got " << precision;
+    return Status::InvalidArgument(message.str());
+  }
+  const Status shape = ValidateRunShape(sampling_rate, steps, delta);
+  if (!shape.ok()) return shape;
 
   double lo = 1e-3;
   double hi = 1.0;
   // Grow the bracket until hi satisfies the budget.
-  while (TrainingRunEpsilon(hi, sampling_rate, steps, delta) >
-         target_epsilon) {
+  while (RunEpsilon(hi, sampling_rate, steps, delta) > target_epsilon) {
     hi *= 2.0;
-    GEODP_CHECK_LT(hi, 1e9)
-        << "target epsilon unreachable at this q/steps/delta";
+    if (hi >= 1e9) {
+      std::ostringstream message;
+      message << "target epsilon " << target_epsilon
+              << " unreachable at q=" << sampling_rate << " steps=" << steps
+              << " delta=" << delta;
+      return Status::OutOfRange(message.str());
+    }
   }
   // Shrink lo until it violates the budget (so the root is bracketed).
-  while (TrainingRunEpsilon(lo, sampling_rate, steps, delta) <=
-         target_epsilon) {
+  while (RunEpsilon(lo, sampling_rate, steps, delta) <= target_epsilon) {
     lo /= 2.0;
     if (lo < 1e-9) return lo;  // effectively no noise needed
   }
   while ((hi - lo) / hi > precision) {
     const double mid = 0.5 * (lo + hi);
-    if (TrainingRunEpsilon(mid, sampling_rate, steps, delta) >
-        target_epsilon) {
+    if (RunEpsilon(mid, sampling_rate, steps, delta) > target_epsilon) {
       lo = mid;
     } else {
       hi = mid;

@@ -3,25 +3,36 @@
 // smallest noise multiplier sigma that satisfies it, using the RDP
 // accountant. This is how practitioners actually configure DP-SGD / GeoDP:
 // pick the budget, derive sigma.
+//
+// Both entry points take values that typically arrive straight from user
+// configuration (CLI flags, experiment configs), so they validate their
+// inputs and report problems as Status instead of aborting.
 
 #ifndef GEODP_DP_CALIBRATION_H_
 #define GEODP_DP_CALIBRATION_H_
 
 #include <cstdint>
 
+#include "base/status.h"
+
 namespace geodp {
 
 /// Epsilon (at `delta`) of `steps` subsampled-Gaussian releases with noise
-/// multiplier sigma and sampling rate q, via the RDP accountant.
-double TrainingRunEpsilon(double sigma, double sampling_rate, int64_t steps,
-                          double delta);
+/// multiplier sigma and sampling rate q, via the RDP accountant. Returns
+/// InvalidArgument if sigma <= 0, q outside (0, 1], steps < 0, or delta
+/// outside (0, 1).
+StatusOr<double> TrainingRunEpsilon(double sigma, double sampling_rate,
+                                    int64_t steps, double delta);
 
 /// Smallest sigma whose TrainingRunEpsilon is <= target_epsilon, found by
 /// bisection (epsilon is monotone decreasing in sigma). `precision` is the
-/// relative width of the final bracket.
-double NoiseMultiplierForTargetEpsilon(double target_epsilon, double delta,
-                                       double sampling_rate, int64_t steps,
-                                       double precision = 1e-4);
+/// relative width of the final bracket. Returns InvalidArgument on bad
+/// inputs and OutOfRange if the target is unreachable at this q/steps/delta.
+StatusOr<double> NoiseMultiplierForTargetEpsilon(double target_epsilon,
+                                                 double delta,
+                                                 double sampling_rate,
+                                                 int64_t steps,
+                                                 double precision = 1e-4);
 
 }  // namespace geodp
 

@@ -7,21 +7,21 @@
 namespace geodp {
 
 double GaussianSigmaForEpsilonDelta(double epsilon, double delta) {
-  GEODP_CHECK_GT(epsilon, 0.0);
-  GEODP_CHECK(delta > 0.0 && delta < 1.0);
+  GEODP_CHECK_GT(epsilon, 0.0);  // geodp: check-ok
+  GEODP_CHECK(delta > 0.0 && delta < 1.0);  // geodp: check-ok
   return std::sqrt(2.0 * std::log(1.25 / delta)) / epsilon;
 }
 
 double GaussianEpsilonForSigma(double sigma, double delta) {
-  GEODP_CHECK_GT(sigma, 0.0);
-  GEODP_CHECK(delta > 0.0 && delta < 1.0);
+  GEODP_CHECK_GT(sigma, 0.0);  // geodp: check-ok
+  GEODP_CHECK(delta > 0.0 && delta < 1.0);  // geodp: check-ok
   return std::sqrt(2.0 * std::log(1.25 / delta)) / sigma;
 }
 
 GaussianMechanism::GaussianMechanism(GaussianMechanismOptions options)
     : options_(options) {
-  GEODP_CHECK_GE(options_.l2_sensitivity, 0.0);
-  GEODP_CHECK_GE(options_.noise_multiplier, 0.0);
+  GEODP_CHECK_GE(options_.l2_sensitivity, 0.0);  // geodp: check-ok
+  GEODP_CHECK_GE(options_.noise_multiplier, 0.0);  // geodp: check-ok
 }
 
 double GaussianMechanism::NoiseStddev() const {

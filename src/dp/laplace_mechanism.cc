@@ -6,8 +6,8 @@ namespace geodp {
 
 LaplaceMechanism::LaplaceMechanism(LaplaceMechanismOptions options)
     : options_(options) {
-  GEODP_CHECK_GT(options_.l1_sensitivity, 0.0);
-  GEODP_CHECK_GT(options_.epsilon, 0.0);
+  GEODP_CHECK_GT(options_.l1_sensitivity, 0.0);  // geodp: check-ok
+  GEODP_CHECK_GT(options_.epsilon, 0.0);  // geodp: check-ok
 }
 
 double LaplaceMechanism::Scale() const {

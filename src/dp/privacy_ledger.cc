@@ -9,8 +9,8 @@ namespace geodp {
 
 void PrivacyLedger::RecordGaussian(double noise_multiplier, int64_t count,
                                    std::string note) {
-  GEODP_CHECK_GT(noise_multiplier, 0.0);
-  GEODP_CHECK_GT(count, 0);
+  GEODP_CHECK_GT(noise_multiplier, 0.0);  // geodp: check-ok
+  GEODP_CHECK_GT(count, 0);  // geodp: check-ok
   PrivacyEvent event;
   event.kind = PrivacyEvent::Kind::kGaussian;
   event.noise_multiplier = noise_multiplier;
@@ -23,9 +23,9 @@ void PrivacyLedger::RecordSubsampledGaussian(double noise_multiplier,
                                              double sampling_rate,
                                              int64_t count,
                                              std::string note) {
-  GEODP_CHECK_GT(noise_multiplier, 0.0);
-  GEODP_CHECK(sampling_rate > 0.0 && sampling_rate <= 1.0);
-  GEODP_CHECK_GT(count, 0);
+  GEODP_CHECK_GT(noise_multiplier, 0.0);  // geodp: check-ok
+  GEODP_CHECK(sampling_rate > 0.0 && sampling_rate <= 1.0);  // geodp: check-ok
+  GEODP_CHECK_GT(count, 0);  // geodp: check-ok
   PrivacyEvent event;
   event.kind = PrivacyEvent::Kind::kSubsampledGaussian;
   event.noise_multiplier = noise_multiplier;
@@ -37,8 +37,8 @@ void PrivacyLedger::RecordSubsampledGaussian(double noise_multiplier,
 
 void PrivacyLedger::RecordLaplace(double epsilon, int64_t count,
                                   std::string note) {
-  GEODP_CHECK_GT(epsilon, 0.0);
-  GEODP_CHECK_GT(count, 0);
+  GEODP_CHECK_GT(epsilon, 0.0);  // geodp: check-ok
+  GEODP_CHECK_GT(count, 0);  // geodp: check-ok
   PrivacyEvent event;
   event.kind = PrivacyEvent::Kind::kLaplace;
   event.epsilon = epsilon;
@@ -74,7 +74,7 @@ int64_t PrivacyLedger::TotalReleases() const {
 }
 
 PrivacyGuarantee PrivacyLedger::ComposedGuarantee(double delta) const {
-  GEODP_CHECK(delta > 0.0 && delta < 1.0);
+  GEODP_CHECK(delta > 0.0 && delta < 1.0);  // geodp: check-ok
   RdpAccountant accountant;
   double laplace_epsilon = 0.0;
   bool has_gaussian = false;
@@ -102,7 +102,7 @@ PrivacyGuarantee PrivacyLedger::ComposedGuarantee(double delta) const {
 }
 
 int64_t PrivacyLedger::OptimalOrder(double delta) const {
-  GEODP_CHECK(delta > 0.0 && delta < 1.0);
+  GEODP_CHECK(delta > 0.0 && delta < 1.0);  // geodp: check-ok
   RdpAccountant accountant;
   bool has_gaussian = false;
   for (const PrivacyEvent& event : events_) {

@@ -28,16 +28,16 @@ double LogBinomial(int64_t n, int64_t k) {
 }  // namespace
 
 double GaussianRdp(double noise_multiplier, double alpha) {
-  GEODP_CHECK_GT(noise_multiplier, 0.0);
-  GEODP_CHECK_GT(alpha, 1.0);
+  GEODP_CHECK_GT(noise_multiplier, 0.0);  // geodp: check-ok
+  GEODP_CHECK_GT(alpha, 1.0);  // geodp: check-ok
   return alpha / (2.0 * noise_multiplier * noise_multiplier);
 }
 
 double SubsampledGaussianRdp(double noise_multiplier, double sampling_rate,
                              int64_t alpha) {
-  GEODP_CHECK_GT(noise_multiplier, 0.0);
-  GEODP_CHECK_GE(alpha, 2);
-  GEODP_CHECK(sampling_rate >= 0.0 && sampling_rate <= 1.0);
+  GEODP_CHECK_GT(noise_multiplier, 0.0);  // geodp: check-ok
+  GEODP_CHECK_GE(alpha, 2);  // geodp: check-ok
+  GEODP_CHECK(sampling_rate >= 0.0 && sampling_rate <= 1.0);  // geodp: check-ok
   if (sampling_rate == 0.0) return 0.0;
   if (sampling_rate == 1.0) {
     return GaussianRdp(noise_multiplier, static_cast<double>(alpha));
@@ -58,7 +58,7 @@ double SubsampledGaussianRdp(double noise_multiplier, double sampling_rate,
 
 RdpAccountant::RdpAccountant(std::vector<int64_t> orders)
     : orders_(orders.empty() ? DefaultOrders() : std::move(orders)) {
-  for (int64_t order : orders_) GEODP_CHECK_GE(order, 2);
+  for (int64_t order : orders_) GEODP_CHECK_GE(order, 2);  // geodp: check-ok
   rdp_.assign(orders_.size(), 0.0);
 }
 
@@ -70,7 +70,7 @@ std::vector<int64_t> RdpAccountant::DefaultOrders() {
 }
 
 void RdpAccountant::AddGaussianSteps(double noise_multiplier, int64_t steps) {
-  GEODP_CHECK_GE(steps, 0);
+  GEODP_CHECK_GE(steps, 0);  // geodp: check-ok
   for (size_t i = 0; i < orders_.size(); ++i) {
     rdp_[i] += static_cast<double>(steps) *
                GaussianRdp(noise_multiplier, static_cast<double>(orders_[i]));
@@ -81,7 +81,7 @@ void RdpAccountant::AddGaussianSteps(double noise_multiplier, int64_t steps) {
 void RdpAccountant::AddSubsampledGaussianSteps(double noise_multiplier,
                                                double sampling_rate,
                                                int64_t steps) {
-  GEODP_CHECK_GE(steps, 0);
+  GEODP_CHECK_GE(steps, 0);  // geodp: check-ok
   for (size_t i = 0; i < orders_.size(); ++i) {
     rdp_[i] += static_cast<double>(steps) *
                SubsampledGaussianRdp(noise_multiplier, sampling_rate,
@@ -91,7 +91,7 @@ void RdpAccountant::AddSubsampledGaussianSteps(double noise_multiplier,
 }
 
 double RdpAccountant::GetEpsilon(double delta) const {
-  GEODP_CHECK(delta > 0.0 && delta < 1.0);
+  GEODP_CHECK(delta > 0.0 && delta < 1.0);  // geodp: check-ok
   double best = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < orders_.size(); ++i) {
     const double alpha = static_cast<double>(orders_[i]);
@@ -101,7 +101,7 @@ double RdpAccountant::GetEpsilon(double delta) const {
 }
 
 int64_t RdpAccountant::GetOptimalOrder(double delta) const {
-  GEODP_CHECK(delta > 0.0 && delta < 1.0);
+  GEODP_CHECK(delta > 0.0 && delta < 1.0);  // geodp: check-ok
   double best = std::numeric_limits<double>::infinity();
   int64_t best_order = orders_.front();
   for (size_t i = 0; i < orders_.size(); ++i) {

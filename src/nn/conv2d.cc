@@ -106,7 +106,8 @@ Tensor Conv2d::BackwardIm2Col(const Tensor& grad_output) {
     if (with_bias_) {
       for (int64_t oc = 0; oc < out_channels_; ++oc) {
         double sum = 0.0;
-        for (int64_t i = 0; i < spatial; ++i) sum += gy[oc * spatial + i];
+        for (int64_t i = 0; i < spatial; ++i)
+          sum += static_cast<double>(gy[oc * spatial + i]);
         bias_.grad[oc] += static_cast<float>(sum);
       }
     }
@@ -149,7 +150,8 @@ Tensor Conv2d::ForwardDirect(const Tensor& input) {
                 acc += static_cast<double>(
                            x[((b * in_channels_ + ic) * in_h + ih) * in_w +
                              iw]) *
-                       w[((oc * in_channels_ + ic) * k + kh) * k + kw];
+                       static_cast<double>(
+                           w[((oc * in_channels_ + ic) * k + kh) * k + kw]);
               }
             }
           }

@@ -40,11 +40,12 @@ Tensor GroupNorm::Forward(const Tensor& input) {
     for (int64_t g = 0; g < num_groups_; ++g) {
       const int64_t base = (b * channels_ + g * channels_per_group) * spatial;
       double mean = 0.0;
-      for (int64_t i = 0; i < group_size; ++i) mean += x[base + i];
+      for (int64_t i = 0; i < group_size; ++i)
+        mean += static_cast<double>(x[base + i]);
       mean /= static_cast<double>(group_size);
       double var = 0.0;
       for (int64_t i = 0; i < group_size; ++i) {
-        const double d = x[base + i] - mean;
+        const double d = static_cast<double>(x[base + i]) - mean;
         var += d * d;
       }
       var /= static_cast<double>(group_size);
@@ -52,8 +53,8 @@ Tensor GroupNorm::Forward(const Tensor& input) {
       inv_std_[static_cast<size_t>(b * num_groups_ + g)] = inv_std;
       for (int64_t i = 0; i < group_size; ++i) {
         const int64_t c = g * channels_per_group + i / spatial;
-        const float normalized =
-            static_cast<float>((x[base + i] - mean) * inv_std);
+        const float normalized = static_cast<float>(
+            (static_cast<double>(x[base + i]) - mean) * inv_std);
         xhat[base + i] = normalized;
         y[base + i] = gamma_.value[c] * normalized + beta_.value[c];
       }
@@ -80,8 +81,10 @@ Tensor GroupNorm::Backward(const Tensor& grad_output) {
       const int64_t base = (b * channels_ + c) * spatial;
       double dgamma = 0.0, dbeta = 0.0;
       for (int64_t i = 0; i < spatial; ++i) {
-        dgamma += static_cast<double>(gy[base + i]) * xhat[base + i];
-        dbeta += gy[base + i];
+        dgamma +=
+            static_cast<double>(gy[base + i]) *
+            static_cast<double>(xhat[base + i]);
+        dbeta += static_cast<double>(gy[base + i]);
       }
       gamma_.grad[c] += static_cast<float>(dgamma);
       beta_.grad[c] += static_cast<float>(dbeta);
@@ -99,17 +102,20 @@ Tensor GroupNorm::Backward(const Tensor& grad_output) {
       double mean_u = 0.0, mean_ux = 0.0;
       for (int64_t i = 0; i < group_size; ++i) {
         const int64_t c = g * channels_per_group + i / spatial;
-        const double u = static_cast<double>(gamma_.value[c]) * gy[base + i];
+        const double u = static_cast<double>(gamma_.value[c]) *
+                         static_cast<double>(gy[base + i]);
         mean_u += u;
-        mean_ux += u * xhat[base + i];
+        mean_ux += u * static_cast<double>(xhat[base + i]);
       }
       mean_u /= static_cast<double>(group_size);
       mean_ux /= static_cast<double>(group_size);
       for (int64_t i = 0; i < group_size; ++i) {
         const int64_t c = g * channels_per_group + i / spatial;
-        const double u = static_cast<double>(gamma_.value[c]) * gy[base + i];
+        const double u = static_cast<double>(gamma_.value[c]) *
+                         static_cast<double>(gy[base + i]);
         gx[base + i] = static_cast<float>(
-            inv_std * (u - mean_u - xhat[base + i] * mean_ux));
+            inv_std *
+            (u - mean_u - static_cast<double>(xhat[base + i]) * mean_ux));
       }
     }
   }

@@ -26,13 +26,13 @@ double SoftmaxCrossEntropy::Forward(const Tensor& logits,
     double denom = 0.0;
     for (int64_t k = 0; k < classes; ++k) {
       const double e = std::exp(static_cast<double>(logits[b * classes + k]) -
-                                row_max);
+                                static_cast<double>(row_max));
       probabilities_[b * classes + k] = static_cast<float>(e);
       denom += e;
     }
     for (int64_t k = 0; k < classes; ++k) {
-      probabilities_[b * classes + k] =
-          static_cast<float>(probabilities_[b * classes + k] / denom);
+      probabilities_[b * classes + k] = static_cast<float>(
+          static_cast<double>(probabilities_[b * classes + k]) / denom);
     }
     const double p_true = std::max(
         static_cast<double>(
@@ -64,7 +64,7 @@ double MeanSquaredError::Forward(const Tensor& predictions,
   double sum = 0.0;
   for (int64_t i = 0; i < predictions.numel(); ++i) {
     const double diff =
-        static_cast<double>(predictions[i]) - targets[i];
+        static_cast<double>(predictions[i]) - static_cast<double>(targets[i]);
     sum += diff * diff;
   }
   return sum / static_cast<double>(predictions.numel());

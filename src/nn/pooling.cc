@@ -87,7 +87,8 @@ Tensor AvgPool2d::Forward(const Tensor& input) {
             for (int64_t kw = 0; kw < window_; ++kw) {
               const int64_t ih = oh * window_ + kh;
               const int64_t iw = ow * window_ + kw;
-              sum += x[((b * channels + c) * in_h + ih) * in_w + iw];
+              sum += static_cast<double>(
+                  x[((b * channels + c) * in_h + ih) * in_w + iw]);
             }
           }
           y[out_index++] = static_cast<float>(sum * inv);
@@ -141,7 +142,8 @@ Tensor GlobalAvgPool::Forward(const Tensor& input) {
     for (int64_t c = 0; c < channels; ++c) {
       double sum = 0.0;
       const float* plane = x + (b * channels + c) * spatial;
-      for (int64_t i = 0; i < spatial; ++i) sum += plane[i];
+      for (int64_t i = 0; i < spatial; ++i)
+        sum += static_cast<double>(plane[i]);
       output[b * channels + c] =
           static_cast<float>(sum / static_cast<double>(spatial));
     }

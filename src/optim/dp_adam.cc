@@ -44,8 +44,8 @@ void FlatAdam::Step(const std::vector<Parameter*>& params,
   Tensor update({flat_gradient.numel()});
   for (int64_t i = 0; i < flat_gradient.numel(); ++i) {
     const double g = flat_gradient[i];
-    const double m = b1 * m_[i] + (1.0 - b1) * g;
-    const double v = b2 * v_[i] + (1.0 - b2) * g * g;
+    const double m = b1 * static_cast<double>(m_[i]) + (1.0 - b1) * g;
+    const double v = b2 * static_cast<double>(v_[i]) + (1.0 - b2) * g * g;
     m_[i] = static_cast<float>(m);
     v_[i] = static_cast<float>(v);
     const double m_hat = m / bias1;

@@ -38,7 +38,8 @@ PrivateBatchGradient ComputePerSampleGradients(
   result.averaged_clipped = Tensor({flat_dim});
   result.averaged_raw = Tensor({flat_dim});
   result.sample_losses.reserve(indices.size());
-  if (record_sample_norms) result.sample_grad_norms.reserve(indices.size());
+  if (record_sample_norms)
+    result.sample_grad_norms.reserve(indices.size());  // geodp: per-sample
 
   std::vector<Tensor> block;
   block.reserve(std::min(kPipelineBlock, indices.size()));
@@ -73,7 +74,8 @@ PrivateBatchGradient ComputePerSampleGradients(
         } else {
           ++result.nonfinite_skipped;
         }
-        if (record_sample_norms) result.sample_grad_norms.push_back(norm);
+        if (record_sample_norms)
+          result.sample_grad_norms.push_back(norm);  // geodp: per-sample
         result.sample_losses.push_back(sample_loss);
       }
     }

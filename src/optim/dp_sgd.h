@@ -26,7 +26,7 @@ struct PrivateBatchGradient {
   // Pre-clip L2 norm of each per-sample gradient, batch order. Only
   // filled when requested (telemetry pays for the extra norm pass, the
   // plain training path does not).
-  std::vector<double> sample_grad_norms;
+  std::vector<double> sample_grad_norms;  // geodp: per-sample
   int64_t batch_size = 0;
   // Samples whose loss or gradient came out non-finite (NaN/Inf). They
   // contribute zero gradient — the averages stay finite and the update is

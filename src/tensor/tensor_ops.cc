@@ -54,7 +54,7 @@ double Dot(const Tensor& a, const Tensor& b) {
   GEODP_CHECK_EQ(a.numel(), b.numel());
   double sum = 0.0;
   for (int64_t i = 0; i < a.numel(); ++i) {
-    sum += static_cast<double>(a[i]) * b[i];
+    sum += static_cast<double>(a[i]) * static_cast<double>(b[i]);
   }
   return sum;
 }
@@ -99,7 +99,7 @@ Tensor MatVec(const Tensor& a, const Tensor& x) {
     for (int64_t i = row_begin; i < row_end; ++i) {
       double sum = 0.0;
       for (int64_t j = 0; j < k; ++j) {
-        sum += static_cast<double>(a[i * k + j]) * x[j];
+        sum += static_cast<double>(a[i * k + j]) * static_cast<double>(x[j]);
       }
       out[i] = static_cast<float>(sum);
     }
@@ -144,7 +144,9 @@ double MaxAbsDiff(const Tensor& a, const Tensor& b) {
   GEODP_CHECK(SameShape(a, b));
   double max_diff = 0.0;
   for (int64_t i = 0; i < a.numel(); ++i) {
-    max_diff = std::max(max_diff, std::fabs(static_cast<double>(a[i]) - b[i]));
+    max_diff = std::max(
+        max_diff,
+        std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
   }
   return max_diff;
 }
@@ -152,7 +154,8 @@ double MaxAbsDiff(const Tensor& a, const Tensor& b) {
 bool AllClose(const Tensor& a, const Tensor& b, double rtol, double atol) {
   if (!SameShape(a, b)) return false;
   for (int64_t i = 0; i < a.numel(); ++i) {
-    const double diff = std::fabs(static_cast<double>(a[i]) - b[i]);
+    const double diff =
+        std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
     if (diff > atol + rtol * std::fabs(static_cast<double>(b[i]))) {
       return false;
     }

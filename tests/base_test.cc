@@ -218,7 +218,8 @@ TEST(StatusOrTest, HoldsError) {
 TEST(TimerTest, MeasuresElapsedTime) {
   Timer timer;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i)
+    sink = sink + std::sqrt(static_cast<double>(i));
   EXPECT_GT(timer.ElapsedSeconds(), 0.0);
   EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());  // ms >= s
 }
@@ -226,7 +227,8 @@ TEST(TimerTest, MeasuresElapsedTime) {
 TEST(TimerTest, ResetRestarts) {
   Timer timer;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i)
+    sink = sink + std::sqrt(static_cast<double>(i));
   const double before = timer.ElapsedSeconds();
   timer.Reset();
   EXPECT_LT(timer.ElapsedSeconds(), before + 1.0);

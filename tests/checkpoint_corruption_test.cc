@@ -64,7 +64,7 @@ class CheckpointCorruptionTest : public ::testing::Test {
 
 TEST_F(CheckpointCorruptionTest, BitFlipAtEveryOffsetIsRejected) {
   for (size_t offset = 0; offset < good_bytes_.size(); ++offset) {
-    for (const uint8_t mask : {0x01, 0x80}) {
+    for (const uint8_t mask : {uint8_t{0x01}, uint8_t{0x80}}) {
       std::string bad = good_bytes_;
       bad[offset] = static_cast<char>(bad[offset] ^ mask);
       WriteFile(path_, bad);

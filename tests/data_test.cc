@@ -110,7 +110,8 @@ TEST(SyntheticImagesTest, ClassesAreLinearlySeparableEnough) {
     ++counts[static_cast<size_t>(ds.label(i))];
   }
   for (int k = 0; k < 10; ++k) {
-    means[static_cast<size_t>(k)].ScaleInPlace(1.0f / counts[static_cast<size_t>(k)]);
+    means[static_cast<size_t>(k)].ScaleInPlace(
+        1.0f / static_cast<float>(counts[static_cast<size_t>(k)]));
   }
   int own_wins = 0;
   const int64_t probe = std::min<int64_t>(ds.size(), 100);

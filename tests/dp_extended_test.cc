@@ -35,7 +35,7 @@ TEST(AnalyticGaussianTest, DeltaDecreasesWithEpsilon) {
 TEST(AnalyticGaussianTest, SigmaSolverRoundTrips) {
   for (double eps : {0.5, 1.0, 4.0}) {
     for (double delta : {1e-3, 1e-5, 1e-7}) {
-      const double sigma = AnalyticGaussianSigma(eps, delta);
+      const double sigma = AnalyticGaussianSigma(eps, delta).value();
       EXPECT_NEAR(AnalyticGaussianDelta(sigma, eps), delta, delta * 0.05)
           << "eps=" << eps << " delta=" << delta;
     }
@@ -47,33 +47,66 @@ TEST(AnalyticGaussianTest, TighterThanClassicCalibration) {
   // (valid for eps <= 1).
   for (double eps : {0.1, 0.5, 1.0}) {
     const double classic = GaussianSigmaForEpsilonDelta(eps, 1e-5);
-    const double analytic = AnalyticGaussianSigma(eps, 1e-5);
+    const double analytic = AnalyticGaussianSigma(eps, 1e-5).value();
     EXPECT_LE(analytic, classic * 1.001) << "eps=" << eps;
   }
 }
 
 TEST(CalibrationTest, EpsilonMonotoneInSigma) {
-  const double hi = TrainingRunEpsilon(0.5, 0.01, 500, 1e-5);
-  const double lo = TrainingRunEpsilon(4.0, 0.01, 500, 1e-5);
+  const double hi = TrainingRunEpsilon(0.5, 0.01, 500, 1e-5).value();
+  const double lo = TrainingRunEpsilon(4.0, 0.01, 500, 1e-5).value();
   EXPECT_GT(hi, lo);
 }
 
 TEST(CalibrationTest, SolverHitsTarget) {
   const double target = 4.0;
   const double sigma =
-      NoiseMultiplierForTargetEpsilon(target, 1e-5, 0.02, 800);
-  const double achieved = TrainingRunEpsilon(sigma, 0.02, 800, 1e-5);
+      NoiseMultiplierForTargetEpsilon(target, 1e-5, 0.02, 800).value();
+  const double achieved = TrainingRunEpsilon(sigma, 0.02, 800, 1e-5).value();
   EXPECT_LE(achieved, target * 1.001);
   // Not grossly over-noised: a slightly smaller sigma would violate it.
-  const double relaxed = TrainingRunEpsilon(sigma * 0.98, 0.02, 800, 1e-5);
+  const double relaxed =
+      TrainingRunEpsilon(sigma * 0.98, 0.02, 800, 1e-5).value();
   EXPECT_GT(relaxed, target * 0.98);
+}
+
+TEST(AnalyticGaussianTest, SigmaSolverRejectsBadInputs) {
+  EXPECT_EQ(AnalyticGaussianSigma(-2.0, 1e-5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(AnalyticGaussianSigma(1.0, 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(AnalyticGaussianSigma(1.0, 1e-5, -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CalibrationTest, TrainingRunEpsilonRejectsBadInputs) {
+  EXPECT_EQ(TrainingRunEpsilon(-1.0, 0.01, 100, 1e-5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TrainingRunEpsilon(1.0, 1.5, 100, 1e-5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TrainingRunEpsilon(1.0, 0.01, -1, 1e-5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(TrainingRunEpsilon(1.0, 0.01, 100, 2.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CalibrationTest, SolverRejectsBadInputs) {
+  EXPECT_EQ(
+      NoiseMultiplierForTargetEpsilon(0.0, 1e-5, 0.01, 100).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      NoiseMultiplierForTargetEpsilon(1.0, 1e-5, 0.01, 0).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      NoiseMultiplierForTargetEpsilon(1.0, 1e-5, 2.0, 100).status().code(),
+      StatusCode::kInvalidArgument);
 }
 
 TEST(CalibrationTest, TighterBudgetNeedsMoreNoise) {
   const double sigma_tight =
-      NoiseMultiplierForTargetEpsilon(1.0, 1e-5, 0.01, 500);
+      NoiseMultiplierForTargetEpsilon(1.0, 1e-5, 0.01, 500).value();
   const double sigma_loose =
-      NoiseMultiplierForTargetEpsilon(8.0, 1e-5, 0.01, 500);
+      NoiseMultiplierForTargetEpsilon(8.0, 1e-5, 0.01, 500).value();
   EXPECT_GT(sigma_tight, sigma_loose);
 }
 
@@ -90,7 +123,8 @@ TEST(PrivacyLedgerTest, ComposedGuaranteeMatchesAccountant) {
   PrivacyLedger ledger;
   ledger.RecordSubsampledGaussian(1.0, 0.01, 200);
   const PrivacyGuarantee guarantee = ledger.ComposedGuarantee(1e-5);
-  EXPECT_NEAR(guarantee.epsilon, TrainingRunEpsilon(1.0, 0.01, 200, 1e-5),
+  EXPECT_NEAR(guarantee.epsilon,
+              TrainingRunEpsilon(1.0, 0.01, 200, 1e-5).value(),
               1e-9);
   EXPECT_DOUBLE_EQ(guarantee.delta, 1e-5);
 }
@@ -109,7 +143,7 @@ TEST(PrivacyLedgerTest, MixedEventsCompose) {
   ledger.RecordLaplace(0.5, 1);
   const PrivacyGuarantee guarantee = ledger.ComposedGuarantee(1e-5);
   EXPECT_NEAR(guarantee.epsilon,
-              TrainingRunEpsilon(2.0, 0.01, 100, 1e-5) + 0.5, 1e-9);
+              TrainingRunEpsilon(2.0, 0.01, 100, 1e-5).value() + 0.5, 1e-9);
 }
 
 TEST(PrivacyLedgerTest, ReportMentionsEventsAndGuarantee) {

@@ -1,0 +1,226 @@
+// Tests for tools/geodp_lint: each fixture under tests/lint_fixtures/ seeds
+// exactly one violation of one rule (or none, for the allowlisted/annotated
+// counterparts); assertions pin the exact rule ID, virtual path and line.
+//
+// Fixtures are linted under *virtual* repo-relative paths so rule
+// applicability (allowlists, src/clip/ boundary, header-only rules) can be
+// exercised without planting violations in the real tree. LintTree skips the
+// lint_fixtures/ directory, so the seeded files never trip the CI tree scan.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geodp_lint/lint.h"
+
+namespace geodp {
+namespace lint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(GEODP_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<Finding> LintFixture(const std::string& fixture,
+                                 const std::string& virtual_path) {
+  StatusOr<std::vector<Finding>> result =
+      LintFile(FixturePath(fixture), virtual_path);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) return {};
+  return result.value();
+}
+
+TEST(GeodpLintR1, RandomDeviceFlaggedWithExactLocation) {
+  const std::vector<Finding> findings =
+      LintFixture("r1_random_device.cc", "src/core/seed_source.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR1Nondeterminism);
+  EXPECT_STREQ(RuleIdName(findings[0].rule), "R1");
+  EXPECT_EQ(findings[0].path, "src/core/seed_source.cc");
+  EXPECT_EQ(findings[0].line, 7);
+  EXPECT_NE(findings[0].message.find("random_device"), std::string::npos);
+}
+
+TEST(GeodpLintR1, RawClockNowFlagged) {
+  const std::vector<Finding> findings =
+      LintFixture("r1_clock_now.cc", "src/obs/wallclock.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR1Nondeterminism);
+  EXPECT_EQ(findings[0].path, "src/obs/wallclock.cc");
+  EXPECT_EQ(findings[0].line, 7);
+  EXPECT_NE(findings[0].message.find("now"), std::string::npos);
+}
+
+TEST(GeodpLintR1, RngImplementationIsAllowlisted) {
+  // The identical engine use is clean under src/base/rng.cc but a finding
+  // anywhere else: applicability is decided purely from the path.
+  EXPECT_TRUE(LintFixture("r1_allowlisted_rng.cc", "src/base/rng.cc").empty());
+
+  const std::vector<Finding> findings =
+      LintFixture("r1_allowlisted_rng.cc", "src/core/alt_rng.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR1Nondeterminism);
+  EXPECT_EQ(findings[0].line, 8);
+  EXPECT_NE(findings[0].message.find("mt19937"), std::string::npos);
+}
+
+TEST(GeodpLintR1, TestsAndBenchesAreExempt) {
+  EXPECT_TRUE(
+      LintFixture("r1_random_device.cc", "tests/some_test.cc").empty());
+  EXPECT_TRUE(LintFixture("r1_clock_now.cc", "bench/bench_util.cc").empty());
+}
+
+TEST(GeodpLintR1, NolintSuppressesTheFlaggedLine) {
+  EXPECT_TRUE(LintFixture("r1_nolint.cc", "src/core/seeded_tool.cc").empty());
+}
+
+TEST(GeodpLintR2, UnannotatedPerSampleIdentifierFlagged) {
+  const std::vector<Finding> findings =
+      LintFixture("r2_per_sample_leak.cc", "src/stats/per_sample_export.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR2PrivacyBoundary);
+  EXPECT_STREQ(RuleIdName(findings[0].rule), "R2");
+  EXPECT_EQ(findings[0].path, "src/stats/per_sample_export.cc");
+  EXPECT_EQ(findings[0].line, 10);
+  EXPECT_NE(findings[0].message.find("per_sample_gradient"),
+            std::string::npos);
+}
+
+TEST(GeodpLintR2, ClipSubsystemIsExempt) {
+  EXPECT_TRUE(
+      LintFixture("r2_per_sample_leak.cc", "src/clip/export.cc").empty());
+}
+
+TEST(GeodpLintR3, CheckMacroInDpFlagged) {
+  const std::vector<Finding> findings =
+      LintFixture("r3_check_in_dp.cc", "src/dp/new_mechanism.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR3CheckAbort);
+  EXPECT_STREQ(RuleIdName(findings[0].rule), "R3");
+  EXPECT_EQ(findings[0].path, "src/dp/new_mechanism.cc");
+  EXPECT_EQ(findings[0].line, 8);
+  EXPECT_NE(findings[0].message.find("GEODP_CHECK_GT"), std::string::npos);
+}
+
+TEST(GeodpLintR3, CheckMacroOutsideGuardedPathsIsAllowed) {
+  EXPECT_TRUE(
+      LintFixture("r3_check_in_dp.cc", "src/nn/half_life.cc").empty());
+}
+
+TEST(GeodpLintR3, AbortInCkptFlagged) {
+  const std::vector<Finding> findings =
+      LintFixture("r3_abort_in_ckpt.cc", "src/ckpt/give_up.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR3CheckAbort);
+  EXPECT_EQ(findings[0].line, 8);
+  EXPECT_NE(findings[0].message.find("abort"), std::string::npos);
+}
+
+TEST(GeodpLintR4, HeaderWithoutGuardFlagged) {
+  const std::vector<Finding> findings =
+      LintFixture("r4_missing_guard.h", "src/nn/gadget.h");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR4HeaderHygiene);
+  EXPECT_STREQ(RuleIdName(findings[0].rule), "R4");
+  EXPECT_EQ(findings[0].path, "src/nn/gadget.h");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("guard"), std::string::npos);
+}
+
+TEST(GeodpLintR4, UsingNamespaceInHeaderFlagged) {
+  const std::vector<Finding> findings =
+      LintFixture("r4_using_namespace.h", "src/nn/handy.h");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR4HeaderHygiene);
+  EXPECT_EQ(findings[0].line, 6);
+  EXPECT_NE(findings[0].message.find("using namespace"), std::string::npos);
+}
+
+TEST(GeodpLintR4, IostreamInLibraryFlaggedButAllowedInTools) {
+  const std::vector<Finding> findings =
+      LintFixture("r4_iostream.cc", "src/tensor/debug_dump.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR4HeaderHygiene);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("<iostream>"), std::string::npos);
+
+  EXPECT_TRUE(LintFixture("r4_iostream.cc", "tools/debug_dump.cc").empty());
+}
+
+TEST(GeodpLintAnn, MisspelledTagIsItselfAFinding) {
+  const std::vector<Finding> findings =
+      LintFixture("ann_bad_tag.cc", "src/core/answer.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kAnnotation);
+  EXPECT_STREQ(RuleIdName(findings[0].rule), "ANN");
+  EXPECT_EQ(findings[0].path, "src/core/answer.cc");
+  EXPECT_EQ(findings[0].line, 6);
+  EXPECT_NE(findings[0].message.find("sensitvity-checked"),
+            std::string::npos);
+}
+
+TEST(GeodpLintClean, BannedTokensInCommentsAndStringsAreIgnored) {
+  EXPECT_TRUE(LintFixture("clean_library.cc", "src/core/clean.cc").empty());
+}
+
+TEST(GeodpLintEngine, StringLiteralsAndCommentsAreStripped) {
+  const std::string code =
+      "/* std::random_device in a block comment */\n"
+      "const char* kDoc = \"srand(1); std::mt19937 gen;\";\n";
+  EXPECT_TRUE(LintContent("src/core/strings.cc", code).empty());
+}
+
+TEST(GeodpLintEngine, DigitSeparatorDoesNotOpenCharLiteral) {
+  // A naive scanner treats the ' in 1'000 as a char-literal open and eats
+  // the rest of the line, hiding the violation that follows it.
+  const std::string code = "int n = 1'000'000; std::mt19937 gen;\n";
+  const std::vector<Finding> findings =
+      LintContent("src/core/digits.cc", code);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR1Nondeterminism);
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(GeodpLintEngine, MultiRuleNolintSuppressesBothRules) {
+  const std::string annotation = "// geodp: nolint(R1,R3)\n";
+  const std::string code =
+      annotation + "GEODP_CHECK(std::time(nullptr) > 0);\n";
+  EXPECT_TRUE(LintContent("src/dp/clocked.cc", code).empty());
+}
+
+TEST(GeodpLintEngine, NolintWithUnknownRuleIsAnnotationFinding) {
+  const std::string code = "int x = 0;  // geodp: nolint(R9)\n";
+  const std::vector<Finding> findings =
+      LintContent("src/core/bad_nolint.cc", code);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kAnnotation);
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(GeodpLintEngine, QualifiedNameProseIsNotAnAnnotation) {
+  const std::string code = "// geodp::Rng is the seeded generator type.\n";
+  EXPECT_TRUE(LintContent("src/core/prose.cc", code).empty());
+}
+
+TEST(GeodpLintEngine, VariableNamedTimeIsNotACall) {
+  const std::string code = "double time = 0.0; double t2 = time + 1.0;\n";
+  EXPECT_TRUE(LintContent("src/core/named_time.cc", code).empty());
+}
+
+TEST(GeodpLintFormat, FindingFormatIsStable) {
+  const Finding finding{RuleId::kR1Nondeterminism, "src/a/b.cc", 12,
+                        "message text"};
+  EXPECT_EQ(FormatFinding(finding), "src/a/b.cc:12: [R1] message text");
+}
+
+TEST(GeodpLintFile, MissingFileIsNotFound) {
+  StatusOr<std::vector<Finding>> result =
+      LintFile(FixturePath("does_not_exist.cc"), "src/x.cc");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace geodp

@@ -1,0 +1,9 @@
+// Fixture: seeded ANN violation — misspelled geodp annotation tag.
+
+namespace geodp {
+
+inline int Answer() {
+  return 42;  // geodp: sensitvity-checked
+}
+
+}  // namespace geodp

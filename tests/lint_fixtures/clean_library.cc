@@ -1,0 +1,14 @@
+// Fixture: clean file. Banned tokens appear only inside comments and
+// string literals, which the scanner must strip: std::random_device,
+// rand(), time(nullptr), GEODP_CHECK(x), using namespace std.
+#include <string>
+
+namespace geodp {
+
+inline std::string ScannerDocs() {
+  return "std::mt19937 and abort() and steady_clock::now() are banned";
+}
+
+inline int DigitSeparators() { return 1'000'000; }
+
+}  // namespace geodp

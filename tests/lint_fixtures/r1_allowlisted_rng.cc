@@ -1,0 +1,12 @@
+// Fixture: same engine usage as r1_random_device.cc, but linted under the
+// virtual path src/base/rng.cc — the R1 allowlist must exempt it.
+#include <random>
+
+namespace geodp {
+
+unsigned AllowlistedEngine() {
+  std::mt19937 engine{42};
+  return engine();
+}
+
+}  // namespace geodp

@@ -1,0 +1,13 @@
+// Fixture: seeded R1 violation — raw steady_clock::now() in library code.
+#include <chrono>
+
+namespace geodp {
+
+long WallclockMicros() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+}  // namespace geodp

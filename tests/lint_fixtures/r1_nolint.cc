@@ -1,0 +1,11 @@
+// Fixture: R1 violation suppressed with an explicit nolint annotation.
+#include <random>
+
+namespace geodp {
+
+unsigned DeliberateLocalEngine() {
+  std::mt19937 engine{7};  // geodp: nolint(R1) seeded, test-vector generator
+  return engine();
+}
+
+}  // namespace geodp

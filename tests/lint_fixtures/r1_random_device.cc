@@ -1,0 +1,11 @@
+// Fixture: seeded R1 violation — std::random_device in library code.
+#include <random>
+
+namespace geodp {
+
+int NondeterministicSeed() {
+  std::random_device device;
+  return static_cast<int>(device());
+}
+
+}  // namespace geodp

@@ -1,0 +1,21 @@
+// Fixture: seeded R2 violation — per-sample gradients consumed outside
+// src/clip/ with no annotation; the trailing-annotated use and the
+// preceding-line-annotated declaration further down are exempt.
+#include <vector>
+
+namespace geodp {
+
+double LeakPerSampleData(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double per_sample_gradient : values) total += per_sample_gradient;
+  return total;
+}
+
+double AnnotatedUse(double per_sample_norm) {  // geodp: sensitivity-checked
+  return per_sample_norm;  // geodp: sensitivity-checked post-clip scalar
+}
+
+// geodp: per-sample
+extern std::vector<double> per_sample_gradient_buffer;
+
+}  // namespace geodp

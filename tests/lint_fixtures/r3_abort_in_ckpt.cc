@@ -1,0 +1,12 @@
+// Fixture: seeded R3 violation — abort() in src/ckpt/.
+#include <cstdlib>
+
+namespace geodp {
+
+void GiveUp(bool corrupt) {
+  if (corrupt) {
+    std::abort();
+  }
+}
+
+}  // namespace geodp

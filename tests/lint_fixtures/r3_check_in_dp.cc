@@ -1,0 +1,17 @@
+// Fixture: seeded R3 violation — GEODP_CHECK in src/dp/ without a
+// check-ok annotation; the annotated invariant further down is exempt.
+#include "base/check.h"
+
+namespace geodp {
+
+double HalfLife(double sigma) {
+  GEODP_CHECK_GT(sigma, 0.0);
+  return sigma / 2.0;
+}
+
+double AnnotatedInvariant(double sigma) {
+  GEODP_CHECK_GT(sigma, 0.0);  // geodp: check-ok validated by caller
+  return sigma * 2.0;
+}
+
+}  // namespace geodp

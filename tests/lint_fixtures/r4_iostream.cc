@@ -1,0 +1,8 @@
+// Fixture: seeded R4 violation — <iostream> included by library code.
+#include <iostream>
+
+namespace geodp {
+
+void DebugDump(double value) { std::cout << value << "\n"; }
+
+}  // namespace geodp

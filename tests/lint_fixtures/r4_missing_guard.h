@@ -1,0 +1,8 @@
+// Fixture: seeded R4 violation — header with no include guard and no
+// #pragma once.
+
+namespace geodp {
+
+inline int GadgetAnswer() { return 42; }
+
+}  // namespace geodp

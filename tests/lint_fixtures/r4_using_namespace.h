@@ -1,0 +1,12 @@
+// Fixture: seeded R4 violation — using namespace at header scope.
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+namespace geodp {
+
+inline string HandyName() { return "handy"; }
+
+}  // namespace geodp

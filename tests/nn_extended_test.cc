@@ -32,13 +32,14 @@ TEST(GroupNormTest, NormalizesWithinGroups) {
       double mean = 0.0, var = 0.0;
       for (int64_t c = g * 2; c < g * 2 + 2; ++c) {
         for (int64_t i = 0; i < spatial; ++i) {
-          mean += y[((b * 4 + c) * spatial) + i];
+          mean += static_cast<double>(y[((b * 4 + c) * spatial) + i]);
         }
       }
       mean /= 18.0;
       for (int64_t c = g * 2; c < g * 2 + 2; ++c) {
         for (int64_t i = 0; i < spatial; ++i) {
-          const double d = y[((b * 4 + c) * spatial) + i] - mean;
+          const double d =
+              static_cast<double>(y[((b * 4 + c) * spatial) + i]) - mean;
           var += d * d;
         }
       }
@@ -59,8 +60,8 @@ TEST(GroupNormTest, AffineParametersApply) {
   // Channel 0 values should center at beta=1, channel 1 at beta=-1.
   double mean0 = 0.0, mean1 = 0.0;
   for (int64_t i = 0; i < 4; ++i) {
-    mean0 += y[i];
-    mean1 += y[4 + i];
+    mean0 += static_cast<double>(y[i]);
+    mean1 += static_cast<double>(y[4 + i]);
   }
   EXPECT_NEAR(mean0 / 4.0 + mean1 / 4.0, 0.0, 1.0);  // loose sanity
 }
@@ -84,7 +85,8 @@ TEST(GroupNormTest, SingleGroupIsLayerNorm) {
   const Tensor x = Tensor::Randn({1, 3, 2, 2}, rng, 4.0f);
   const Tensor y = norm.Forward(x);
   double mean = 0.0;
-  for (int64_t i = 0; i < y.numel(); ++i) mean += y[i];
+  for (int64_t i = 0; i < y.numel(); ++i)
+    mean += static_cast<double>(y[i]);
   EXPECT_NEAR(mean / static_cast<double>(y.numel()), 0.0, 1e-4);
 }
 

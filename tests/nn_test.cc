@@ -287,7 +287,8 @@ TEST(SoftmaxCrossEntropyTest, ProbabilitiesSumToOne) {
   const Tensor& probs = loss.probabilities();
   for (int64_t b = 0; b < 3; ++b) {
     double row = 0.0;
-    for (int64_t k = 0; k < 5; ++k) row += probs[b * 5 + k];
+    for (int64_t k = 0; k < 5; ++k)
+      row += static_cast<double>(probs[b * 5 + k]);
     EXPECT_NEAR(row, 1.0, 1e-5);
   }
 }
@@ -300,7 +301,8 @@ TEST(SoftmaxCrossEntropyTest, GradientRowsSumToZero) {
   const Tensor grad = loss.Backward();
   for (int64_t b = 0; b < 4; ++b) {
     double row = 0.0;
-    for (int64_t k = 0; k < 6; ++k) row += grad[b * 6 + k];
+    for (int64_t k = 0; k < 6; ++k)
+      row += static_cast<double>(grad[b * 6 + k]);
     EXPECT_NEAR(row, 0.0, 1e-6);
   }
 }

@@ -32,7 +32,8 @@ TEST_P(MatmulPropertyTest, MatchesNaiveTripleLoop) {
     for (int64_t j = 0; j < n; ++j) {
       double expected = 0.0;
       for (int64_t kk = 0; kk < k; ++kk) {
-        expected += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+        expected += static_cast<double>(a[i * k + kk]) *
+                    static_cast<double>(b[kk * n + j]);
       }
       EXPECT_NEAR(c[i * n + j], expected, 1e-3)
           << "(" << i << "," << j << ")";
@@ -77,7 +78,8 @@ TEST_P(NormPropertyTest, Homogeneity) {
   Rng rng(static_cast<uint64_t>(n));
   const Tensor x = Tensor::Randn({n}, rng);
   for (float c : {-2.5f, 0.0f, 0.5f, 7.0f}) {
-    EXPECT_NEAR(Scale(x, c).L2Norm(), std::fabs(c) * x.L2Norm(),
+    EXPECT_NEAR(Scale(x, c).L2Norm(),
+                std::fabs(static_cast<double>(c)) * x.L2Norm(),
                 1e-4 * (1.0 + x.L2Norm()));
   }
 }

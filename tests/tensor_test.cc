@@ -89,7 +89,8 @@ TEST(TensorTest, RandnUsesRng) {
   Rng rng(1);
   Tensor t = Tensor::Randn({1000}, rng, 2.0f);
   double sum_sq = 0.0;
-  for (int64_t i = 0; i < t.numel(); ++i) sum_sq += t[i] * t[i];
+  for (int64_t i = 0; i < t.numel(); ++i)
+    sum_sq += static_cast<double>(t[i]) * static_cast<double>(t[i]);
   EXPECT_NEAR(sum_sq / 1000.0, 4.0, 0.6);
 }
 

@@ -55,9 +55,9 @@ inline GradCheckResult CheckGradients(Layer& layer, const Tensor& input,
     const double down = EvalObjective(layer, x, coefficients);
     x[i] = saved;
     const double numeric = (up - down) / (2.0 * epsilon);
-    result.max_input_error =
-        std::max(result.max_input_error,
-                 std::fabs(numeric - analytic_input_grad[i]));
+    result.max_input_error = std::max(
+        result.max_input_error,
+        std::fabs(numeric - static_cast<double>(analytic_input_grad[i])));
   }
 
   // Numeric parameter gradient.
@@ -73,7 +73,9 @@ inline GradCheckResult CheckGradients(Layer& layer, const Tensor& input,
       const double numeric = (up - down) / (2.0 * epsilon);
       result.max_param_error =
           std::max(result.max_param_error,
-                   std::fabs(numeric - analytic_param_grad[flat_offset + i]));
+                   std::fabs(numeric -
+                             static_cast<double>(
+                                 analytic_param_grad[flat_offset + i])));
     }
     flat_offset += p->value.numel();
   }

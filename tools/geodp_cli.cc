@@ -286,12 +286,24 @@ int RunPrivacy(int argc, const char* const* argv) {
   double sigma = flags.GetDouble("sigma");
   const double target_eps = flags.GetDouble("target-eps");
   if (target_eps > 0.0) {
-    sigma = NoiseMultiplierForTargetEpsilon(target_eps, delta, q, steps);
+    const StatusOr<double> solved =
+        NoiseMultiplierForTargetEpsilon(target_eps, delta, q, steps);
+    if (!solved.ok()) {
+      std::printf("%s\n", solved.status().ToString().c_str());
+      return 1;
+    }
+    sigma = solved.value();
     std::printf("sigma for eps<=%.3f: %.4f\n", target_eps, sigma);
+  }
+  const StatusOr<double> run_epsilon =
+      TrainingRunEpsilon(sigma, q, steps, delta);
+  if (!run_epsilon.ok()) {
+    std::printf("%s\n", run_epsilon.status().ToString().c_str());
+    return 1;
   }
   std::printf("RDP epsilon(sigma=%.4f, q=%.4f, T=%lld, delta=%.1e) = %.4f\n",
               sigma, q, static_cast<long long>(steps), delta,
-              TrainingRunEpsilon(sigma, q, steps, delta));
+              run_epsilon.value());
   std::printf("single-release analytic-gaussian delta at eps=1: %.3e\n",
               AnalyticGaussianDelta(sigma, 1.0));
   const double beta = flags.GetDouble("beta");

@@ -1,0 +1,102 @@
+// CLI for geodp_lint. Lints the whole tree by default:
+//
+//   geodp_lint [--root <repo-root>] [files...]
+//
+// With explicit files, each is linted under its path relative to --root
+// (rule applicability depends on the repo-relative path). Exit codes:
+// 0 clean, 1 findings, 2 usage or I/O error.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "geodp_lint/lint.h"
+
+namespace {
+
+int Usage() {
+  std::printf(
+      "usage: geodp_lint [--root <repo-root>] [--list-rules] [files...]\n"
+      "Lints the GeoDP tree (src/, tools/, examples/, bench/, tests/) for\n"
+      "privacy-invariant and determinism violations. See "
+      "docs/static_analysis.md.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using geodp::lint::Finding;
+  using geodp::lint::FormatFinding;
+
+  std::string root = ".";
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) return Usage();
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(std::strlen("--root="));
+    } else if (arg == "--list-rules") {
+      std::printf(
+          "R1   nondeterminism ban (random_device, mt19937, rand, time, "
+          "::now, ... outside src/base/rng.* and src/base/timer.*)\n"
+          "R2   per-sample gradient data consumed outside src/clip/ without "
+          "a geodp: per-sample / sensitivity-checked annotation\n"
+          "R3   CHECK/abort in Status-returning library paths (src/ckpt/, "
+          "src/dp/, src/optim/trainer*) without geodp: check-ok\n"
+          "R4   header hygiene: include guards, no `using namespace` in "
+          "headers, no <iostream> in library code\n"
+          "ANN  malformed `// geodp: ...` annotation\n");
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  std::vector<Finding> findings;
+  if (files.empty()) {
+    geodp::StatusOr<std::vector<Finding>> result =
+        geodp::lint::LintTree(root);
+    if (!result.ok()) {
+      std::fprintf(stderr, "geodp_lint: %s\n",
+                   result.status().ToString().c_str());
+      return 2;
+    }
+    findings = std::move(result).value();
+  } else {
+    for (const std::string& file : files) {
+      std::error_code ec;
+      std::string rel =
+          std::filesystem::relative(file, root, ec).generic_string();
+      if (ec || rel.empty() || rel.rfind("..", 0) == 0) rel = file;
+      geodp::StatusOr<std::vector<Finding>> result =
+          geodp::lint::LintFile(file, rel);
+      if (!result.ok()) {
+        std::fprintf(stderr, "geodp_lint: %s\n",
+                     result.status().ToString().c_str());
+        return 2;
+      }
+      findings.insert(findings.end(), result.value().begin(),
+                      result.value().end());
+    }
+  }
+
+  for (const Finding& finding : findings) {
+    std::printf("%s\n", FormatFinding(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("geodp_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}
