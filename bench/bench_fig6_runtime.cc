@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "base/rng.h"
+#include "common/bench_json.h"
 #include "core/perturbation.h"
 #include "core/spherical.h"
 #include "data/gradient_dataset.h"
@@ -104,4 +105,6 @@ BENCHMARK(BM_ToCartesian)->Arg(1250)->Arg(5000)->Arg(20000)->Arg(80000);
 }  // namespace
 }  // namespace geodp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return geodp::bench::BenchmarkMainWithJson(argc, argv);
+}

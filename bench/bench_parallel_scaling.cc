@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "base/rng.h"
+#include "common/bench_json.h"
 #include "base/thread_pool.h"
 #include "clip/clipping.h"
 #include "core/perturbation.h"
@@ -138,4 +139,6 @@ BENCHMARK(BM_BatchSpherical)
 }  // namespace
 }  // namespace geodp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return geodp::bench::BenchmarkMainWithJson(argc, argv);
+}

@@ -1,0 +1,144 @@
+// Machine-readable output for the google-benchmark binaries: a main()
+// replacement that understands --bench_json_out=<path> and, after the
+// normal console run, writes one JSON object summarizing every benchmark
+// (name, wall-ms per iteration, steps/s, thread count) plus the git
+// revision the binary was built from. CI archives these BENCH_*.json
+// files so perf regressions are diffable across commits; without the
+// flag the behavior is exactly BENCHMARK_MAIN().
+//
+// Header-only so the two google-benchmark binaries can share it without
+// linking bench_util's trainer-facing helpers into their hot loops.
+
+#ifndef GEODP_BENCH_COMMON_BENCH_JSON_H_
+#define GEODP_BENCH_COMMON_BENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+// Injected by bench/CMakeLists.txt from `git rev-parse --short HEAD`;
+// "unknown" outside a git checkout (e.g. a source tarball).
+#ifndef GEODP_GIT_REV
+#define GEODP_GIT_REV "unknown"
+#endif
+
+namespace geodp {
+namespace bench {
+
+/// Forwards to the normal console output while keeping a copy of every
+/// per-iteration run (aggregates and errored runs are excluded) for the
+/// JSON dump written after the run completes.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      captured_.push_back(run);
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<Run>& captured() const { return captured_; }
+
+ private:
+  std::vector<Run> captured_;
+};
+
+inline std::string BenchJsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Writes the captured runs as one JSON object to `path`. Returns false
+/// (after printing a diagnostic) when the file cannot be written.
+inline bool WriteBenchJson(const std::string& path,
+                           const std::string& bench_name,
+                           const std::vector<JsonCaptureReporter::Run>& runs) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(file, "{\"bench\":\"%s\",\"git_rev\":\"%s\",\"results\":[",
+               BenchJsonEscape(bench_name).c_str(), GEODP_GIT_REV);
+  bool first = true;
+  for (const auto& run : runs) {
+    const double iterations = static_cast<double>(run.iterations);
+    const double wall_ms = iterations > 0.0
+                               ? run.real_accumulated_time / iterations * 1e3
+                               : 0.0;
+    const double steps_per_s = run.real_accumulated_time > 0.0
+                                   ? iterations / run.real_accumulated_time
+                                   : 0.0;
+    // Workloads that pin the pool report their thread count as a user
+    // counter named "threads"; fall back to google-benchmark's own
+    // threads() arg for the rest.
+    double threads = static_cast<double>(run.threads);
+    const auto it = run.counters.find("threads");
+    if (it != run.counters.end()) threads = it->second.value;
+    std::fprintf(file,
+                 "%s{\"name\":\"%s\",\"wall_ms\":%.9g,\"steps_per_s\":%.9g,"
+                 "\"threads\":%d}",
+                 first ? "" : ",",
+                 BenchJsonEscape(run.benchmark_name()).c_str(), wall_ms,
+                 steps_per_s, static_cast<int>(threads));
+    first = false;
+  }
+  const bool body_ok = std::fprintf(file, "]}\n") >= 0;
+  const bool close_ok = std::fclose(file) == 0;
+  if (!body_ok || !close_ok) {
+    std::fprintf(stderr, "bench_json: write failed for %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// BENCHMARK_MAIN() with --bench_json_out support: strips the flag from
+/// argv, runs the benchmarks with console output as usual, then writes
+/// the JSON summary. The bench name recorded in the JSON is argv[0]'s
+/// basename.
+inline int BenchmarkMainWithJson(int argc, char** argv) {
+  std::string json_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  const std::string prefix = "--bench_json_out=";
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      json_out = arg.substr(prefix.size());
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+
+  std::string bench_name = argc > 0 ? argv[0] : "bench";
+  const size_t slash = bench_name.find_last_of('/');
+  if (slash != std::string::npos) bench_name = bench_name.substr(slash + 1);
+
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_out.empty() &&
+      !WriteBenchJson(json_out, bench_name, reporter.captured())) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace geodp
+
+#endif  // GEODP_BENCH_COMMON_BENCH_JSON_H_

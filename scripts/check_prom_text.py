@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition (version 0.0.4) scrape.
+
+Used by the CI bench-smoke job on the body curl'd from a live geodp
+training run's /metrics endpoint. Checks:
+  * every line is a comment (# HELP / # TYPE) or a well-formed sample
+    `name[{labels}] value`;
+  * every sample's metric family has a # TYPE declared before it;
+  * histogram buckets are cumulative (monotone non-decreasing in le
+    order), end in an le="+Inf" bucket, and the +Inf count equals the
+    family's _count sample; a _sum sample is present;
+  * metric names match the Prometheus grammar and sample values parse as
+    numbers;
+  * `--require NAME` (repeatable) asserts a specific sample exists.
+
+Exits 0 when the scrape passes, 1 with a diagnostic otherwise. Uses only
+the standard library.
+
+`--self-check` lints this script itself (pyflakes if available, else a
+stdlib AST pass) so the CI static-analysis job covers the Python side too.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+
+def fail(message):
+    print(f"check_prom_text: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def self_check():
+    """Lints this file. Prefers pyflakes; falls back to compiling the AST
+    with a duplicate-name scan so the check still bites where pyflakes is
+    not installed."""
+    import ast
+
+    source_path = __file__
+    try:
+        with open(source_path, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as error:
+        fail(f"self-check: cannot read {source_path}: {error}")
+
+    try:
+        from pyflakes.api import check as pyflakes_check
+        from pyflakes.reporter import Reporter
+
+        errors = pyflakes_check(
+            source, source_path, Reporter(sys.stderr, sys.stderr)
+        )
+        if errors:
+            fail(f"self-check: pyflakes reported {errors} problem(s)")
+        print("check_prom_text: OK: self-check passed (pyflakes)")
+        return
+    except ImportError:
+        pass
+
+    try:
+        tree = ast.parse(source, filename=source_path)
+        compile(tree, source_path, "exec")
+    except SyntaxError as error:
+        fail(f"self-check: syntax error: {error}")
+    top_level = [
+        node.name
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    duplicates = {name for name in top_level if top_level.count(name) > 1}
+    if duplicates:
+        fail(f"self-check: duplicate top-level definitions: {duplicates}")
+    print("check_prom_text: OK: self-check passed (stdlib ast fallback)")
+
+
+def parse_value(text, where):
+    try:
+        return float(text)
+    except ValueError:
+        fail(f"{where}: sample value {text!r} is not a number")
+
+
+def base_family(name):
+    """The family a sample belongs to for TYPE-declaration purposes:
+    histogram samples use the name with _bucket/_sum/_count stripped."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_text(path, text, required):
+    lines = text.splitlines()
+    if not any(line.strip() for line in lines):
+        fail(f"{path} is empty")
+
+    typed = {}  # family -> declared type
+    samples = {}  # exact sample name (no labels) -> value
+    buckets = {}  # family -> list of (le, value) in order of appearance
+    for number, line in enumerate(lines, start=1):
+        where = f"{path}:{number}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                fail(f"{where}: malformed comment line {line!r}")
+            if not NAME_RE.match(parts[2]):
+                fail(f"{where}: bad metric name {parts[2]!r}")
+            if parts[1] == "TYPE":
+                if len(parts) != 4:
+                    fail(f"{where}: TYPE line missing a type")
+                if parts[3] not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                    fail(f"{where}: unknown type {parts[3]!r}")
+                typed[parts[2]] = parts[3]
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            fail(f"{where}: malformed sample line {line!r}")
+        name = match.group("name")
+        value = parse_value(match.group("value"), where)
+        labels = {}
+        if match.group("labels"):
+            for part in match.group("labels").split(","):
+                label = LABEL_RE.match(part)
+                if not label:
+                    fail(f"{where}: malformed label {part!r}")
+                labels[label.group("key")] = label.group("value")
+        family = base_family(name)
+        if name not in typed and family not in typed:
+            fail(f"{where}: sample {name!r} has no preceding # TYPE")
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                fail(f"{where}: histogram bucket without an le label")
+            buckets.setdefault(family, []).append((labels["le"], value))
+        elif not labels:
+            samples[name] = value
+
+    for family, family_buckets in sorted(buckets.items()):
+        les = [le for le, _ in family_buckets]
+        if les[-1] != "+Inf":
+            fail(f"{family}: bucket series does not end at le=\"+Inf\"")
+        previous = None
+        for le, value in family_buckets:
+            if previous is not None and value < previous:
+                fail(
+                    f"{family}: bucket le=\"{le}\" count {value} below "
+                    f"previous {previous} (buckets must be cumulative)"
+                )
+            previous = value
+        count_name = f"{family}_count"
+        if count_name not in samples:
+            fail(f"{family}: histogram without a _count sample")
+        if family_buckets[-1][1] != samples[count_name]:
+            fail(
+                f"{family}: le=\"+Inf\" bucket {family_buckets[-1][1]} != "
+                f"_count {samples[count_name]}"
+            )
+        if f"{family}_sum" not in samples:
+            fail(f"{family}: histogram without a _sum sample")
+
+    for name in required:
+        if name not in samples and name not in buckets:
+            fail(f"required metric {name!r} not found in {path}")
+
+    print(
+        f"check_prom_text: OK: {len(samples)} samples, "
+        f"{len(buckets)} histogram(s), {len(typed)} typed families"
+    )
+
+
+def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-check":
+        self_check()
+        return
+    args = sys.argv[1:]
+    required = []
+    paths = []
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "--require":
+            if index + 1 >= len(args):
+                fail("--require needs a metric name")
+            required.append(args[index + 1])
+            index += 2
+            continue
+        if arg.startswith("--require="):
+            required.append(arg.split("=", 1)[1])
+            index += 1
+            continue
+        paths.append(arg)
+        index += 1
+    if len(paths) != 1:
+        fail(
+            f"usage: {sys.argv[0]} <scrape.txt> [--require NAME]... "
+            f"| --self-check"
+        )
+    path = paths[0]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        fail(f"cannot read {path}: {error}")
+    check_text(path, text, required)
+
+
+if __name__ == "__main__":
+    main()

@@ -185,6 +185,16 @@ void AddCommonFlags(FlagParser& parser) {
   parser.AddString("geodp_trace_out", "",
                    "write a chrome://tracing-compatible JSON trace of the "
                    "step phases to this path (empty = disabled)");
+  parser.AddInt("geodp_http_port", 0,
+                "serve live introspection (/metrics /healthz /readyz "
+                "/statusz /varz) on this 127.0.0.1 port (0 = disabled)");
+  parser.AddInt("geodp_http_linger_ms", 0,
+                "keep the introspection server up this many milliseconds "
+                "after training finishes (scrape-after-run window)");
+  parser.AddDouble("geodp_epsilon_budget", 0.0,
+                   "target epsilon budget reported by /statusz; /healthz "
+                   "flips to 503 once epsilon-so-far exceeds it (0 = "
+                   "unbounded)");
 }
 
 void ApplyCommonFlags(const FlagParser& parser) {

@@ -65,10 +65,13 @@ class FlagParser {
 };
 
 /// Registers the library-wide flags every binary should accept. Currently:
-///   --geodp_num_threads  worker threads for ParallelFor
-///                        (0 = auto-detect, 1 = serial execution).
-///   --geodp_metrics_out  per-step training telemetry JSONL path ("" off)
-///   --geodp_trace_out    chrome://tracing JSON path ("" off)
+///   --geodp_num_threads     worker threads for ParallelFor
+///                           (0 = auto-detect, 1 = serial execution).
+///   --geodp_metrics_out     per-step training telemetry JSONL path ("" off)
+///   --geodp_trace_out       chrome://tracing JSON path ("" off)
+///   --geodp_http_port       live introspection server port (0 off)
+///   --geodp_http_linger_ms  keep serving this long after training ends
+///   --geodp_epsilon_budget  /healthz privacy-budget watchdog (0 unbounded)
 void AddCommonFlags(FlagParser& parser);
 
 /// Applies the parsed common flags to the library (resizes the global

@@ -1,0 +1,239 @@
+#include "obs/exposition.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "base/timer.h"
+
+namespace geodp {
+namespace {
+
+// Escapes a string for embedding in a JSON string literal. Metric and
+// path names are plain ASCII, but fingerprints embed hexfloats and user
+// paths can contain anything.
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string HtmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void AppendHistogram(std::ostringstream& out, const std::string& source_name,
+                     const HistogramSnapshot& histogram) {
+  const std::string name = PrometheusMetricName(source_name);
+  out << "# HELP " << name << " " << source_name << "\n";
+  out << "# TYPE " << name << " histogram\n";
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < histogram.upper_bounds.size(); ++i) {
+    cumulative += histogram.counts[i];
+    out << name << "_bucket{le=\"" << FormatDouble(histogram.upper_bounds[i])
+        << "\"} " << cumulative << "\n";
+  }
+  out << name << "_bucket{le=\"+Inf\"} " << histogram.count << "\n";
+  out << name << "_sum " << FormatDouble(histogram.sum) << "\n";
+  out << name << "_count " << histogram.count << "\n";
+  const std::pair<const char*, double> quantiles[] = {
+      {"p50", histogram.p50}, {"p95", histogram.p95}, {"p99", histogram.p99}};
+  for (const auto& [suffix, value] : quantiles) {
+    out << "# HELP " << name << "_" << suffix << " " << suffix
+        << " of " << source_name << "\n";
+    out << "# TYPE " << name << "_" << suffix << " gauge\n";
+    out << name << "_" << suffix << " " << FormatDouble(value) << "\n";
+  }
+}
+
+// The JSON body of a status snapshot without the surrounding braces, so
+// VarzJson can reuse it verbatim.
+std::string StatusJsonBody(const TrainingStatusSnapshot& s) {
+  std::ostringstream out;
+  out << "\"run_state\":\"" << JsonEscape(s.run_state) << "\""
+      << ",\"options_fingerprint\":\"" << JsonEscape(s.options_fingerprint)
+      << "\""
+      << ",\"step\":" << s.step << ",\"attempt\":" << s.attempt
+      << ",\"iterations\":" << s.iterations << ",\"last_record\":";
+  if (s.has_last_record) {
+    out << StepRecordToJson(s.last_record);
+  } else {
+    out << "null";
+  }
+  out << ",\"epsilon_spent\":" << FormatDouble(s.epsilon_spent)
+      << ",\"epsilon_budget\":" << FormatDouble(s.epsilon_budget)
+      << ",\"delta\":" << FormatDouble(s.delta) << ",\"checkpoint_dir\":\""
+      << JsonEscape(s.checkpoint_dir) << "\",\"latest_checkpoint\":\""
+      << JsonEscape(s.latest_checkpoint) << "\",\"publish_sequence\":"
+      << s.publish_sequence << ",\"publish_micros\":" << s.publish_micros;
+  return out.str();
+}
+
+}  // namespace
+
+void TrainingStatusPublisher::Publish(TrainingStatusSnapshot snapshot) {
+  auto holder =
+      std::make_shared<TrainingStatusSnapshot>(std::move(snapshot));
+  holder->publish_micros = Timer::ProcessMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  holder->publish_sequence = ++publish_count_;
+  latest_ = std::move(holder);
+}
+
+std::shared_ptr<const TrainingStatusSnapshot> TrainingStatusPublisher::Latest()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_;
+}
+
+int64_t TrainingStatusPublisher::publish_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return publish_count_;
+}
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "geodp_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+    out += keep ? c : '_';
+  }
+  return out;
+}
+
+std::string PrometheusText(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [source_name, value] : snapshot.counters) {
+    const std::string name = PrometheusMetricName(source_name) + "_total";
+    out << "# HELP " << name << " " << source_name << "\n";
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [source_name, value] : snapshot.gauges) {
+    const std::string name = PrometheusMetricName(source_name);
+    out << "# HELP " << name << " " << source_name << "\n";
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << FormatDouble(value) << "\n";
+  }
+  for (const auto& [source_name, histogram] : snapshot.histograms) {
+    AppendHistogram(out, source_name, histogram);
+  }
+  return out.str();
+}
+
+std::string StatuszJson(const TrainingStatusSnapshot& snapshot) {
+  std::string out = "{";
+  out += StatusJsonBody(snapshot);
+  out += "}";
+  return out;
+}
+
+std::string StatuszHtml(const TrainingStatusSnapshot& s) {
+  std::ostringstream out;
+  out << "<!DOCTYPE html>\n<html><head><title>geodp /statusz</title></head>\n"
+      << "<body>\n<h1>GeoDP training status</h1>\n<table border=\"1\">\n";
+  auto row = [&out](const std::string& key, const std::string& value) {
+    out << "<tr><td>" << HtmlEscape(key) << "</td><td>" << HtmlEscape(value)
+        << "</td></tr>\n";
+  };
+  row("run_state", s.run_state);
+  row("step", std::to_string(s.step) + " / " + std::to_string(s.iterations));
+  row("attempt", std::to_string(s.attempt));
+  row("epsilon_spent", FormatDouble(s.epsilon_spent));
+  row("epsilon_budget",
+      s.epsilon_budget > 0.0 ? FormatDouble(s.epsilon_budget) : "unbounded");
+  row("delta", FormatDouble(s.delta));
+  row("checkpoint_dir", s.checkpoint_dir.empty() ? "(off)" : s.checkpoint_dir);
+  row("latest_checkpoint",
+      s.latest_checkpoint.empty() ? "(none)" : s.latest_checkpoint);
+  row("options_fingerprint", s.options_fingerprint);
+  out << "</table>\n<h2>raw</h2>\n<pre>" << HtmlEscape(StatuszJson(s))
+      << "</pre>\n</body></html>\n";
+  return out.str();
+}
+
+std::string VarzJson(const RegistrySnapshot& registry,
+                     const TrainingStatusSnapshot* status) {
+  std::ostringstream out;
+  out << "{\"metrics\":{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : registry.gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << FormatDouble(value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : registry.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":{\"count\":" << histogram.count
+        << ",\"sum\":" << FormatDouble(histogram.sum) << ",\"p50\":"
+        << FormatDouble(histogram.p50) << ",\"p95\":"
+        << FormatDouble(histogram.p95) << ",\"p99\":"
+        << FormatDouble(histogram.p99) << "}";
+  }
+  out << "}},\"status\":";
+  if (status != nullptr) {
+    out << "{" << StatusJsonBody(*status) << "}";
+  } else {
+    out << "null";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace geodp

@@ -1,0 +1,91 @@
+// Exposition formatting for the live introspection server: Prometheus
+// text for the metrics registry, JSON/HTML status pages, and the
+// copy-on-publish snapshot channel the trainer feeds. Everything here is
+// a pure function of its inputs and independent of sockets, so tests pin
+// exact bytes without networking; obs/http_server.h serves these strings
+// over HTTP.
+
+#ifndef GEODP_OBS_EXPOSITION_H_
+#define GEODP_OBS_EXPOSITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/step_observer.h"
+
+namespace geodp {
+
+/// Everything /statusz and /varz report about the run in flight. The
+/// trainer builds one per step (copy-on-publish: the struct is immutable
+/// once handed to the publisher), so serving a request never touches
+/// trainer state.
+struct TrainingStatusSnapshot {
+  std::string run_state;  // "training" | "finished"
+  std::string options_fingerprint;
+  int64_t step = 0;        // accepted updates so far
+  int64_t attempt = 0;     // loop iterations so far (>= step under SUR)
+  int64_t iterations = 0;  // configured accepted-update target
+  bool has_last_record = false;
+  StepRecord last_record;  // most recent per-step telemetry
+  double epsilon_spent = 0.0;
+  double epsilon_budget = 0.0;  // 0 = unbounded (watchdog disabled)
+  double delta = 0.0;
+  std::string checkpoint_dir;      // empty when checkpointing is off
+  std::string latest_checkpoint;   // last durably-written checkpoint file
+  int64_t publish_sequence = 0;    // filled by the publisher
+  int64_t publish_micros = 0;      // Timer::ProcessMicros() at publish time
+};
+
+/// Thread-safe holder of the latest snapshot. Publish replaces the held
+/// pointer; readers get a shared_ptr to an immutable snapshot, so a reader
+/// can format a response while the trainer publishes the next step.
+class TrainingStatusPublisher {
+ public:
+  TrainingStatusPublisher() = default;
+  TrainingStatusPublisher(const TrainingStatusPublisher&) = delete;
+  TrainingStatusPublisher& operator=(const TrainingStatusPublisher&) = delete;
+
+  /// Stamps publish_sequence/publish_micros and swaps the snapshot in.
+  void Publish(TrainingStatusSnapshot snapshot);
+
+  /// Latest published snapshot; nullptr before the first Publish.
+  std::shared_ptr<const TrainingStatusSnapshot> Latest() const;
+
+  int64_t publish_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const TrainingStatusSnapshot> latest_;
+  int64_t publish_count_ = 0;
+};
+
+/// "trainer.steps" -> "geodp_trainer_steps": prefixes the namespace and
+/// maps every character outside [a-zA-Z0-9_] to '_'.
+std::string PrometheusMetricName(const std::string& name);
+
+/// Prometheus text exposition (text/plain; version=0.0.4) of a registry
+/// snapshot, deterministic order: counters, gauges, then histograms, each
+/// sorted by name. Counters get the "_total" suffix; histograms emit
+/// cumulative le-buckets (including "+Inf"), _sum and _count, plus
+/// interpolated p50/p95/p99 gauges as <name>_p50/_p95/_p99.
+std::string PrometheusText(const RegistrySnapshot& snapshot);
+
+/// The /statusz payload as one deterministic JSON object (fixed key
+/// order, FormatDouble numbers).
+std::string StatuszJson(const TrainingStatusSnapshot& snapshot);
+
+/// Minimal self-contained HTML rendering of the same status (a table for
+/// humans plus the JSON in a <pre> for copy-paste).
+std::string StatuszHtml(const TrainingStatusSnapshot& snapshot);
+
+/// Raw JSON snapshot of everything: {"metrics": {...}, "status": {...}}.
+/// `status` may be null (before any publish); the key is then null.
+std::string VarzJson(const RegistrySnapshot& registry,
+                     const TrainingStatusSnapshot* status);
+
+}  // namespace geodp
+
+#endif  // GEODP_OBS_EXPOSITION_H_

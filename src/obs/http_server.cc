@@ -1,0 +1,322 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "base/timer.h"
+
+namespace geodp {
+namespace {
+
+constexpr int kAcceptPollMillis = 100;
+constexpr int kRequestReadTimeoutSeconds = 5;
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+IntrospectionResponse TextResponse(int status, std::string body) {
+  IntrospectionResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+// Readiness/health of the run behind `publisher` per the watchdog rules in
+// the header comment. `health_only` skips the readiness-specific checks
+// (no-snapshot-yet, stalled run) so /healthz only trips on the budget.
+IntrospectionResponse CheckHealth(const TrainingStatusPublisher* publisher,
+                                  const IntrospectionServerOptions& options,
+                                  bool health_only) {
+  std::shared_ptr<const TrainingStatusSnapshot> snapshot;
+  if (publisher != nullptr) snapshot = publisher->Latest();
+  if (snapshot == nullptr) {
+    if (health_only) return TextResponse(200, "ok\n");
+    return TextResponse(503, "not ready: no training snapshot published\n");
+  }
+  if (snapshot->epsilon_budget > 0.0 &&
+      snapshot->epsilon_spent > snapshot->epsilon_budget) {
+    std::ostringstream out;
+    out << "privacy budget exceeded: epsilon " +
+               FormatDouble(snapshot->epsilon_spent) + " > budget " +
+               FormatDouble(snapshot->epsilon_budget) + "\n";
+    return TextResponse(503, out.str());
+  }
+  if (!health_only && options.stall_timeout_ms > 0 &&
+      snapshot->run_state == "training") {
+    const int64_t age_micros =
+        Timer::ProcessMicros() - snapshot->publish_micros;
+    if (age_micros > options.stall_timeout_ms * 1000) {
+      return TextResponse(
+          503, "not ready: training stalled (no snapshot in " +
+                   std::to_string(age_micros / 1000) + " ms)\n");
+    }
+  }
+  return TextResponse(200, "ok\n");
+}
+
+}  // namespace
+
+IntrospectionResponse RouteIntrospectionRequest(
+    const std::string& method, const std::string& target,
+    const MetricsRegistry* registry, const TrainingStatusPublisher* publisher,
+    const IntrospectionServerOptions& options) {
+  if (method != "GET") {
+    return TextResponse(405, "only GET is supported\n");
+  }
+  const size_t query_start = target.find('?');
+  const std::string path = target.substr(0, query_start);
+  const std::string query = query_start == std::string::npos
+                                ? std::string()
+                                : target.substr(query_start + 1);
+
+  if (path == "/metrics") {
+    IntrospectionResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = PrometheusText(registry != nullptr ? registry->Snapshot()
+                                                       : RegistrySnapshot());
+    return response;
+  }
+  if (path == "/healthz") {
+    return CheckHealth(publisher, options, /*health_only=*/true);
+  }
+  if (path == "/readyz") {
+    return CheckHealth(publisher, options, /*health_only=*/false);
+  }
+  if (path == "/statusz") {
+    std::shared_ptr<const TrainingStatusSnapshot> snapshot;
+    if (publisher != nullptr) snapshot = publisher->Latest();
+    if (snapshot == nullptr) {
+      return TextResponse(503, "no training snapshot published yet\n");
+    }
+    IntrospectionResponse response;
+    if (query == "format=json") {
+      response.content_type = "application/json";
+      response.body = StatuszJson(*snapshot);
+    } else {
+      response.content_type = "text/html; charset=utf-8";
+      response.body = StatuszHtml(*snapshot);
+    }
+    return response;
+  }
+  if (path == "/varz") {
+    std::shared_ptr<const TrainingStatusSnapshot> snapshot;
+    if (publisher != nullptr) snapshot = publisher->Latest();
+    IntrospectionResponse response;
+    response.content_type = "application/json";
+    response.body =
+        VarzJson(registry != nullptr ? registry->Snapshot()
+                                     : RegistrySnapshot(),
+                 snapshot.get());
+    return response;
+  }
+  if (path == "/") {
+    return TextResponse(
+        200, "geodp introspection: /metrics /healthz /readyz /statusz /varz\n");
+  }
+  return TextResponse(404, "unknown endpoint " + path + "\n");
+}
+
+std::string SerializeHttpResponse(const IntrospectionResponse& response) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << " "
+      << ReasonPhrase(response.status) << "\r\n"
+      << "Content-Type: " << response.content_type << "\r\n"
+      << "Content-Length: " << response.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << response.body;
+  return out.str();
+}
+
+IntrospectionServer::IntrospectionServer(
+    const MetricsRegistry* registry, const TrainingStatusPublisher* publisher,
+    IntrospectionServerOptions options)
+    : registry_(registry),
+      publisher_(publisher),
+      options_(std::move(options)) {}
+
+IntrospectionServer::~IntrospectionServer() { Stop(); }
+
+Status IntrospectionServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("introspection server already running");
+  }
+  if (options_.port < 0 || options_.port > 65535) {
+    return Status::InvalidArgument("http port out of range: " +
+                                   std::to_string(options_.port));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in address;
+  std::memset(&address, 0, sizeof(address));
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(),
+                  &address.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("cannot bind " + options_.bind_address + ":" +
+                            std::to_string(options_.port) + ": " + error);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen() failed: " + error);
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("getsockname() failed: " + error);
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void IntrospectionServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void IntrospectionServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd poll_fd;
+    poll_fd.fd = listen_fd_;
+    poll_fd.events = POLLIN;
+    poll_fd.revents = 0;
+    const int ready = ::poll(&poll_fd, 1, kAcceptPollMillis);
+    if (ready <= 0) continue;  // timeout (re-check stop flag) or EINTR
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    HandleConnection(client_fd);
+    ::close(client_fd);
+  }
+}
+
+void IntrospectionServer::HandleConnection(int client_fd) {
+  timeval timeout;
+  timeout.tv_sec = kRequestReadTimeoutSeconds;
+  timeout.tv_usec = 0;
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  // Read until the end of the request head, the size bound, or timeout.
+  // Introspection requests are header-only, so the body (if any) is
+  // ignored once the head terminator is seen.
+  std::string request;
+  bool oversize = false;
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    if (static_cast<int64_t>(request.size()) >= options_.max_request_bytes) {
+      oversize = true;
+      break;
+    }
+    char buffer[1024];
+    const ssize_t n = ::recv(client_fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;  // peer closed, error, or timeout
+    request.append(buffer, static_cast<size_t>(n));
+  }
+
+  IntrospectionResponse response;
+  if (oversize) {
+    response = TextResponse(431, "request too large\n");
+  } else {
+    // Parse "<METHOD> <target> HTTP/1.x" from the first line.
+    const size_t line_end = request.find_first_of("\r\n");
+    const std::string line =
+        line_end == std::string::npos ? request : request.substr(0, line_end);
+    const size_t method_end = line.find(' ');
+    const size_t target_end =
+        method_end == std::string::npos ? std::string::npos
+                                        : line.find(' ', method_end + 1);
+    if (method_end == std::string::npos ||
+        target_end == std::string::npos ||
+        line.compare(target_end + 1, 5, "HTTP/") != 0) {
+      response = TextResponse(400, "malformed request line\n");
+    } else {
+      const std::string method = line.substr(0, method_end);
+      const std::string target =
+          line.substr(method_end + 1, target_end - method_end - 1);
+      response = RouteIntrospectionRequest(method, target, registry_,
+                                           publisher_, options_);
+    }
+  }
+
+  const std::string wire = SerializeHttpResponse(response);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(client_fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+StatusOr<std::unique_ptr<IntrospectionHandle>> ApplyIntrospectionFlags(
+    const FlagParser& parser) {
+  const int64_t port = parser.GetInt("geodp_http_port");
+  if (port == 0) return std::unique_ptr<IntrospectionHandle>(nullptr);
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("--geodp_http_port out of range: " +
+                                   std::to_string(port));
+  }
+  auto handle = std::make_unique<IntrospectionHandle>();
+  handle->publisher = std::make_unique<TrainingStatusPublisher>();
+  IntrospectionServerOptions options;
+  options.port = static_cast<int>(port);
+  handle->server = std::make_unique<IntrospectionServer>(
+      &MetricsRegistry::Global(), handle->publisher.get(), options);
+  const Status started = handle->server->Start();
+  if (!started.ok()) return started;
+  return handle;
+}
+
+}  // namespace geodp

@@ -1,0 +1,131 @@
+// Live introspection server: a dependency-free HTTP/1.1 endpoint over
+// POSIX sockets that makes a running training job inspectable without
+// touching it. Endpoints:
+//
+//   /metrics  Prometheus text exposition of the MetricsRegistry
+//   /healthz  200 while the privacy budget holds, 503 once epsilon-so-far
+//             exceeds the configured budget (a budget watchdog: a
+//             miscalibrated run flips its health before the budget is
+//             gone, not after)
+//   /readyz   healthz plus readiness: 503 until the trainer has published
+//             a snapshot, and 503 when a run in state "training" has not
+//             published within stall_timeout_ms (stalled-run watchdog)
+//   /statusz  human status page (HTML; ?format=json for the JSON object)
+//   /varz     raw JSON snapshot of metrics + status
+//
+// The server owns one accept thread, reads bounded requests (431 past
+// max_request_bytes, 400 on garbage), serves from immutable
+// copy-on-publish snapshots (obs/exposition.h) and shuts down cleanly.
+// It never blocks or mutates the trainer: Publish swaps a shared_ptr and
+// registry reads copy under the registry mutex, so training output is
+// bit-identical with the server on or off at any thread count.
+
+#ifndef GEODP_OBS_HTTP_SERVER_H_
+#define GEODP_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "base/flags.h"
+#include "base/status.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+
+namespace geodp {
+
+struct IntrospectionServerOptions {
+  int port = 0;  // 0 = pick an ephemeral port (see IntrospectionServer::port)
+  std::string bind_address = "127.0.0.1";  // loopback only by default
+  int64_t max_request_bytes = 8192;        // 431 beyond this
+  // /readyz reports 503 for a run in state "training" whose latest
+  // snapshot is older than this. 0 disables the stall watchdog.
+  int64_t stall_timeout_ms = 0;
+};
+
+/// Status code, content type and body of one introspection response.
+struct IntrospectionResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Routes one parsed request to a response. Exposed separately from the
+/// socket layer so tests cover every endpoint without networking.
+/// `registry` may be null (endpoints then serve an empty registry);
+/// `publisher` may be null (no training attached).
+IntrospectionResponse RouteIntrospectionRequest(
+    const std::string& method, const std::string& target,
+    const MetricsRegistry* registry, const TrainingStatusPublisher* publisher,
+    const IntrospectionServerOptions& options);
+
+/// "HTTP/1.1 200 OK\r\n..." wire bytes for a response.
+std::string SerializeHttpResponse(const IntrospectionResponse& response);
+
+/// The server. Construction does not open sockets; Start() binds, listens
+/// and spawns the accept thread, Stop() (also run by the destructor)
+/// shuts it down and joins. Both borrowed pointers must outlive the
+/// server.
+class IntrospectionServer {
+ public:
+  IntrospectionServer(const MetricsRegistry* registry,
+                      const TrainingStatusPublisher* publisher,
+                      IntrospectionServerOptions options);
+  ~IntrospectionServer();
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+  /// Binds and starts serving. Fails (without a thread running) when the
+  /// address cannot be bound.
+  Status Start();
+
+  /// Stops accepting, closes the listen socket and joins the accept
+  /// thread. Idempotent.
+  void Stop();
+
+  /// The bound port (the ephemeral pick when options.port was 0); 0
+  /// before Start().
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int client_fd);
+
+  const MetricsRegistry* registry_;
+  const TrainingStatusPublisher* publisher_;
+  IntrospectionServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int64_t> requests_served_{0};
+  std::thread accept_thread_;
+};
+
+/// Everything --geodp_http_port turns on, bundled so callers can keep it
+/// alive for the duration of a run: the publisher to hand to
+/// TrainerOptions::status_publisher and the running server.
+struct IntrospectionHandle {
+  std::unique_ptr<TrainingStatusPublisher> publisher;
+  std::unique_ptr<IntrospectionServer> server;
+};
+
+/// Applies the --geodp_http_port flag registered by AddCommonFlags:
+/// returns nullptr when the flag is 0 (off), otherwise a started server
+/// on that port backed by MetricsRegistry::Global() and a fresh
+/// publisher. Fails when the port cannot be bound.
+StatusOr<std::unique_ptr<IntrospectionHandle>> ApplyIntrospectionFlags(
+    const FlagParser& parser);
+
+}  // namespace geodp
+
+#endif  // GEODP_OBS_HTTP_SERVER_H_

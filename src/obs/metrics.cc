@@ -68,6 +68,43 @@ double MetricsRegistry::gauge(const std::string& name) const {
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
+double HistogramQuantile(const HistogramSnapshot& snapshot, double q) {
+  if (snapshot.count <= 0 || snapshot.upper_bounds.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(snapshot.count);
+  const size_t overflow = snapshot.upper_bounds.size();
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < snapshot.counts.size(); ++i) {
+    const int64_t in_bucket = snapshot.counts[i];
+    const int64_t previous = cumulative;
+    cumulative += in_bucket;
+    if (in_bucket == 0 || static_cast<double>(cumulative) < rank) continue;
+    // Observations past the last finite bound have no upper edge to
+    // interpolate toward; clamp to the largest finite bound.
+    if (i == overflow) return snapshot.upper_bounds.back();
+    const double upper = snapshot.upper_bounds[i];
+    const double lower =
+        i == 0 ? (snapshot.upper_bounds[0] > 0.0 ? 0.0 : snapshot.upper_bounds[0])
+               : snapshot.upper_bounds[i - 1];
+    double fraction =
+        (rank - static_cast<double>(previous)) / static_cast<double>(in_bucket);
+    if (fraction < 0.0) fraction = 0.0;
+    return lower + (upper - lower) * fraction;
+  }
+  return snapshot.upper_bounds.back();
+}
+
+namespace {
+
+void FillQuantiles(HistogramSnapshot& snapshot) {
+  snapshot.p50 = HistogramQuantile(snapshot, 0.5);
+  snapshot.p95 = HistogramQuantile(snapshot, 0.95);
+  snapshot.p99 = HistogramQuantile(snapshot, 0.99);
+}
+
+}  // namespace
+
 HistogramSnapshot MetricsRegistry::histogram(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   HistogramSnapshot snapshot;
@@ -77,21 +114,38 @@ HistogramSnapshot MetricsRegistry::histogram(const std::string& name) const {
   snapshot.counts = it->second.counts;
   snapshot.count = it->second.count;
   snapshot.sum = it->second.sum;
+  FillQuantiles(snapshot);
+  return snapshot;
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snapshot;
+  snapshot.counters = counters_;
+  snapshot.gauges = gauges_;
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot& out = snapshot.histograms[name];
+    out.upper_bounds = histogram.upper_bounds;
+    out.counts = histogram.counts;
+    out.count = histogram.count;
+    out.sum = histogram.sum;
+    FillQuantiles(out);
+  }
   return snapshot;
 }
 
 std::string MetricsRegistry::ToJsonl() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const RegistrySnapshot snapshot = Snapshot();
   std::ostringstream out;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : snapshot.counters) {
     out << "{\"type\":\"counter\",\"name\":\"" << name << "\",\"value\":"
         << value << "}\n";
   }
-  for (const auto& [name, value] : gauges_) {
+  for (const auto& [name, value] : snapshot.gauges) {
     out << "{\"type\":\"gauge\",\"name\":\"" << name << "\",\"value\":"
         << FormatDouble(value) << "}\n";
   }
-  for (const auto& [name, histogram] : histograms_) {
+  for (const auto& [name, histogram] : snapshot.histograms) {
     out << "{\"type\":\"histogram\",\"name\":\"" << name << "\",\"bounds\":[";
     for (size_t i = 0; i < histogram.upper_bounds.size(); ++i) {
       if (i > 0) out << ",";
@@ -103,7 +157,10 @@ std::string MetricsRegistry::ToJsonl() const {
       out << histogram.counts[i];
     }
     out << "],\"count\":" << histogram.count << ",\"sum\":"
-        << FormatDouble(histogram.sum) << "}\n";
+        << FormatDouble(histogram.sum) << ",\"p50\":"
+        << FormatDouble(histogram.p50) << ",\"p95\":"
+        << FormatDouble(histogram.p95) << ",\"p99\":"
+        << FormatDouble(histogram.p99) << "}\n";
   }
   return out.str();
 }

@@ -26,12 +26,34 @@ namespace geodp {
 std::string FormatDouble(double value);
 
 /// Snapshot of one histogram: cumulative-free bucket counts plus the
-/// running count/sum for mean recovery.
+/// running count/sum for mean recovery and interpolated quantiles.
 struct HistogramSnapshot {
   std::vector<double> upper_bounds;  // bucket b covers (bound[b-1], bound[b]]
   std::vector<int64_t> counts;       // size upper_bounds.size() + 1 (overflow)
   int64_t count = 0;
   double sum = 0.0;
+  // HistogramQuantile(*this, q) for q = 0.5 / 0.95 / 0.99, filled at
+  // snapshot time. Shared by the JSONL export and the /metrics exposition.
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Interpolated quantile of a bucketed histogram, Prometheus
+/// histogram_quantile semantics: the target rank q*count is located in the
+/// cumulative bucket counts and linearly interpolated inside the bucket
+/// (the first bucket's lower edge is 0 unless its bound is negative; ranks
+/// past the last finite bound clamp to it). A pure function of the
+/// snapshot, so two snapshots with identical counts give identical bytes.
+/// Returns 0 for an empty histogram; `q` outside [0, 1] is clamped.
+double HistogramQuantile(const HistogramSnapshot& snapshot, double q);
+
+/// Point-in-time copy of every metric in a registry. std::map keys make
+/// iteration order (and thus every serialization) deterministic.
+struct RegistrySnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
 };
 
 /// Named counters / gauges / histograms behind one mutex. All methods are
@@ -61,11 +83,16 @@ class MetricsRegistry {
   double gauge(const std::string& name) const;
   HistogramSnapshot histogram(const std::string& name) const;
 
+  /// Copies every metric out under the lock. The introspection server
+  /// formats from snapshots so exposition never holds the registry mutex
+  /// while rendering.
+  RegistrySnapshot Snapshot() const;
+
   /// One JSON object per line, metrics sorted by (type, name):
   ///   {"type":"counter","name":...,"value":...}
   ///   {"type":"gauge","name":...,"value":...}
   ///   {"type":"histogram","name":...,"bounds":[...],"counts":[...],
-  ///    "count":...,"sum":...}
+  ///    "count":...,"sum":...,"p50":...,"p95":...,"p99":...}
   std::string ToJsonl() const;
 
   /// Writes ToJsonl() to `path` (overwriting).

@@ -34,22 +34,42 @@ JsonlStepWriter::JsonlStepWriter(const std::string& path) : path_(path) {
   file_ = std::fopen(path.c_str(), "w");
   if (file_ == nullptr) {
     status_ = Status::InvalidArgument("cannot open " + path);
+    MetricsRegistry::Global().IncrementCounter("obs.jsonl_open_errors");
   }
 }
 
-JsonlStepWriter::~JsonlStepWriter() {
-  if (file_ != nullptr) std::fclose(file_);
-}
+JsonlStepWriter::~JsonlStepWriter() { Close(); }
 
 void JsonlStepWriter::OnStep(const StepRecord& record) {
-  if (file_ == nullptr) return;
+  if (file_ == nullptr) {
+    ++dropped_records_;
+    MetricsRegistry::Global().IncrementCounter("obs.jsonl_write_errors");
+    return;
+  }
   const std::string line = StepRecordToJson(record);
   if (std::fprintf(file_, "%s\n", line.c_str()) < 0 ||
       std::fflush(file_) != 0) {
     if (status_.ok()) status_ = Status::Internal("write failed for " + path_);
+    ++dropped_records_;
+    MetricsRegistry::Global().IncrementCounter("obs.jsonl_write_errors");
     return;
   }
   ++records_written_;
+}
+
+const Status& JsonlStepWriter::Close() {
+  if (file_ == nullptr) return status_;
+  const bool flush_failed = std::fflush(file_) != 0;
+  const bool close_failed = std::fclose(file_) != 0;
+  file_ = nullptr;
+  if ((flush_failed || close_failed) && status_.ok()) {
+    status_ = Status::Internal("close failed for " + path_);
+  }
+  if (dropped_records_ > 0 && status_.ok()) {
+    status_ = Status::Internal(std::to_string(dropped_records_) +
+                               " telemetry record(s) dropped for " + path_);
+  }
+  return status_;
 }
 
 std::unique_ptr<JsonlStepWriter> ApplyObservabilityFlags(

@@ -73,7 +73,10 @@ class CollectingStepObserver : public StepObserver {
 };
 
 /// Appends one JSON line per step to a file, flushing after each record
-/// so telemetry survives a crashed run.
+/// so telemetry survives a crashed run. Write failures (disk full, closed
+/// fd) are never silent: each dropped record bumps dropped_records() and
+/// the global "obs.jsonl_write_errors" counter, and the first failure
+/// sticks in status() so the run finishes non-OK.
 class JsonlStepWriter : public StepObserver {
  public:
   explicit JsonlStepWriter(const std::string& path);
@@ -81,16 +84,25 @@ class JsonlStepWriter : public StepObserver {
 
   void OnStep(const StepRecord& record) override;
 
-  /// Ok unless the file could not be opened or a write failed.
+  /// Flushes and closes the file, folding any close-time error into
+  /// status(). Idempotent; returns the final status. The destructor calls
+  /// it, but callers that need to report telemetry loss should call it
+  /// explicitly and check the result.
+  const Status& Close();
+
+  /// Ok unless the file could not be opened or a write/close failed.
   const Status& status() const { return status_; }
   const std::string& path() const { return path_; }
   int64_t records_written() const { return records_written_; }
+  /// Records lost to an unopened file or failed writes.
+  int64_t dropped_records() const { return dropped_records_; }
 
  private:
   std::string path_;
   std::FILE* file_ = nullptr;
   Status status_;
   int64_t records_written_ = 0;
+  int64_t dropped_records_ = 0;
 };
 
 /// Applies the observability flags registered by AddCommonFlags:

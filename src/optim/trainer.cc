@@ -13,6 +13,7 @@
 #include "data/dataloader.h"
 #include "nn/loss.h"
 #include "nn/parameter.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optim/adaptive_beta.h"
@@ -22,17 +23,17 @@
 namespace geodp {
 namespace {
 
-// Fills one StepRecord from the step's intermediates and hands it to the
-// observer, mirroring into the global metrics registry. Only called when
-// an observer is attached, so none of this costs the plain training path.
-void EmitStepTelemetry(StepObserver& observer,
-                       const PrivateBatchGradient& grads,
-                       const Perturber& perturber, const Clipper& clipper,
-                       const RdpAccountant& accountant,
-                       const TrainerOptions& options, int64_t step,
-                       int64_t attempt, double current_beta,
-                       bool step_accepted, const SelectiveUpdater& selective,
-                       int64_t flat_dim) {
+// Fills one StepRecord from the step's intermediates. Only called when an
+// observer or a status publisher is attached, so none of this costs the
+// plain training path.
+StepRecord BuildStepRecord(const PrivateBatchGradient& grads,
+                           const Perturber& perturber, const Clipper& clipper,
+                           const RdpAccountant& accountant,
+                           const TrainerOptions& options, int64_t step,
+                           int64_t attempt, double current_beta,
+                           bool step_accepted,
+                           const SelectiveUpdater& selective,
+                           int64_t flat_dim) {
   StepRecord record;
   record.step = step;
   record.attempt = attempt;
@@ -67,8 +68,13 @@ void EmitStepTelemetry(StepObserver& observer,
   record.epsilon = snapshot.epsilon;
   record.rdp_order = snapshot.optimal_order;
   record.accounted_steps = snapshot.total_steps;
-  observer.OnStep(record);
+  return record;
+}
 
+// Mirrors one StepRecord into the global metrics registry (the source the
+// /metrics endpoint and MetricsRegistry::ToJsonl serve from).
+void MirrorStepMetrics(const StepRecord& record,
+                       const TrainerOptions& options) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   registry.IncrementCounter("trainer.steps");
   if (record.empty_lot) registry.IncrementCounter("trainer.empty_lots");
@@ -77,8 +83,8 @@ void EmitStepTelemetry(StepObserver& observer,
                               record.nonfinite_skipped);
   }
   if (options.selective_update) {
-    registry.IncrementCounter(step_accepted ? "trainer.sur_accepted"
-                                            : "trainer.sur_rejected");
+    registry.IncrementCounter(record.sur_accepted ? "trainer.sur_accepted"
+                                                  : "trainer.sur_rejected");
   }
   if (!record.empty_lot) {
     registry.ObserveHistogram("trainer.clip_fraction",
@@ -238,11 +244,13 @@ StatusOr<TrainingResult> DpTrainer::Run() {
   TrainingResult result;
   int64_t accepted_updates = 0;
   int64_t start_attempt = 0;
+  std::string last_checkpoint_path;
 
   if (!options_.resume_from.empty()) {
     StatusOr<FoundCheckpoint> found =
         FindLatestGoodCheckpoint(options_.resume_from);
     if (!found.ok()) return found.status();
+    last_checkpoint_path = found.value().path;
     const TrainingCheckpoint& c = found.value().checkpoint;
     if (c.options_fingerprint != fingerprint) {
       return Status::FailedPrecondition(
@@ -330,11 +338,44 @@ StatusOr<TrainingResult> DpTrainer::Run() {
                                    : options_.iterations;
   StepObserver* const observer = options_.step_observer;
   const bool observing = observer != nullptr;
+  TrainingStatusPublisher* const publisher = options_.status_publisher;
+  const bool publishing = publisher != nullptr;
   const bool checkpointing = options_.checkpoint_every > 0;
   FaultInjector& faults = FaultInjector::Global();
 
-  for (int64_t attempt = start_attempt;
-       attempt < max_attempts && accepted_updates < options_.iterations;
+  // Copy-on-publish status for the introspection server. Reporting only:
+  // nothing the trainer computes depends on whether a publisher is set, so
+  // the trajectory (and the JSONL bytes) are identical either way.
+  StepRecord last_record;
+  bool have_record = false;
+  const auto publish_status = [&](const char* run_state, int64_t step,
+                                  int64_t attempts_done,
+                                  const StepRecord* record) {
+    TrainingStatusSnapshot snap;
+    snap.run_state = run_state;
+    snap.options_fingerprint = fingerprint;
+    snap.step = step;
+    snap.attempt = attempts_done;
+    snap.iterations = options_.iterations;
+    if (record != nullptr) {
+      snap.has_last_record = true;
+      snap.last_record = *record;
+      snap.epsilon_spent = record->epsilon;
+    } else {
+      snap.epsilon_spent = accountant.Snapshot(options_.delta).epsilon;
+    }
+    snap.epsilon_budget = options_.epsilon_budget;
+    snap.delta = options_.delta;
+    snap.checkpoint_dir = options_.checkpoint_dir;
+    snap.latest_checkpoint = last_checkpoint_path;
+    publisher->Publish(std::move(snap));
+  };
+  if (publishing) {
+    publish_status("training", accepted_updates, start_attempt, nullptr);
+  }
+
+  int64_t attempt = start_attempt;
+  for (; attempt < max_attempts && accepted_updates < options_.iterations;
        ++attempt) {
     const TraceSpan step_span("step");
     const int64_t t = accepted_updates;
@@ -356,9 +397,9 @@ StatusOr<TrainingResult> DpTrainer::Run() {
       grads.batch_size = 0;
       ++result.empty_lots;
     } else {
-      grads = ComputePerSampleGradients(*model_, loss, *train_, batch,
-                                        *clipper,
-                                        /*record_sample_norms=*/observing);
+      grads = ComputePerSampleGradients(
+          *model_, loss, *train_, batch, *clipper,
+          /*record_sample_norms=*/observing || publishing);
       result.nonfinite_skipped += grads.nonfinite_skipped;
     }
     if (options_.poisson_sampling && !batch.empty()) {
@@ -427,10 +468,16 @@ StatusOr<TrainingResult> DpTrainer::Run() {
       result.loss_history.push_back(grads.mean_loss);
     }
 
-    if (observing) {
-      EmitStepTelemetry(*observer, grads, *perturber, *clipper, accountant,
-                        options_, t, attempt, current_beta, step_accepted,
-                        selective, flat_dim);
+    if (observing || publishing) {
+      const StepRecord record = BuildStepRecord(
+          grads, *perturber, *clipper, accountant, options_, t, attempt,
+          current_beta, step_accepted, selective, flat_dim);
+      if (observing) observer->OnStep(record);
+      MirrorStepMetrics(record, options_);
+      if (publishing) {
+        last_record = record;
+        have_record = true;
+      }
     }
 
     if (checkpointing && (attempt + 1) % options_.checkpoint_every == 0) {
@@ -467,6 +514,12 @@ StatusOr<TrainingResult> DpTrainer::Run() {
       const Status saved = SaveTrainingCheckpoint(ckpt, path);
       if (!saved.ok()) return saved;
       PruneOldCheckpoints(options_.checkpoint_dir, options_.checkpoint_keep);
+      last_checkpoint_path = path;
+    }
+
+    if (publishing) {
+      publish_status("training", accepted_updates, attempt + 1,
+                     have_record ? &last_record : nullptr);
     }
 
     faults.Fire("trainer.step");
@@ -484,6 +537,10 @@ StatusOr<TrainingResult> DpTrainer::Run() {
   result.sur_accepted = selective.accepted();
   result.sur_rejected = selective.rejected();
   result.final_beta = adapt_beta ? current_beta : options_.beta;
+  if (publishing) {
+    publish_status("finished", accepted_updates, attempt,
+                   have_record ? &last_record : nullptr);
+  }
   return result;
 }
 

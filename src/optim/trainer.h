@@ -22,6 +22,8 @@
 
 namespace geodp {
 
+class TrainingStatusPublisher;  // obs/exposition.h
+
 /// Everything a training run needs.
 struct TrainerOptions {
   PerturbationMethod method = PerturbationMethod::kDp;
@@ -57,6 +59,17 @@ struct TrainerOptions {
   // norm recording, accountant snapshots, metrics counters) so the hot
   // path pays nothing.
   StepObserver* step_observer = nullptr;
+  // Live introspection channel (obs/exposition.h). Borrowed, may be null.
+  // When set, the trainer publishes an immutable status snapshot once per
+  // step (plus one at start and one at completion) for the HTTP server to
+  // serve. Publishing never alters the training trajectory: the run's
+  // JSONL bytes and final weights are bit-identical with or without it.
+  TrainingStatusPublisher* status_publisher = nullptr;
+  // Target epsilon budget reported to the introspection snapshot so
+  // /healthz can flip once epsilon-so-far exceeds it. Reporting only —
+  // the trainer never stops on it (0 = unbounded). Deliberately excluded
+  // from the options fingerprint: it does not shape the trajectory.
+  double epsilon_budget = 0.0;
 
   // -- Crash safety (ckpt/checkpoint.h) --------------------------------
   // Write a full-state checkpoint every this many attempts (0 = never; the

@@ -73,6 +73,50 @@ TEST(MetricsRegistryTest, CountersGaugesHistograms) {
   EXPECT_DOUBLE_EQ(snapshot.sum, 10.0);
 }
 
+TEST(HistogramQuantileTest, PinsInterpolatedValues) {
+  MetricsRegistry registry;
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  for (const double v : {0.5, 1.5, 1.5, 3.0, 3.0, 3.0, 5.0}) {
+    registry.ObserveHistogram("h", bounds, v);
+  }
+  const HistogramSnapshot snapshot = registry.histogram("h");
+  ASSERT_EQ(snapshot.count, 7);
+  // rank 3.5 lands in bucket (2, 4] holding ranks 4..6 cumulatively 3..6:
+  // fraction (3.5 - 3) / 3 of the way from 2 to 4.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 0.5),
+                   2.0 + 2.0 * (0.5 / 3.0));
+  EXPECT_DOUBLE_EQ(snapshot.p50, 2.0 + 2.0 * (0.5 / 3.0));
+  // Ranks past the last finite bound clamp to it (the overflow bucket has
+  // no upper edge to interpolate toward).
+  EXPECT_DOUBLE_EQ(snapshot.p95, 4.0);
+  EXPECT_DOUBLE_EQ(snapshot.p99, 4.0);
+  // q=0 resolves to the lower edge of the first non-empty bucket.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 1.0), 4.0);
+}
+
+TEST(HistogramQuantileTest, EmptyAndSingleBucket) {
+  const HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(HistogramQuantile(empty, 0.5), 0.0);
+
+  MetricsRegistry registry;
+  registry.ObserveHistogram("one", {2.0}, 1.0);
+  const HistogramSnapshot snapshot = registry.histogram("one");
+  // One observation in (0, 2]: the median interpolates to the midpoint.
+  EXPECT_DOUBLE_EQ(snapshot.p50, 1.0);
+}
+
+TEST(MetricsRegistryTest, ToJsonlIncludesQuantiles) {
+  MetricsRegistry registry;
+  for (const double v : {0.5, 1.5, 1.5, 3.0, 3.0, 3.0, 5.0}) {
+    registry.ObserveHistogram("h", {1.0, 2.0, 4.0}, v);
+  }
+  EXPECT_EQ(registry.ToJsonl(),
+            "{\"type\":\"histogram\",\"name\":\"h\",\"bounds\":[1,2,4],"
+            "\"counts\":[1,2,3,1],\"count\":7,\"sum\":17.5,"
+            "\"p50\":2.3333333333333335,\"p95\":4,\"p99\":4}\n");
+}
+
 TEST(MetricsRegistryTest, ToJsonlIsSortedAndInsertionOrderFree) {
   MetricsRegistry a;
   a.IncrementCounter("zebra");
@@ -215,11 +259,51 @@ TEST(StepObserverTest, JsonlWriterWritesOneLinePerRecord) {
 }
 
 TEST(StepObserverTest, WriterReportsUnopenablePath) {
+  MetricsRegistry::Global().Reset();
   JsonlStepWriter writer("/nonexistent-dir/steps.jsonl");
   EXPECT_FALSE(writer.status().ok());
+  EXPECT_EQ(MetricsRegistry::Global().counter("obs.jsonl_open_errors"), 1);
   StepRecord record;
   writer.OnStep(record);  // must not crash
   EXPECT_EQ(writer.records_written(), 0);
+  EXPECT_EQ(writer.dropped_records(), 1);
+  EXPECT_EQ(MetricsRegistry::Global().counter("obs.jsonl_write_errors"), 1);
+  MetricsRegistry::Global().Reset();
+}
+
+TEST(StepObserverTest, WriterSurfacesDiskFullAsErrorStatus) {
+  // /dev/full accepts the open but fails every flush with ENOSPC — the
+  // classic silent-telemetry-loss scenario this counter exists for.
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+
+  MetricsRegistry::Global().Reset();
+  JsonlStepWriter writer("/dev/full");
+  ASSERT_TRUE(writer.status().ok());
+  StepRecord record;
+  writer.OnStep(record);
+  writer.OnStep(record);
+  EXPECT_EQ(writer.records_written(), 0);
+  EXPECT_EQ(writer.dropped_records(), 2);
+  EXPECT_EQ(MetricsRegistry::Global().counter("obs.jsonl_write_errors"), 2);
+  const Status status = writer.Close();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("write failed"), std::string::npos);
+  // Close is idempotent and sticky.
+  EXPECT_FALSE(writer.Close().ok());
+  MetricsRegistry::Global().Reset();
+}
+
+TEST(StepObserverTest, CloseReportsDroppedRecords) {
+  // A writer whose stream recovered (status OK) but that dropped records
+  // must still fail Close(): the JSONL file is incomplete.
+  MetricsRegistry::Global().Reset();
+  JsonlStepWriter writer("/nonexistent-dir/steps.jsonl");
+  StepRecord record;
+  writer.OnStep(record);
+  // Open itself failed here, so Close reports that first error.
+  EXPECT_FALSE(writer.Close().ok());
+  MetricsRegistry::Global().Reset();
 }
 
 // End-to-end determinism: the same training run observed at 1 and 8

@@ -8,8 +8,10 @@
 //
 // Run with no arguments for usage.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "base/flags.h"
 #include "base/rng.h"
@@ -24,6 +26,7 @@
 #include "models/mlp.h"
 #include "models/resnet.h"
 #include "nn/checkpoint.h"
+#include "obs/http_server.h"
 #include "obs/metrics.h"
 #include "obs/step_observer.h"
 #include "obs/trace.h"
@@ -83,6 +86,19 @@ int RunTrain(int argc, const char* const* argv) {
   ApplyCommonFlags(flags);
   const std::unique_ptr<JsonlStepWriter> step_writer =
       ApplyObservabilityFlags(flags);
+  StatusOr<std::unique_ptr<IntrospectionHandle>> introspection =
+      ApplyIntrospectionFlags(flags);
+  if (!introspection.ok()) {
+    std::printf("introspection: %s\n",
+                introspection.status().ToString().c_str());
+    return 1;
+  }
+  IntrospectionHandle* const http = introspection.value().get();
+  if (http != nullptr) {
+    std::printf("introspection: http://127.0.0.1:%d (/metrics /healthz "
+                "/readyz /statusz /varz)\n",
+                http->server->port());
+  }
 
   const std::string dataset_name = flags.GetString("dataset");
   SyntheticImageOptions data_options;
@@ -136,6 +152,8 @@ int RunTrain(int argc, const char* const* argv) {
   options.seed = static_cast<uint64_t>(flags.GetInt("seed")) + 2;
   options.record_loss_every = std::max<int64_t>(options.iterations / 10, 1);
   options.step_observer = step_writer.get();
+  if (http != nullptr) options.status_publisher = http->publisher.get();
+  options.epsilon_budget = flags.GetDouble("geodp_epsilon_budget");
   const std::string checkpoint_dir = flags.GetString("geodp_checkpoint_dir");
   if (!checkpoint_dir.empty()) {
     options.checkpoint_dir = checkpoint_dir;
@@ -176,8 +194,9 @@ int RunTrain(int argc, const char* const* argv) {
   }
 
   if (step_writer != nullptr) {
-    if (!step_writer->status().ok()) {
-      std::printf("metrics: %s\n", step_writer->status().ToString().c_str());
+    const Status writer_status = step_writer->Close();
+    if (!writer_status.ok()) {
+      std::printf("metrics: %s\n", writer_status.ToString().c_str());
       return 1;
     }
     std::printf("metrics: %lld step records -> %s\n",
@@ -200,6 +219,16 @@ int RunTrain(int argc, const char* const* argv) {
     std::printf("checkpoint: %s -> %s\n", save_path.c_str(),
                 save_status.ToString().c_str());
     if (!save_status.ok()) return 1;
+  }
+
+  if (http != nullptr) {
+    // Scrape-after-run window: CI curls the final /metrics and /statusz
+    // deterministically instead of racing a short training run.
+    const int64_t linger_ms = flags.GetInt("geodp_http_linger_ms");
+    if (linger_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+    }
+    http->server->Stop();
   }
   return 0;
 }
