@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "base/simd/dispatch.h"
+
 // Injected by bench/CMakeLists.txt from `git rev-parse --short HEAD`;
 // "unknown" outside a git checkout (e.g. a source tarball).
 #ifndef GEODP_GIT_REV
@@ -66,8 +68,13 @@ inline bool WriteBenchJson(const std::string& path,
     std::fprintf(stderr, "bench_json: cannot open %s\n", path.c_str());
     return false;
   }
-  std::fprintf(file, "{\"bench\":\"%s\",\"git_rev\":\"%s\",\"results\":[",
-               BenchJsonEscape(bench_name).c_str(), GEODP_GIT_REV);
+  // The active SIMD tier is part of a result's identity: per-tier numbers
+  // are only comparable against baselines recorded under the same tier.
+  std::fprintf(file,
+               "{\"bench\":\"%s\",\"git_rev\":\"%s\",\"simd\":\"%s\","
+               "\"results\":[",
+               BenchJsonEscape(bench_name).c_str(), GEODP_GIT_REV,
+               SimdTierName(ActiveSimdTier()));
   bool first = true;
   for (const auto& run : runs) {
     const double iterations = static_cast<double>(run.iterations);
@@ -100,19 +107,30 @@ inline bool WriteBenchJson(const std::string& path,
   return true;
 }
 
-/// BENCHMARK_MAIN() with --bench_json_out support: strips the flag from
-/// argv, runs the benchmarks with console output as usual, then writes
-/// the JSON summary. The bench name recorded in the JSON is argv[0]'s
-/// basename.
+/// BENCHMARK_MAIN() with --bench_json_out and --geodp_simd support: strips
+/// both flags from argv (google-benchmark rejects unknown arguments), runs
+/// the benchmarks with console output as usual, then writes the JSON
+/// summary. The bench name recorded in the JSON is argv[0]'s basename.
 inline int BenchmarkMainWithJson(int argc, char** argv) {
   std::string json_out;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc));
   const std::string prefix = "--bench_json_out=";
+  const std::string simd_prefix = "--geodp_simd=";
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) {
       json_out = arg.substr(prefix.size());
+      continue;
+    }
+    if (arg.rfind(simd_prefix, 0) == 0) {
+      const Status status =
+          SetSimdTierFromString(arg.substr(simd_prefix.size()));
+      if (!status.ok()) {
+        std::fprintf(stderr, "--geodp_simd: %s\n",
+                     std::string(status.message()).c_str());
+        return 1;
+      }
       continue;
     }
     args.push_back(argv[i]);

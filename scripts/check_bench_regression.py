@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Performance-regression gate over the BENCH_*.json files the benchmark
+binaries emit via --bench_json_out.
+
+Two comparison modes, both over benchmarks matched by name in two files:
+
+  * Speedup gate — asserts one run is at least --min-speedup times faster
+    than another (wall_ms ratio), per benchmark. CI uses this to prove the
+    AVX2 kernel tier actually pays for itself against the committed scalar
+    baseline:
+
+      check_bench_regression.py --speedup-of BENCH_fig6_runtime.avx2.json \\
+          --over BENCH_fig6_runtime.json --min-speedup 2.0 \\
+          --filter 'Perturb|ToSpherical|ToCartesian'
+
+  * Baseline gate — asserts a fresh run has not regressed below a fraction
+    of the committed baseline's steps_per_s. The tolerance band is wide
+    because CI hosts differ from the machine that recorded the baseline;
+    the gate exists to catch order-of-magnitude regressions (a kernel
+    silently falling back to scalar, an accidental O(n^2)), not 5% noise:
+
+      check_bench_regression.py --fresh fresh.json \\
+          --baseline bench/baselines/BENCH_fig6_runtime.json --min-ratio 0.25
+
+Benchmarks present in only one file are reported and skipped; zero matched
+names is a failure (a rename must not silently disarm the gate). Both
+files must record the same "simd" tier unless --allow-tier-mismatch is
+given. Exits 0 when every matched benchmark passes, 1 with a per-name
+diagnostic otherwise. Uses only the standard library.
+
+`--self-check` lints this script itself (pyflakes if available, else a
+stdlib AST pass), mirroring the other scripts/ checkers.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def fail(message):
+    print(f"check_bench_regression: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def self_check():
+    """Lints this file. Prefers pyflakes; falls back to compiling the AST
+    with a duplicate-name scan so the check still bites where pyflakes is
+    not installed."""
+    import ast
+
+    source_path = __file__
+    try:
+        with open(source_path, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as error:
+        fail(f"self-check: cannot read {source_path}: {error}")
+
+    try:
+        from pyflakes.api import check as pyflakes_check
+        from pyflakes.reporter import Reporter
+
+        errors = pyflakes_check(
+            source, source_path, Reporter(sys.stderr, sys.stderr)
+        )
+        if errors:
+            fail(f"self-check: pyflakes reported {errors} problem(s)")
+        print("check_bench_regression: OK: self-check passed (pyflakes)")
+        return
+    except ImportError:
+        pass
+
+    try:
+        tree = ast.parse(source, filename=source_path)
+        compile(tree, source_path, "exec")
+    except SyntaxError as error:
+        fail(f"self-check: syntax error: {error}")
+    top_level = [
+        node.name
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    duplicates = {name for name in top_level if top_level.count(name) > 1}
+    if duplicates:
+        fail(f"self-check: duplicate top-level definitions: {duplicates}")
+    print("check_bench_regression: OK: self-check passed (stdlib ast fallback)")
+
+
+def load_bench_json(path):
+    """Returns (doc, {name: result_row}) after structural validation."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as error:
+        fail(f"cannot read {path}: {error}")
+    except json.JSONDecodeError as error:
+        fail(f"{path} is not valid JSON: {error}")
+
+    for key in ("bench", "git_rev", "results"):
+        if key not in doc:
+            fail(f"{path}: missing top-level key {key!r}")
+    if doc.get("simd") not in ("scalar", "avx2"):
+        fail(f"{path}: missing or unknown \"simd\" tier {doc.get('simd')!r}")
+    if not doc["results"]:
+        fail(f"{path}: empty results")
+
+    rows = {}
+    for row in doc["results"]:
+        name = row.get("name")
+        if not name:
+            fail(f"{path}: result row without a name: {row}")
+        if name in rows:
+            fail(f"{path}: duplicate result name {name!r}")
+        for key in ("wall_ms", "steps_per_s"):
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                fail(f"{path}: {name}: bad {key} {value!r}")
+        rows[name] = row
+    return doc, rows
+
+
+def matched_names(a_rows, b_rows, name_filter, a_path, b_path):
+    pattern = re.compile(name_filter) if name_filter else None
+    names = sorted(set(a_rows) & set(b_rows))
+    skipped = sorted(set(a_rows) ^ set(b_rows))
+    if skipped:
+        print(
+            f"check_bench_regression: note: {len(skipped)} benchmark(s) "
+            f"present in only one of {a_path}, {b_path}: "
+            + ", ".join(skipped[:8])
+            + (" ..." if len(skipped) > 8 else "")
+        )
+    if pattern:
+        names = [name for name in names if pattern.search(name)]
+    if not names:
+        fail(
+            f"no benchmark names matched between {a_path} and {b_path}"
+            + (f" under filter {name_filter!r}" if name_filter else "")
+        )
+    return names
+
+
+def check_tiers(a_doc, a_path, b_doc, b_path, allow_mismatch):
+    if a_doc["simd"] != b_doc["simd"] and not allow_mismatch:
+        fail(
+            f"simd tier mismatch: {a_path} is \"{a_doc['simd']}\", "
+            f"{b_path} is \"{b_doc['simd']}\" "
+            "(pass --allow-tier-mismatch to compare across tiers)"
+        )
+
+
+def run_speedup_gate(args):
+    fast_doc, fast = load_bench_json(args.speedup_of)
+    slow_doc, slow = load_bench_json(args.over)
+    if fast_doc["simd"] == slow_doc["simd"] and not args.allow_tier_mismatch:
+        fail(
+            f"speedup gate compares tiers, but both files record "
+            f"\"{fast_doc['simd']}\" (pass --allow-tier-mismatch to "
+            "compare same-tier runs)"
+        )
+    names = matched_names(fast, slow, args.filter, args.speedup_of, args.over)
+    failures = []
+    for name in names:
+        speedup = slow[name]["wall_ms"] / fast[name]["wall_ms"]
+        status = "ok" if speedup >= args.min_speedup else "FAIL"
+        print(
+            f"  {status:4s} {name}: {speedup:.2f}x "
+            f"({slow[name]['wall_ms']:.4g} ms -> "
+            f"{fast[name]['wall_ms']:.4g} ms)"
+        )
+        if speedup < args.min_speedup:
+            failures.append((name, speedup))
+    if failures:
+        fail(
+            f"{len(failures)}/{len(names)} benchmark(s) below the "
+            f"{args.min_speedup:.2f}x speedup floor: "
+            + ", ".join(f"{n} ({s:.2f}x)" for n, s in failures)
+        )
+    print(
+        f"check_bench_regression: OK: {len(names)} benchmark(s) at >= "
+        f"{args.min_speedup:.2f}x ({fast_doc['simd']} over "
+        f"{slow_doc['simd']})"
+    )
+
+
+def run_baseline_gate(args):
+    fresh_doc, fresh = load_bench_json(args.fresh)
+    base_doc, base = load_bench_json(args.baseline)
+    check_tiers(fresh_doc, args.fresh, base_doc, args.baseline,
+                args.allow_tier_mismatch)
+    names = matched_names(fresh, base, args.filter, args.fresh, args.baseline)
+    failures = []
+    for name in names:
+        ratio = fresh[name]["steps_per_s"] / base[name]["steps_per_s"]
+        status = "ok" if ratio >= args.min_ratio else "FAIL"
+        print(
+            f"  {status:4s} {name}: {ratio:.2f}x of baseline "
+            f"({base[name]['steps_per_s']:.4g} -> "
+            f"{fresh[name]['steps_per_s']:.4g} steps/s)"
+        )
+        if ratio < args.min_ratio:
+            failures.append((name, ratio))
+    if failures:
+        fail(
+            f"{len(failures)}/{len(names)} benchmark(s) regressed below "
+            f"{args.min_ratio:.2f}x of the committed baseline "
+            f"({args.baseline} @ {base_doc['git_rev']}): "
+            + ", ".join(f"{n} ({r:.2f}x)" for n, r in failures)
+        )
+    print(
+        f"check_bench_regression: OK: {len(names)} benchmark(s) within the "
+        f"tolerance band (>= {args.min_ratio:.2f}x of baseline "
+        f"@ {base_doc['git_rev']})"
+    )
+
+
+def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-check":
+        self_check()
+        return
+
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--speedup-of", metavar="FAST_JSON",
+                        help="faster run for the speedup gate")
+    parser.add_argument("--over", metavar="SLOW_JSON",
+                        help="slower run the speedup is measured against")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="per-benchmark speedup floor (default 2.0)")
+    parser.add_argument("--fresh", metavar="JSON",
+                        help="freshly measured run for the baseline gate")
+    parser.add_argument("--baseline", metavar="JSON",
+                        help="committed baseline the fresh run must not "
+                             "regress below")
+    parser.add_argument("--min-ratio", type=float, default=0.25,
+                        help="fresh/baseline steps_per_s floor (default 0.25)")
+    parser.add_argument("--filter", metavar="REGEX",
+                        help="only gate benchmark names matching this regex")
+    parser.add_argument("--allow-tier-mismatch", action="store_true",
+                        help="permit comparing files recorded under "
+                             "different (or identical, for --speedup-of) "
+                             "simd tiers")
+    args = parser.parse_args()
+
+    speedup_mode = args.speedup_of is not None or args.over is not None
+    baseline_mode = args.fresh is not None or args.baseline is not None
+    if speedup_mode == baseline_mode:
+        fail("pick one mode: --speedup-of/--over or --fresh/--baseline")
+    if speedup_mode:
+        if not (args.speedup_of and args.over):
+            fail("--speedup-of and --over must be given together")
+        run_speedup_gate(args)
+    else:
+        if not (args.fresh and args.baseline):
+            fail("--fresh and --baseline must be given together")
+        run_baseline_gate(args)
+
+
+if __name__ == "__main__":
+    main()

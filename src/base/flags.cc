@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "base/check.h"
+#include "base/simd/dispatch.h"
 #include "base/thread_pool.h"
 
 namespace geodp {
@@ -195,11 +196,17 @@ void AddCommonFlags(FlagParser& parser) {
                    "target epsilon budget reported by /statusz; /healthz "
                    "flips to 503 once epsilon-so-far exceeds it (0 = "
                    "unbounded)");
+  parser.AddString("geodp_simd", "auto",
+                   "SIMD kernel tier: scalar, avx2 or auto (cpuid "
+                   "detection; also settable via GEODP_SIMD)");
 }
 
 void ApplyCommonFlags(const FlagParser& parser) {
   const int64_t num_threads = parser.GetInt("geodp_num_threads");
   if (num_threads > 0) SetGlobalThreadCount(static_cast<int>(num_threads));
+  const Status simd_status =
+      SetSimdTierFromString(parser.GetString("geodp_simd"));
+  GEODP_CHECK(simd_status.ok()) << "--geodp_simd: " << simd_status.message();
 }
 
 }  // namespace geodp

@@ -72,10 +72,12 @@ class FlagParser {
 ///   --geodp_http_port       live introspection server port (0 off)
 ///   --geodp_http_linger_ms  keep serving this long after training ends
 ///   --geodp_epsilon_budget  /healthz privacy-budget watchdog (0 unbounded)
+///   --geodp_simd            kernel dispatch tier: scalar, avx2 or auto
 void AddCommonFlags(FlagParser& parser);
 
 /// Applies the parsed common flags to the library (resizes the global
-/// thread pool). Call once after FlagParser::Parse succeeds. The
+/// thread pool, selects the SIMD kernel tier). Call once after
+/// FlagParser::Parse succeeds. The
 /// observability flags are applied by ApplyObservabilityFlags
 /// (obs/step_observer.h), which lives above this layer.
 void ApplyCommonFlags(const FlagParser& parser);

@@ -1,0 +1,108 @@
+#include "base/simd/dispatch.h"
+
+#include <cstdlib>
+
+#include "base/check.h"
+
+namespace geodp {
+namespace {
+
+// Whether the running cpu can execute the AVX2/FMA kernels this binary may
+// contain. Feature detection is machine-dependent by construction — this is
+// the one audited place (geodp_lint R1 `cpuid-ok` escape, valid only under
+// src/base/simd/) where the library may ask the hardware what it supports.
+bool CpuSupportsAvx2Fma() {
+#if defined(GEODP_SIMD_AVX2_BUILD) && \
+    (defined(__x86_64__) || defined(__i386__))
+  // geodp: cpuid-ok dispatch-time feature probe, result is fixed per host
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+SimdTier InitialTier() {
+  // Mirrors GEODP_NUM_THREADS handling in thread_pool.cc: the environment
+  // can override the default, and an unparsable value falls back to the
+  // default rather than aborting library initialization.
+  const char* env = std::getenv("GEODP_SIMD");
+  if (env != nullptr) {
+    const std::string value(env);
+    if (value == "scalar") return SimdTier::kScalar;
+    if (value == "avx2" && SimdTierAvailable(SimdTier::kAvx2)) {
+      return SimdTier::kAvx2;
+    }
+  }
+  return DetectSimdTier();
+}
+
+SimdTier& ActiveTierRef() {
+  static SimdTier tier = InitialTier();
+  return tier;
+}
+
+}  // namespace
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool SimdTierAvailable(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return true;
+    case SimdTier::kAvx2:
+      return CpuSupportsAvx2Fma();
+  }
+  return false;
+}
+
+std::vector<SimdTier> AvailableSimdTiers() {
+  std::vector<SimdTier> tiers = {SimdTier::kScalar};
+  if (SimdTierAvailable(SimdTier::kAvx2)) tiers.push_back(SimdTier::kAvx2);
+  return tiers;
+}
+
+SimdTier DetectSimdTier() {
+  return SimdTierAvailable(SimdTier::kAvx2) ? SimdTier::kAvx2
+                                            : SimdTier::kScalar;
+}
+
+SimdTier ActiveSimdTier() { return ActiveTierRef(); }
+
+void SetSimdTier(SimdTier tier) {
+  GEODP_CHECK(SimdTierAvailable(tier))
+      << "SIMD tier " << SimdTierName(tier)
+      << " is not available on this binary + host";
+  ActiveTierRef() = tier;
+}
+
+Status SetSimdTierFromString(const std::string& name) {
+  if (name == "auto") {
+    ActiveTierRef() = DetectSimdTier();
+    return Status::Ok();
+  }
+  SimdTier tier;
+  if (name == "scalar") {
+    tier = SimdTier::kScalar;
+  } else if (name == "avx2") {
+    tier = SimdTier::kAvx2;
+  } else {
+    return Status::InvalidArgument(
+        "unknown SIMD tier '" + name + "' (expected scalar, avx2 or auto)");
+  }
+  if (!SimdTierAvailable(tier)) {
+    return Status::FailedPrecondition(
+        "SIMD tier '" + name + "' is not available on this binary + host");
+  }
+  ActiveTierRef() = tier;
+  return Status::Ok();
+}
+
+}  // namespace geodp

@@ -1,0 +1,65 @@
+// Runtime SIMD-tier selection for the microkernels in base/simd/kernels.h.
+//
+// The library ships one binary containing a scalar reference implementation
+// of every kernel plus (on x86-64 builds whose compiler supports it) an
+// AVX2/FMA implementation compiled into a single translation unit with
+// -mavx2 -mfma. The tier is chosen once at startup: cpuid feature detection
+// picks the best tier the host supports, the GEODP_SIMD environment
+// variable or the --geodp_simd flag can force `scalar`, `avx2` or `auto`.
+//
+// Determinism contract: within one tier, every kernel is a pure function of
+// its inputs and the ParallelFor chunk structure, so results stay
+// bit-identical from 1 to N threads. Different tiers may round differently
+// (FMA contracts multiply-add into one rounding; vector transcendentals use
+// polynomial evaluation instead of libm), so goldens are pinned per tier.
+// Resuming a checkpointed run under a different tier than the one that
+// wrote it is therefore like resuming on different hardware: correct, but
+// not bit-identical to the uninterrupted run.
+
+#ifndef GEODP_BASE_SIMD_DISPATCH_H_
+#define GEODP_BASE_SIMD_DISPATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace geodp {
+
+enum class SimdTier {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// Stable lower-case name used by --geodp_simd and in BENCH_*.json:
+/// "scalar" or "avx2".
+const char* SimdTierName(SimdTier tier);
+
+/// True when the binary contains `tier` and the host cpu can execute it.
+/// kScalar is always available.
+bool SimdTierAvailable(SimdTier tier);
+
+/// Every tier available on this binary + host, best last.
+std::vector<SimdTier> AvailableSimdTiers();
+
+/// Best available tier according to cpuid feature detection.
+SimdTier DetectSimdTier();
+
+/// Tier the kernels currently dispatch to. Initialized on first use from
+/// the GEODP_SIMD environment variable ("scalar", "avx2" or "auto";
+/// anything else falls back to auto-detection).
+SimdTier ActiveSimdTier();
+
+/// Forces the dispatch tier. The tier must be available on this host
+/// (checked). Like SetGlobalThreadCount, safe to call between parallel
+/// regions, not concurrently with running kernels.
+void SetSimdTier(SimdTier tier);
+
+/// Parses "scalar", "avx2" or "auto" (auto = DetectSimdTier()) and applies
+/// it. Returns InvalidArgument for unknown names and FailedPrecondition
+/// when the named tier is not available on this binary + host.
+Status SetSimdTierFromString(const std::string& name);
+
+}  // namespace geodp
+
+#endif  // GEODP_BASE_SIMD_DISPATCH_H_

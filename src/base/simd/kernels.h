@@ -1,0 +1,91 @@
+// Arch-dispatched numeric microkernels: the single place where the
+// library's hot loops (matmul/im2col, clip-accumulate, Box-Muller noise,
+// the spherical transforms of Eq. 24-27) touch raw arrays.
+//
+// Every kernel dispatches through the tier selected in base/simd/dispatch.h
+// (scalar reference, or AVX2/FMA when the host supports it) at block
+// granularity, so the indirect call is amortized over hundreds of
+// elements. The scalar tier reproduces the historical element loops
+// bit-for-bit; the AVX2 tier may round differently (FMA contraction,
+// polynomial transcendentals) but is equally deterministic — see
+// docs/simd.md for the per-tier golden contract.
+//
+// Callers own all parallelism: kernels are plain serial block functions
+// invoked from inside ParallelFor chunks, and they never touch the
+// thread pool, the heap, or global state.
+
+#ifndef GEODP_BASE_SIMD_KERNELS_H_
+#define GEODP_BASE_SIMD_KERNELS_H_
+
+#include <cstdint>
+
+#include "base/rng.h"
+
+namespace geodp {
+namespace simd {
+
+/// y[0..n) += x[0..n).
+void Add(float* y, const float* x, int64_t n);
+
+/// y[0..n) += alpha * x[0..n).
+void Axpy(float* y, const float* x, float alpha, int64_t n);
+
+/// x[0..n) *= factor.
+void Scale(float* x, float factor, int64_t n);
+
+/// dst[0..n) = scale * per_sample_grad[0..n). Seeds a clip-accumulate
+/// partial sum from the chunk's first sample without a zero-fill pass;
+/// the per-sample input is consumed here under the clip boundary's scale
+/// (geodp_lint R2 audit).
+// geodp: per-sample scaled transport into the chunk partial, clipped by scale
+void ClipScaleAssign(float* dst, const float* per_sample_grad, float scale,
+                     int64_t n);
+
+/// acc[0..n) += scale * per_sample_grad[0..n): the fused clip-accumulate
+/// step. The scale comes from Clipper::ClipScale, so the contribution's
+/// L2 norm is already bounded by the sensitivity threshold.
+// geodp: per-sample fused clip-and-accumulate, sensitivity bounded by scale
+void ClipAxpy(float* acc, const float* per_sample_grad, float scale,
+              int64_t n);
+
+/// Sum of x[i]^2 accumulated in double precision.
+double SumSquares(const float* x, int64_t n);
+
+/// Dot product accumulated in double precision.
+double Dot(const float* a, const float* b, int64_t n);
+
+/// Rows [row_begin, row_end) of out += a · b for row-major a [m, k] and
+/// b [k, n]; out rows must be zero on entry. Tiles the k dimension so the
+/// active slice of b stays cache-resident while a row block accumulates,
+/// and keeps k in increasing order within a row so the accumulation
+/// association is fixed by the tile structure, not the thread count.
+void MatmulRowBlock(const float* a, const float* b, float* out,
+                    int64_t row_begin, int64_t row_end, int64_t k, int64_t n);
+
+/// One im2col output row: dst[ow] = src[ow + shift] for ow in [0, out_w),
+/// with reads outside [0, width) producing 0 (the padding border).
+void PadCopyRow(float* dst, const float* src, int64_t out_w, int64_t shift,
+                int64_t width);
+
+/// out[i] = sqrt(x[i]). sqrt is correctly rounded on every tier, so this
+/// kernel is bit-identical across tiers.
+void SqrtArray(const double* x, double* out, int64_t n);
+
+/// sin_out[i] = sin(angles[i]), cos_out[i] = cos(angles[i]).
+void SinCos(const double* angles, double* sin_out, double* cos_out,
+            int64_t n);
+
+/// out[i] = atan2(y[i], x[i]) with the usual quadrant conventions.
+void Atan2(const double* y, const double* x, double* out, int64_t n);
+
+/// dst[0..n) += N(0, stddev^2) variates drawn from `stream` by the
+/// Box-Muller transform. The scalar tier consumes the stream exactly like
+/// n calls of Rng::Gaussian(0, stddev) on a fresh stream; the AVX2 tier
+/// draws the same uniforms pairwise and batches the sqrt/log/sincos math.
+void GaussianAdd(Rng& stream, double stddev, float* dst, int64_t n);
+void GaussianAdd(Rng& stream, double stddev, double* dst, int64_t n);
+
+}  // namespace simd
+}  // namespace geodp
+
+#endif  // GEODP_BASE_SIMD_KERNELS_H_

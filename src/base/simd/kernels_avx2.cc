@@ -1,0 +1,276 @@
+// AVX2/FMA kernel tier. This is the only translation unit compiled with
+// -mavx2 -mfma (set per-source in src/CMakeLists.txt), and it is only
+// dispatched to after the cpuid probe in dispatch.cc confirms the host
+// executes both ISA extensions.
+//
+// Results may differ from the scalar tier in the last bits: FMA contracts
+// multiply-add chains into single roundings, and the transcendental
+// kernels use the vector polynomials in avx2_math.h instead of libm. They
+// are still pure functions of the inputs, so within this tier output is
+// bit-identical at any thread count; tests pin separate goldens per tier.
+
+#if defined(GEODP_SIMD_AVX2_BUILD)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "base/simd/avx2_math.h"
+#include "base/simd/kernels_impl.h"
+
+namespace geodp {
+namespace simd {
+namespace {
+
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+
+void AddAvx2(float* y, const float* x, int64_t n) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i),
+                                          _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void AxpyAvx2(float* y, const float* x, float alpha, int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i),
+                                            _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleAvx2(float* x, float factor, int64_t n) {
+  const __m256 vf = _mm256_set1_ps(factor);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), vf));
+  }
+  for (; i < n; ++i) x[i] *= factor;
+}
+
+void ScaleAssignAvx2(float* dst, const float* src, float scale, int64_t n) {
+  const __m256 vf = _mm256_set1_ps(scale);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(_mm256_loadu_ps(src + i), vf));
+  }
+  for (; i < n; ++i) dst[i] = src[i] * scale;
+}
+
+// Horizontal sum in a fixed association: (l0 + l1) + (l2 + l3).
+double HorizontalSum(__m256d v) {
+  double lanes[4];
+  _mm256_storeu_pd(lanes, v);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+double SumSquaresAvx2(const float* x, int64_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    acc = _mm256_fmadd_pd(v, v, acc);
+  }
+  double sum = HorizontalSum(acc);
+  for (; i < n; ++i) {
+    sum += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+  }
+  return sum;
+}
+
+double DotAvx2(const float* a, const float* b, int64_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+    const __m256d vb = _mm256_cvtps_pd(_mm_loadu_ps(b + i));
+    acc = _mm256_fmadd_pd(va, vb, acc);
+  }
+  double sum = HorizontalSum(acc);
+  for (; i < n; ++i) {
+    sum += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return sum;
+}
+
+void MatmulRowBlockAvx2(const float* a, const float* b, float* out,
+                        int64_t row_begin, int64_t row_end, int64_t k,
+                        int64_t n) {
+  for (int64_t k0 = 0; k0 < k; k0 += kMatmulKTile) {
+    const int64_t k1 = k0 + kMatmulKTile < k ? k0 + kMatmulKTile : k;
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      float* orow = out + i * n;
+      for (int64_t kk = k0; kk < k1; ++kk) {
+        const float aik = a[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* brow = b + kk * n;
+        const __m256 va = _mm256_set1_ps(aik);
+        int64_t j = 0;
+        for (; j + 8 <= n; j += 8) {
+          _mm256_storeu_ps(
+              orow + j, _mm256_fmadd_ps(va, _mm256_loadu_ps(brow + j),
+                                        _mm256_loadu_ps(orow + j)));
+        }
+        for (; j < n; ++j) orow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+// A pure copy with a zeroed border is bit-identical to the scalar tier by
+// construction, so im2col output matches across tiers.
+void PadCopyRowAvx2(float* dst, const float* src, int64_t out_w,
+                    int64_t shift, int64_t width) {
+  int64_t lo = shift < 0 ? -shift : 0;
+  if (lo > out_w) lo = out_w;
+  int64_t hi = width - shift;
+  if (hi > out_w) hi = out_w;
+  if (hi < lo) hi = lo;
+  if (lo > 0) std::memset(dst, 0, static_cast<size_t>(lo) * sizeof(float));
+  if (hi > lo) {
+    std::memcpy(dst + lo, src + lo + shift,
+                static_cast<size_t>(hi - lo) * sizeof(float));
+  }
+  if (out_w > hi) {
+    std::memset(dst + hi, 0, static_cast<size_t>(out_w - hi) * sizeof(float));
+  }
+}
+
+// _mm256_sqrt_pd is correctly rounded, so this matches std::sqrt (and the
+// scalar tier) bit-for-bit.
+void SqrtArrayAvx2(const double* x, double* out, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_sqrt_pd(_mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) out[i] = std::sqrt(x[i]);
+}
+
+void SinCosAvx2(const double* angles, double* sin_out, double* cos_out,
+                int64_t n) {
+  __m256d vs, vc;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    avx2::SinCos(_mm256_loadu_pd(angles + i), &vs, &vc);
+    _mm256_storeu_pd(sin_out + i, vs);
+    _mm256_storeu_pd(cos_out + i, vc);
+  }
+  if (i < n) {
+    // Padded tail: same vector path as the body, so a value's rounding
+    // never depends on its position relative to the tail boundary.
+    double in[4] = {0.0, 0.0, 0.0, 0.0};
+    double s[4], c[4];
+    for (int64_t t = i; t < n; ++t) in[t - i] = angles[t];
+    avx2::SinCos(_mm256_loadu_pd(in), &vs, &vc);
+    _mm256_storeu_pd(s, vs);
+    _mm256_storeu_pd(c, vc);
+    for (int64_t t = i; t < n; ++t) {
+      sin_out[t] = s[t - i];
+      cos_out[t] = c[t - i];
+    }
+  }
+}
+
+void Atan2Avx2(const double* y, const double* x, double* out, int64_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    _mm256_storeu_pd(out + i, avx2::Atan2(vy, vx));
+    // x == 0 lanes divide by zero inside the vector path; patch them with
+    // libm so signed-zero and half-pi semantics are exact.
+    const int zero_lanes =
+        _mm256_movemask_pd(_mm256_cmp_pd(vx, zero, _CMP_EQ_OQ));
+    if (zero_lanes != 0) {
+      for (int lane = 0; lane < 4; ++lane) {
+        if (zero_lanes & (1 << lane)) {
+          out[i + lane] = std::atan2(y[i + lane], x[i + lane]);
+        }
+      }
+    }
+  }
+  for (; i < n; ++i) out[i] = std::atan2(y[i], x[i]);
+}
+
+// Box-Muller, batched four pairs at a time: the uniforms are drawn from
+// the stream scalar-side in exactly the pair order the scalar tier uses
+// (u1 with the small-value rejection, then u2), and the sqrt/log/sincos
+// math runs vectorized. Outputs per pair keep the scalar ordering:
+// radius*cos first, radius*sin second.
+void GaussianBatch4(Rng& stream, double (&out)[8]) {
+  double u1[4], u2[4];
+  for (int p = 0; p < 4; ++p) {
+    double a = stream.Uniform();
+    while (a <= 1e-300) a = stream.Uniform();
+    u1[p] = a;
+    u2[p] = stream.Uniform();
+  }
+  const __m256d radius = _mm256_sqrt_pd(_mm256_mul_pd(
+      _mm256_set1_pd(-2.0), avx2::Log(_mm256_loadu_pd(u1))));
+  __m256d vs, vc;
+  avx2::SinCos(_mm256_mul_pd(_mm256_loadu_pd(u2), _mm256_set1_pd(kTwoPi)),
+               &vs, &vc);
+  double rc[4], rs[4];
+  _mm256_storeu_pd(rc, _mm256_mul_pd(radius, vc));
+  _mm256_storeu_pd(rs, _mm256_mul_pd(radius, vs));
+  for (int p = 0; p < 4; ++p) {
+    out[2 * p] = rc[p];
+    out[2 * p + 1] = rs[p];
+  }
+}
+
+void GaussianAddF32Avx2(Rng& stream, double stddev, float* dst, int64_t n) {
+  double batch[8];
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    GaussianBatch4(stream, batch);
+    for (int p = 0; p < 8; ++p) {
+      dst[i + p] += static_cast<float>(stddev * batch[p]);
+    }
+  }
+  for (; i < n; ++i) {
+    dst[i] += static_cast<float>(stream.Gaussian(0.0, stddev));
+  }
+}
+
+void GaussianAddF64Avx2(Rng& stream, double stddev, double* dst, int64_t n) {
+  double batch[8];
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    GaussianBatch4(stream, batch);
+    for (int p = 0; p < 8; ++p) dst[i + p] += stddev * batch[p];
+  }
+  for (; i < n; ++i) dst[i] += stream.Gaussian(0.0, stddev);
+}
+
+}  // namespace
+
+const KernelTable& Avx2Kernels() {
+  static const KernelTable table = {
+      .add = AddAvx2,
+      .axpy = AxpyAvx2,
+      .scale = ScaleAvx2,
+      .scale_assign = ScaleAssignAvx2,
+      .sum_squares = SumSquaresAvx2,
+      .dot = DotAvx2,
+      .matmul_row_block = MatmulRowBlockAvx2,
+      .pad_copy_row = PadCopyRowAvx2,
+      .sqrt_array = SqrtArrayAvx2,
+      .sincos = SinCosAvx2,
+      .atan2 = Atan2Avx2,
+      .gaussian_add_f32 = GaussianAddF32Avx2,
+      .gaussian_add_f64 = GaussianAddF64Avx2,
+  };
+  return table;
+}
+
+}  // namespace simd
+}  // namespace geodp
+
+#endif  // GEODP_SIMD_AVX2_BUILD

@@ -1,0 +1,122 @@
+// Scalar reference tier. Each kernel reproduces the element loop it
+// replaced (tensor.cc, tensor_ops.cc, im2col.cc, spherical.cc,
+// perturbation.cc) bit-for-bit: same expression shapes, same accumulation
+// order, same libm calls. This TU is compiled with the project's default
+// flags — no -mavx2/-mfma — so no FMA contraction can change roundings
+// relative to the historical code.
+
+#include <cmath>
+
+#include "base/simd/kernels_impl.h"
+
+namespace geodp {
+namespace simd {
+namespace {
+
+void AddScalar(float* y, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void AxpyScalar(float* y, const float* x, float alpha, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleScalar(float* x, float factor, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) x[i] *= factor;
+}
+
+void ScaleAssignScalar(float* dst, const float* src, float scale, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = src[i] * scale;
+}
+
+double SumSquaresScalar(const float* x, int64_t n) {
+  double sum_sq = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    sum_sq += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+  }
+  return sum_sq;
+}
+
+double DotScalar(const float* a, const float* b, int64_t n) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    sum += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return sum;
+}
+
+void MatmulRowBlockScalar(const float* a, const float* b, float* out,
+                          int64_t row_begin, int64_t row_end, int64_t k,
+                          int64_t n) {
+  for (int64_t k0 = 0; k0 < k; k0 += kMatmulKTile) {
+    const int64_t k1 = k0 + kMatmulKTile < k ? k0 + kMatmulKTile : k;
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      float* orow = out + i * n;
+      for (int64_t kk = k0; kk < k1; ++kk) {
+        const float aik = a[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* brow = b + kk * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+void PadCopyRowScalar(float* dst, const float* src, int64_t out_w,
+                      int64_t shift, int64_t width) {
+  for (int64_t ow = 0; ow < out_w; ++ow) {
+    const int64_t iw = ow + shift;
+    dst[ow] = (iw >= 0 && iw < width) ? src[iw] : 0.0f;
+  }
+}
+
+void SqrtArrayScalar(const double* x, double* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = std::sqrt(x[i]);
+}
+
+void SinCosScalar(const double* angles, double* sin_out, double* cos_out,
+                  int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    sin_out[i] = std::sin(angles[i]);
+    cos_out[i] = std::cos(angles[i]);
+  }
+}
+
+void Atan2Scalar(const double* y, const double* x, double* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = std::atan2(y[i], x[i]);
+}
+
+void GaussianAddF32Scalar(Rng& stream, double stddev, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    dst[i] += static_cast<float>(stream.Gaussian(0.0, stddev));
+  }
+}
+
+void GaussianAddF64Scalar(Rng& stream, double stddev, double* dst,
+                          int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] += stream.Gaussian(0.0, stddev);
+}
+
+}  // namespace
+
+const KernelTable& ScalarKernels() {
+  static const KernelTable table = {
+      .add = AddScalar,
+      .axpy = AxpyScalar,
+      .scale = ScaleScalar,
+      .scale_assign = ScaleAssignScalar,
+      .sum_squares = SumSquaresScalar,
+      .dot = DotScalar,
+      .matmul_row_block = MatmulRowBlockScalar,
+      .pad_copy_row = PadCopyRowScalar,
+      .sqrt_array = SqrtArrayScalar,
+      .sincos = SinCosScalar,
+      .atan2 = Atan2Scalar,
+      .gaussian_add_f32 = GaussianAddF32Scalar,
+      .gaussian_add_f64 = GaussianAddF64Scalar,
+  };
+  return table;
+}
+
+}  // namespace simd
+}  // namespace geodp

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/check.h"
+#include "base/simd/kernels.h"
 #include "base/thread_pool.h"
 
 namespace geodp {
@@ -17,17 +18,21 @@ constexpr int64_t kClipGrain = 4;
 
 void Clipper::OnStep(int64_t /*step*/) {}
 
+Tensor Clipper::Clip(const Tensor& per_sample_gradient) const {
+  const double scale = ClipScale(per_sample_gradient.L2Norm());
+  Tensor out = per_sample_gradient;
+  out.ScaleInPlace(static_cast<float>(scale));
+  return out;
+}
+
 FlatClipper::FlatClipper(double clip_threshold)
     : clip_threshold_(clip_threshold) {
   GEODP_CHECK_GT(clip_threshold_, 0.0);
 }
 
-Tensor FlatClipper::Clip(const Tensor& per_sample_gradient) const {
-  const double norm = per_sample_gradient.L2Norm();
+double FlatClipper::ClipScale(double norm) const {
   const double divisor = std::max(1.0, norm / clip_threshold_);
-  Tensor out = per_sample_gradient;
-  out.ScaleInPlace(static_cast<float>(1.0 / divisor));
-  return out;
+  return 1.0 / divisor;
 }
 
 AutoSClipper::AutoSClipper(double clip_threshold, double gamma)
@@ -36,12 +41,8 @@ AutoSClipper::AutoSClipper(double clip_threshold, double gamma)
   GEODP_CHECK_GT(gamma_, 0.0);
 }
 
-Tensor AutoSClipper::Clip(const Tensor& per_sample_gradient) const {
-  const double norm = per_sample_gradient.L2Norm();
-  const double scale = clip_threshold_ / (norm + gamma_);
-  Tensor out = per_sample_gradient;
-  out.ScaleInPlace(static_cast<float>(scale));
-  return out;
+double AutoSClipper::ClipScale(double norm) const {
+  return clip_threshold_ / (norm + gamma_);
 }
 
 PsacClipper::PsacClipper(double clip_threshold, double r0, double decay,
@@ -57,12 +58,8 @@ PsacClipper::PsacClipper(double clip_threshold, double r0, double decay,
   GEODP_CHECK_GT(gamma_, 0.0);
 }
 
-Tensor PsacClipper::Clip(const Tensor& per_sample_gradient) const {
-  const double norm = per_sample_gradient.L2Norm();
-  const double scale = clip_threshold_ / (norm + radius_ / (norm + gamma_));
-  Tensor out = per_sample_gradient;
-  out.ScaleInPlace(static_cast<float>(scale));
-  return out;
+double PsacClipper::ClipScale(double norm) const {
+  return clip_threshold_ / (norm + radius_ / (norm + gamma_));
 }
 
 void PsacClipper::OnStep(int64_t step) {
@@ -85,17 +82,27 @@ void AccumulateClipped(const std::vector<Tensor>& per_sample_gradients,
   const int64_t count = static_cast<int64_t>(per_sample_gradients.size());
   const int64_t num_chunks = (count + kClipGrain - 1) / kClipGrain;
   std::vector<Tensor> partials(static_cast<size_t>(num_chunks));
-  ParallelForChunks(0, count, kClipGrain,
-                    [&](int64_t chunk, int64_t lo, int64_t hi) {
-                      Tensor partial =
-                          clipper.Clip(per_sample_gradients[static_cast<size_t>(lo)]);
-                      for (int64_t i = lo + 1; i < hi; ++i) {
-                        partial.AddInPlace(clipper.Clip(
-                            per_sample_gradients[static_cast<size_t>(i)]));
-                      }
-                      partials[static_cast<size_t>(chunk)] =
-                          std::move(partial);
-                    });
+  // Fused clip-accumulate: instead of materializing each clipped gradient
+  // and adding it (one full write + read per sample), the kernels scale
+  // and accumulate in a single pass. The rounding sequence per element is
+  // identical to the historical Clip-then-AddInPlace on the scalar tier.
+  ParallelForChunks(
+      0, count, kClipGrain, [&](int64_t chunk, int64_t lo, int64_t hi) {
+        const Tensor& first = per_sample_gradients[static_cast<size_t>(lo)];
+        Tensor partial(first.shape());
+        simd::ClipScaleAssign(
+            partial.data(), first.data(),
+            static_cast<float>(clipper.ClipScale(first.L2Norm())),
+            first.numel());
+        for (int64_t i = lo + 1; i < hi; ++i) {
+          const Tensor& g = per_sample_gradients[static_cast<size_t>(i)];
+          GEODP_CHECK(SameShape(partial, g));
+          simd::ClipAxpy(partial.data(), g.data(),
+                         static_cast<float>(clipper.ClipScale(g.L2Norm())),
+                         g.numel());
+        }
+        partials[static_cast<size_t>(chunk)] = std::move(partial);
+      });
   for (const Tensor& partial : partials) sum.AddInPlace(partial);
 }
 

@@ -21,13 +21,20 @@
 namespace geodp {
 
 /// Interface: maps a per-sample gradient to its clipped form with
-/// L2 norm <= clip_threshold().
+/// L2 norm <= clip_threshold(). Every shipped strategy is a pure rescale
+/// g~ = s(||g||) * g, so subclasses implement only the scale function and
+/// the accumulation path can fuse scale-and-add into one kernel pass.
 class Clipper {
  public:
   virtual ~Clipper() = default;
 
-  /// Returns the clipped copy of a (1-D, flattened) per-sample gradient.
-  virtual Tensor Clip(const Tensor& per_sample_gradient) const = 0;
+  /// The multiplicative clip factor for a gradient of L2 norm `norm`.
+  /// Must satisfy s(norm) * norm <= clip_threshold().
+  virtual double ClipScale(double norm) const = 0;
+
+  /// Returns the clipped copy ClipScale(||g||) * g of a (1-D, flattened)
+  /// per-sample gradient.
+  Tensor Clip(const Tensor& per_sample_gradient) const;
 
   /// Called once per optimizer step; adaptive schemes update internal
   /// schedules here. Default is a no-op.
@@ -45,7 +52,7 @@ class FlatClipper : public Clipper {
  public:
   explicit FlatClipper(double clip_threshold);
 
-  Tensor Clip(const Tensor& per_sample_gradient) const override;
+  double ClipScale(double norm) const override;
   double clip_threshold() const override { return clip_threshold_; }
   std::string name() const override { return "flat"; }
 
@@ -61,7 +68,7 @@ class AutoSClipper : public Clipper {
  public:
   AutoSClipper(double clip_threshold, double gamma = 0.01);
 
-  Tensor Clip(const Tensor& per_sample_gradient) const override;
+  double ClipScale(double norm) const override;
   double clip_threshold() const override { return clip_threshold_; }
   std::string name() const override { return "AUTO-S"; }
 
@@ -81,7 +88,7 @@ class PsacClipper : public Clipper {
   PsacClipper(double clip_threshold, double r0 = 1.0, double decay = 0.999,
               double gamma = 0.01);
 
-  Tensor Clip(const Tensor& per_sample_gradient) const override;
+  double ClipScale(double norm) const override;
   void OnStep(int64_t step) override;
   double clip_threshold() const override { return clip_threshold_; }
   std::string name() const override { return "PSAC"; }

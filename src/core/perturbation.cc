@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/check.h"
+#include "base/simd/kernels.h"
 #include "base/thread_pool.h"
 #include "obs/trace.h"
 
@@ -30,10 +31,7 @@ void AddGaussianNoise(float* values, int64_t count, double stddev,
                     [&](int64_t chunk, int64_t lo, int64_t hi) {
                       Rng stream =
                           Rng::Substream(root, static_cast<uint64_t>(chunk));
-                      for (int64_t i = lo; i < hi; ++i) {
-                        values[i] +=
-                            static_cast<float>(stream.Gaussian(0.0, stddev));
-                      }
+                      simd::GaussianAdd(stream, stddev, values + lo, hi - lo);
                     });
 }
 
@@ -44,10 +42,8 @@ void AddGaussianNoise(std::vector<double>& values, double stddev,
                     [&](int64_t chunk, int64_t lo, int64_t hi) {
                       Rng stream =
                           Rng::Substream(root, static_cast<uint64_t>(chunk));
-                      for (int64_t i = lo; i < hi; ++i) {
-                        values[static_cast<size_t>(i)] +=
-                            stream.Gaussian(0.0, stddev);
-                      }
+                      simd::GaussianAdd(stream, stddev,
+                                        values.data() + lo, hi - lo);
                     });
 }
 

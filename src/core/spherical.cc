@@ -1,8 +1,10 @@
 #include "core/spherical.h"
 
 #include <cmath>
+#include <vector>
 
 #include "base/check.h"
+#include "base/simd/kernels.h"
 #include "base/thread_pool.h"
 
 namespace geodp {
@@ -21,20 +23,24 @@ SphericalCoordinates ToSpherical(const Tensor& g) {
   coords.angles.assign(static_cast<size_t>(d - 1), 0.0);
 
   // Suffix norms: tail[z] = sqrt(g_{z+1}^2 + ... + g_{d-1}^2) in 0-based
-  // indexing, computed back-to-front for stability.
+  // indexing. The suffix sums of squares accumulate back-to-front (for
+  // stability and the historical rounding order); the square roots and the
+  // atan2 over (tail[z], g[z]) pairs run through the batched kernels.
   std::vector<double> tail(static_cast<size_t>(d), 0.0);
   double sum_sq = 0.0;
   for (int64_t z = d - 1; z >= 0; --z) {
-    tail[static_cast<size_t>(z)] = std::sqrt(sum_sq);
+    tail[static_cast<size_t>(z)] = sum_sq;
     sum_sq += static_cast<double>(g[z]) * static_cast<double>(g[z]);
   }
+  simd::SqrtArray(tail.data(), tail.data(), d);
   coords.magnitude = std::sqrt(sum_sq);
   if (coords.magnitude == 0.0) return coords;  // all angles stay 0
 
+  std::vector<double> head(static_cast<size_t>(d - 2));
   for (int64_t z = 0; z < d - 2; ++z) {
-    coords.angles[static_cast<size_t>(z)] =
-        std::atan2(tail[static_cast<size_t>(z)], static_cast<double>(g[z]));
+    head[static_cast<size_t>(z)] = static_cast<double>(g[z]);
   }
+  simd::Atan2(tail.data(), head.data(), coords.angles.data(), d - 2);
   coords.angles[static_cast<size_t>(d - 2)] =
       std::atan2(static_cast<double>(g[d - 1]), static_cast<double>(g[d - 2]));
   return coords;
@@ -44,12 +50,16 @@ Tensor ToCartesian(const SphericalCoordinates& coords) {
   const int64_t d = coords.CartesianDim();
   GEODP_CHECK_GE(d, 2);
   Tensor g({d});
+  // Batched sin/cos of every angle, then the (inherently serial) prefix
+  // product of sines in the historical multiplication order.
+  std::vector<double> sins(static_cast<size_t>(d - 1));
+  std::vector<double> coss(static_cast<size_t>(d - 1));
+  simd::SinCos(coords.angles.data(), sins.data(), coss.data(), d - 1);
   double sin_product = 1.0;  // sin(theta_1) * ... * sin(theta_{z-1})
   for (int64_t z = 0; z < d - 1; ++z) {
-    const double theta = coords.angles[static_cast<size_t>(z)];
     g[z] = static_cast<float>(coords.magnitude * sin_product *
-                              std::cos(theta));
-    sin_product *= std::sin(theta);
+                              coss[static_cast<size_t>(z)]);
+    sin_product *= sins[static_cast<size_t>(z)];
   }
   g[d - 1] = static_cast<float>(coords.magnitude * sin_product);
   return g;

@@ -1,6 +1,9 @@
 #include "nn/im2col.h"
 
+#include <algorithm>
+
 #include "base/check.h"
+#include "base/simd/kernels.h"
 #include "base/thread_pool.h"
 
 namespace geodp {
@@ -39,15 +42,14 @@ Tensor Im2Col(const Tensor& image, int64_t kernel_size, int64_t padding) {
       for (int64_t oh = 0; oh < out_h; ++oh) {
         const int64_t ih = oh + kh - padding;
         if (ih < 0 || ih >= height) {
-          for (int64_t ow = 0; ow < out_w; ++ow) out_row[oh * out_w + ow] = 0.0f;
+          // width 0: every read is out of bounds, so the row zero-fills.
+          simd::PadCopyRow(out_row + oh * out_w, src, out_w,
+                           /*shift=*/0, /*width=*/0);
           continue;
         }
         const float* src_row = src + (c * height + ih) * width;
-        for (int64_t ow = 0; ow < out_w; ++ow) {
-          const int64_t iw = ow + kw - padding;
-          out_row[oh * out_w + ow] =
-              (iw < 0 || iw >= width) ? 0.0f : src_row[iw];
-        }
+        simd::PadCopyRow(out_row + oh * out_w, src_row, out_w,
+                         /*shift=*/kw - padding, width);
       }
     }
   });
@@ -76,15 +78,18 @@ Tensor Col2Im(const Tensor& columns, int64_t channels, int64_t height,
       for (int64_t kh = 0; kh < kernel_size; ++kh) {
         for (int64_t kw = 0; kw < kernel_size; ++kw, ++row) {
           const float* src_row = src + row * spatial;
+          // The in-bounds part of each output row is one contiguous span:
+          // ow in [ow_lo, ow_hi) maps to iw = ow + kw - padding.
+          const int64_t ow_lo = std::max<int64_t>(0, padding - kw);
+          const int64_t ow_hi =
+              std::min<int64_t>(out_w, width - kw + padding);
           for (int64_t oh = 0; oh < out_h; ++oh) {
             const int64_t ih = oh + kh - padding;
             if (ih < 0 || ih >= height) continue;
+            if (ow_hi <= ow_lo) continue;
             float* dst_row = dst + (c * height + ih) * width;
-            for (int64_t ow = 0; ow < out_w; ++ow) {
-              const int64_t iw = ow + kw - padding;
-              if (iw < 0 || iw >= width) continue;
-              dst_row[iw] += src_row[oh * out_w + ow];
-            }
+            simd::Add(dst_row + ow_lo + kw - padding,
+                      src_row + oh * out_w + ow_lo, ow_hi - ow_lo);
           }
         }
       }

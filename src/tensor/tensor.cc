@@ -4,6 +4,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "base/simd/kernels.h"
+
 namespace geodp {
 namespace {
 
@@ -119,7 +121,7 @@ void Tensor::Fill(float value) {
 
 void Tensor::AddInPlace(const Tensor& other) {
   GEODP_CHECK(SameShape(*this, other));
-  for (int64_t i = 0; i < numel(); ++i) data_[static_cast<size_t>(i)] += other[i];
+  simd::Add(data_.data(), other.data(), numel());
 }
 
 void Tensor::SubInPlace(const Tensor& other) {
@@ -128,21 +130,16 @@ void Tensor::SubInPlace(const Tensor& other) {
 }
 
 void Tensor::ScaleInPlace(float factor) {
-  for (auto& v : data_) v *= factor;
+  simd::Scale(data_.data(), factor, numel());
 }
 
 void Tensor::AxpyInPlace(float alpha, const Tensor& x) {
   GEODP_CHECK(SameShape(*this, x));
-  for (int64_t i = 0; i < numel(); ++i) {
-    data_[static_cast<size_t>(i)] += alpha * x[i];
-  }
+  simd::Axpy(data_.data(), x.data(), alpha, numel());
 }
 
 double Tensor::L2Norm() const {
-  double sum_sq = 0.0;
-  for (float v : data_)
-    sum_sq += static_cast<double>(v) * static_cast<double>(v);
-  return std::sqrt(sum_sq);
+  return std::sqrt(simd::SumSquares(data_.data(), numel()));
 }
 
 double Tensor::Sum() const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/simd/kernels.h"
 #include "base/thread_pool.h"
 
 namespace geodp {
@@ -13,10 +14,6 @@ namespace {
 // loop at any thread count.
 constexpr int64_t kMatmulRowGrain = 8;
 constexpr int64_t kMatVecRowGrain = 64;
-
-// k-dimension tile for Matmul: keeps the active slice of b in cache while
-// an output row block is accumulated.
-constexpr int64_t kMatmulKTile = 64;
 
 // Samples per chunk when summing a batch of tensors; partial sums are
 // reduced in chunk order, fixing the floating-point association
@@ -52,11 +49,7 @@ Tensor Scale(const Tensor& a, float factor) {
 
 double Dot(const Tensor& a, const Tensor& b) {
   GEODP_CHECK_EQ(a.numel(), b.numel());
-  double sum = 0.0;
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    sum += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-  }
-  return sum;
+  return simd::Dot(a.data(), b.data(), a.numel());
 }
 
 Tensor Matmul(const Tensor& a, const Tensor& b) {
@@ -69,22 +62,12 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
   // Rows are independent, so parallelizing over row blocks is exact; the
-  // k dimension is tiled so the slice of b stays cache-resident while a
-  // row block accumulates. Within a row, k still runs in increasing
-  // order, preserving the serial accumulation order bit-for-bit.
+  // kernel tiles the k dimension internally so the slice of b stays
+  // cache-resident while a row block accumulates, and keeps k in
+  // increasing order within a row, so the accumulation association is
+  // fixed by the tile structure, not the thread count.
   ParallelFor(0, m, kMatmulRowGrain, [&](int64_t row_begin, int64_t row_end) {
-    for (int64_t k0 = 0; k0 < k; k0 += kMatmulKTile) {
-      const int64_t k1 = std::min(k, k0 + kMatmulKTile);
-      for (int64_t i = row_begin; i < row_end; ++i) {
-        float* orow = po + i * n;
-        for (int64_t kk = k0; kk < k1; ++kk) {
-          const float aik = pa[i * k + kk];
-          if (aik == 0.0f) continue;
-          const float* brow = pb + kk * n;
-          for (int64_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
-        }
-      }
-    }
+    simd::MatmulRowBlock(pa, pb, po, row_begin, row_end, k, n);
   });
   return out;
 }
@@ -97,11 +80,8 @@ Tensor MatVec(const Tensor& a, const Tensor& x) {
   Tensor out({m});
   ParallelFor(0, m, kMatVecRowGrain, [&](int64_t row_begin, int64_t row_end) {
     for (int64_t i = row_begin; i < row_end; ++i) {
-      double sum = 0.0;
-      for (int64_t j = 0; j < k; ++j) {
-        sum += static_cast<double>(a[i * k + j]) * static_cast<double>(x[j]);
-      }
-      out[i] = static_cast<float>(sum);
+      out[i] =
+          static_cast<float>(simd::Dot(a.data() + i * k, x.data(), k));
     }
   });
   return out;

@@ -75,6 +75,51 @@ TEST(GeodpLintR1, NolintSuppressesTheFlaggedLine) {
   EXPECT_TRUE(LintFixture("r1_nolint.cc", "src/core/seeded_tool.cc").empty());
 }
 
+TEST(GeodpLintR1, UnannotatedCpuidProbeFlaggedWithExactLocation) {
+  const std::vector<Finding> findings = LintFixture(
+      "r1_cpuid_feature_detect.cc", "src/core/feature_probe.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR1Nondeterminism);
+  EXPECT_STREQ(RuleIdName(findings[0].rule), "R1");
+  EXPECT_EQ(findings[0].path, "src/core/feature_probe.cc");
+  EXPECT_EQ(findings[0].line, 7);
+  EXPECT_NE(findings[0].message.find("__builtin_cpu_supports"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/base/simd/"), std::string::npos);
+}
+
+TEST(GeodpLintR1, CpuidOkEscapeValidOnlyUnderSimdDispatch) {
+  // The annotated probe is clean in the dispatch layer...
+  EXPECT_TRUE(
+      LintFixture("r1_cpuid_ok_in_simd.cc", "src/base/simd/dispatch.cc")
+          .empty());
+
+  // ...but the same annotation does not excuse a probe anywhere else.
+  const std::vector<Finding> findings =
+      LintFixture("r1_cpuid_ok_in_simd.cc", "src/core/feature_probe.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR1Nondeterminism);
+  EXPECT_EQ(findings[0].line, 8);
+  EXPECT_NE(findings[0].message.find("cpuid-ok"), std::string::npos);
+}
+
+TEST(GeodpLintR1, UnannotatedCpuidProbeInSimdDispatchStillFlagged) {
+  const std::vector<Finding> findings = LintFixture(
+      "r1_cpuid_feature_detect.cc", "src/base/simd/dispatch.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR1Nondeterminism);
+  EXPECT_EQ(findings[0].line, 7);
+}
+
+TEST(GeodpLintR2, SimdDispatchLayerIsNotExemptFromPerSampleRule) {
+  // src/base/simd/ escapes cpuid R1 findings only — the per-sample privacy
+  // boundary applies there like everywhere else outside src/clip/.
+  const std::vector<Finding> findings = LintFixture(
+      "r2_per_sample_leak.cc", "src/base/simd/kernels_extra.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR2PrivacyBoundary);
+}
+
 TEST(GeodpLintR2, UnannotatedPerSampleIdentifierFlagged) {
   const std::vector<Finding> findings =
       LintFixture("r2_per_sample_leak.cc", "src/stats/per_sample_export.cc");

@@ -1,0 +1,10 @@
+// Fixture: seeded R1 violation — unannotated cpu feature probe. Machine-
+// dependent dispatch is only allowed in src/base/simd/ under `cpuid-ok`.
+
+namespace geodp {
+
+bool HostHasAvx2() {
+  return __builtin_cpu_supports("avx2") != 0;
+}
+
+}  // namespace geodp

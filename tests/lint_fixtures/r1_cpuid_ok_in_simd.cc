@@ -1,0 +1,11 @@
+// Fixture: cpu feature probe carrying the audited `cpuid-ok` escape. Clean
+// only under src/base/simd/; the same annotation elsewhere still fires R1.
+
+namespace geodp {
+
+bool HostHasAvx2() {
+  // geodp: cpuid-ok dispatch-time probe, fixed per host
+  return __builtin_cpu_supports("avx2") != 0;
+}
+
+}  // namespace geodp

@@ -15,6 +15,7 @@
 
 #include "base/flags.h"
 #include "base/rng.h"
+#include "base/simd/dispatch.h"
 #include "ckpt/fault_injection.h"
 #include "core/privacy_region.h"
 #include "data/gradient_dataset.h"
@@ -84,6 +85,7 @@ int RunTrain(int argc, const char* const* argv) {
     return 1;
   }
   ApplyCommonFlags(flags);
+  std::printf("simd: %s kernels\n", SimdTierName(ActiveSimdTier()));
   const std::unique_ptr<JsonlStepWriter> step_writer =
       ApplyObservabilityFlags(flags);
   StatusOr<std::unique_ptr<IntrospectionHandle>> introspection =

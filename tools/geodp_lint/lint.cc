@@ -50,7 +50,7 @@ void ParseAnnotation(std::string_view text, const std::string& path,
   const std::string token(text.substr(begin, end - begin));
 
   if (token == "per-sample" || token == "sensitivity-checked" ||
-      token == "check-ok") {
+      token == "check-ok" || token == "cpuid-ok") {
     tags.push_back(token);
     return;
   }
@@ -73,8 +73,8 @@ void ParseAnnotation(std::string_view text, const std::string& path,
   findings.push_back(
       {RuleId::kAnnotation, path, line_number,
        "unrecognized geodp annotation '" + token +
-           "' (expected per-sample, sensitivity-checked, check-ok, or "
-           "nolint(R1[,R2,...]))"});
+           "' (expected per-sample, sensitivity-checked, check-ok, "
+           "cpuid-ok, or nolint(R1[,R2,...]))"});
 }
 
 // Strips comments and literals, collecting `// geodp:` annotations. An
@@ -236,6 +236,8 @@ struct PathInfo {
   bool r1_applies = false;
   bool r2_applies = false;  // src/ outside src/clip/
   bool r3_applies = false;  // src/ckpt/, src/dp/, src/optim/trainer*
+  // The one place `// geodp: cpuid-ok` may authorize a cpu feature probe.
+  bool in_simd_dispatch = false;  // src/base/simd/
   bool iostream_banned = false;
 };
 
@@ -255,6 +257,7 @@ PathInfo ClassifyPath(const std::string& path) {
                     !allowlisted;
 
   info.r2_applies = info.in_src && !StartsWith(path, "src/clip/");
+  info.in_simd_dispatch = StartsWith(path, "src/base/simd/");
   info.r3_applies = StartsWith(path, "src/ckpt/") ||
                     StartsWith(path, "src/dp/") ||
                     StartsWith(path, "src/optim/trainer");
@@ -272,6 +275,16 @@ constexpr std::array<std::string_view, 11> kNondetIdentifiers = {
     "ranlux48",       "ranlux48_base"};
 constexpr std::array<std::string_view, 5> kNondetCalls = {
     "rand", "srand", "time", "clock", "gettimeofday"};
+
+// R1: cpu feature probes make behavior machine-dependent (a different host
+// dispatches different kernels). Allowed only in the SIMD dispatch layer
+// under an explicit `// geodp: cpuid-ok` annotation, so every probe stays
+// auditable.
+constexpr std::array<std::string_view, 8> kCpuidIdentifiers = {
+    "__builtin_cpu_supports", "__builtin_cpu_init",
+    "__get_cpuid",            "__get_cpuid_count",
+    "__cpuid",                "__cpuid_count",
+    "_xgetbv",                "_may_i_use_cpu_feature"};
 
 constexpr std::array<std::string_view, 3> kPerSamplePatterns = {
     "per_sample", "per_example", "sample_grad"};
@@ -298,13 +311,20 @@ void CheckLine(const std::string& path, const PathInfo& info, const Line& line,
       const bool clock_now = ident == "now" &&
                              NextNonSpaceIsCall(code, past_end) && start >= 2 &&
                              code[start - 1] == ':' && code[start - 2] == ':';
-      if (named || called || clock_now) {
+      const bool cpuid =
+          std::find(kCpuidIdentifiers.begin(), kCpuidIdentifiers.end(),
+                    ident) != kCpuidIdentifiers.end() &&
+          !(info.in_simd_dispatch && HasTag(line, "cpuid-ok"));
+      if (named || called || clock_now || cpuid) {
         r1_hit = true;
         findings.push_back(
             {RuleId::kR1Nondeterminism, path, line_number,
-             "nondeterministic source '" + std::string(ident) +
-                 "' — use the seeded xoshiro256++ substreams in "
-                 "src/base/rng.h (or geodp::Timer for wall-clock)"});
+             cpuid ? "cpu feature probe '" + std::string(ident) +
+                         "' — hardware dispatch is only allowed in "
+                         "src/base/simd/ under `// geodp: cpuid-ok`"
+                   : "nondeterministic source '" + std::string(ident) +
+                         "' — use the seeded xoshiro256++ substreams in "
+                         "src/base/rng.h (or geodp::Timer for wall-clock)"});
       }
     }
     if (info.r2_applies && !r2_hit &&

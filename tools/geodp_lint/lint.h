@@ -6,6 +6,11 @@
 //   R1  nondeterminism ban      — all randomness and wall-clock reads must go
 //                                 through src/base/rng.* / src/base/timer.*
 //                                 (the bit-identical 1-vs-N-thread contract).
+//                                 Cpu feature probes (cpuid intrinsics) count:
+//                                 they are machine-dependent inputs, and are
+//                                 only allowed in the SIMD dispatch layer
+//                                 src/base/simd/ under an explicit
+//                                 `// geodp: cpuid-ok` annotation.
 //   R2  privacy boundary        — identifiers carrying per-sample gradient
 //                                 data may only be consumed inside src/clip/;
 //                                 elsewhere each use must be annotated
