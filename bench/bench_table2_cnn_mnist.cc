@@ -13,12 +13,23 @@
 // a little on top of either method; GeoDP(beta bad) collapses.
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
+#include <vector>
 
 #include "base/rng.h"
+#include "base/simd/dispatch.h"
+#include "base/thread_pool.h"
+#include "base/timer.h"
 #include "common/bench_util.h"
+#include "common/peak_rss.h"
 #include "models/cnn.h"
+#include "models/mlp.h"
 #include "stats/table.h"
+
+#ifndef GEODP_GIT_REV
+#define GEODP_GIT_REV "unknown"
+#endif
 
 namespace geodp {
 namespace bench {
@@ -122,11 +133,149 @@ void Run() {
   PrintTable(table);
 }
 
+// ---- Clip-mode timing (ghost vs materialize) ---------------------------
+//
+// Measures the training-loop throughput and memory footprint of the two
+// per-sample clipping paths. The materialized path stages
+// O(batch x params) per-sample gradients; ghost clipping stages
+// O(batch + activations), so the contrast scales with the parameter
+// count. The Table II CNN above is deliberately tiny (~3.7k parameters;
+// see the scale-down note), far below where the asymptotics separate, so
+// the timing rows run the same training pipeline on an MLP sized to the
+// paper's parameter regime (196 -> 768 -> 10, ~158k parameters). There
+// the Goodfellow factorization gives per-sample norms from two SumSquares
+// per layer — no per-sample gradient is ever formed — while the
+// materialized path must write, clip and sum 256 gradients of 158k
+// floats each step. Rows land in the --bench_json_out record (schema of
+// common/bench_json.h plus peak_rss_mb), which
+// scripts/check_bench_regression.py --clip-mode-gate gates in CI.
+
+struct ClipTimingRow {
+  std::string name;
+  double wall_ms = 0.0;     // per training step
+  double steps_per_s = 0.0;
+  double peak_rss_mb = 0.0;
+};
+
+ClipTimingRow TimeClipMode(const SplitDataset& data,
+                           const std::string& clip_mode, int64_t batch,
+                           int64_t iterations) {
+  Rng rng(55);
+  MlpConfig mlp;
+  mlp.hidden_dims = {768};
+  auto model = MakeMlp(mlp, rng);
+  TrainerOptions options;
+  options.method = PerturbationMethod::kDp;
+  options.clip_mode = clip_mode;
+  options.batch_size = batch;
+  options.iterations = iterations;
+  options.learning_rate = kLr;
+  options.clip_threshold = kClip;
+  options.noise_multiplier = 2.0;
+  options.record_loss_every = 0;
+  options.seed = 99;
+  DpTrainer trainer(model.get(), &data.train, nullptr, options);
+  const Timer timer;
+  trainer.Train();
+  const double seconds = timer.ElapsedSeconds();
+  ClipTimingRow row;
+  row.name =
+      "BM_ClipMode/" + clip_mode + "/mlp768/B" + std::to_string(batch);
+  row.wall_ms = seconds * 1e3 / static_cast<double>(iterations);
+  row.steps_per_s = static_cast<double>(iterations) / seconds;
+  row.peak_rss_mb = PeakRssMb();
+  return row;
+}
+
+std::vector<ClipTimingRow> RunClipTiming() {
+  // A training split large enough for the batch-256 acceptance point.
+  const SplitDataset data = MnistLikeSplit(512, 64, /*seed=*/8);
+  std::vector<ClipTimingRow> rows;
+  TablePrinter table(
+      {"config", "ms/step", "steps/s", "peak RSS (MB)"});
+  // All ghost rows run before any materialized row: peak RSS is monotone
+  // over the process lifetime, so the path expected to use less memory
+  // must record every one of its peaks before the materialized path
+  // inflates the high-water mark (see common/peak_rss.h).
+  for (const char* mode : {"ghost", "materialize"}) {
+    for (const int64_t batch : {int64_t{128}, int64_t{256}}) {
+      const ClipTimingRow row =
+          TimeClipMode(data, mode, batch, /*iterations=*/8);
+      table.AddRow({row.name, TablePrinter::Fmt(row.wall_ms, 2),
+                    TablePrinter::Fmt(row.steps_per_s, 2),
+                    TablePrinter::Fmt(row.peak_rss_mb, 1)});
+      rows.push_back(row);
+    }
+  }
+  PrintBanner("Table II addendum (clip-mode throughput: ghost vs "
+              "materialized per-sample clipping)",
+              "not in the paper; DP-SGD engineering baseline",
+              "paper-scale MLP (196->768->10, ~158k params), B in "
+              "{128, 256}, 8 DP steps per row, all ghost rows measured "
+              "before any materialized row (monotone peak RSS)");
+  PrintTable(table);
+  return rows;
+}
+
+bool WriteClipTimingJson(const std::string& path,
+                         const std::vector<ClipTimingRow>& rows) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(file,
+               "{\"bench\":\"bench_table2_cnn_mnist\",\"git_rev\":\"%s\","
+               "\"simd\":\"%s\",\"results\":[",
+               GEODP_GIT_REV, SimdTierName(ActiveSimdTier()));
+  bool first = true;
+  for (const ClipTimingRow& row : rows) {
+    std::fprintf(file,
+                 "%s{\"name\":\"%s\",\"wall_ms\":%.9g,\"steps_per_s\":%.9g,"
+                 "\"threads\":%d,\"peak_rss_mb\":%.9g}",
+                 first ? "" : ",", row.name.c_str(), row.wall_ms,
+                 row.steps_per_s, GetGlobalThreadCount(), row.peak_rss_mb);
+    first = false;
+  }
+  const bool body_ok = std::fprintf(file, "]}\n") >= 0;
+  const bool close_ok = std::fclose(file) == 0;
+  if (!body_ok || !close_ok) {
+    std::fprintf(stderr, "bench_json: write failed for %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace geodp
 
-int main() {
-  geodp::bench::Run();
+int main(int argc, char** argv) {
+  std::string json_out;
+  bool timing_only = false;
+  const std::string json_prefix = "--bench_json_out=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(json_prefix, 0) == 0) {
+      json_out = arg.substr(json_prefix.size());
+    } else if (arg == "--geodp_clip_timing_only") {
+      timing_only = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_table2_cnn_mnist "
+                   "[--bench_json_out=<path>] [--geodp_clip_timing_only]\n");
+      return 1;
+    }
+  }
+  if (!timing_only) geodp::bench::Run();
+  // The clip-mode comparison runs whenever machine-readable output was
+  // requested (CI's gate) or the accuracy table was skipped.
+  if (!json_out.empty() || timing_only) {
+    const auto rows = geodp::bench::RunClipTiming();
+    if (!json_out.empty() &&
+        !geodp::bench::WriteClipTimingJson(json_out, rows)) {
+      return 1;
+    }
+  }
   return 0;
 }

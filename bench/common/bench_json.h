@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "base/simd/dispatch.h"
+#include "common/peak_rss.h"
 
 // Injected by bench/CMakeLists.txt from `git rev-parse --short HEAD`;
 // "unknown" outside a git checkout (e.g. a source tarball).
@@ -90,12 +91,18 @@ inline bool WriteBenchJson(const std::string& path,
     double threads = static_cast<double>(run.threads);
     const auto it = run.counters.find("threads");
     if (it != run.counters.end()) threads = it->second.value;
+    // Memory column: a workload that tracks its own footprint reports a
+    // "peak_rss_mb" counter; the rest fall back to the process-wide peak
+    // at write time (monotone — see common/peak_rss.h).
+    double peak_rss_mb = PeakRssMb();
+    const auto rss_it = run.counters.find("peak_rss_mb");
+    if (rss_it != run.counters.end()) peak_rss_mb = rss_it->second.value;
     std::fprintf(file,
                  "%s{\"name\":\"%s\",\"wall_ms\":%.9g,\"steps_per_s\":%.9g,"
-                 "\"threads\":%d}",
+                 "\"threads\":%d,\"peak_rss_mb\":%.9g}",
                  first ? "" : ",",
                  BenchJsonEscape(run.benchmark_name()).c_str(), wall_ms,
-                 steps_per_s, static_cast<int>(threads));
+                 steps_per_s, static_cast<int>(threads), peak_rss_mb);
     first = false;
   }
   const bool body_ok = std::fprintf(file, "]}\n") >= 0;

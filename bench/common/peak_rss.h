@@ -1,0 +1,36 @@
+// Peak resident-set size of the current process, for the memory column of
+// --bench_json_out records. Peak RSS is monotone over a process lifetime,
+// so benches comparing the footprint of two code paths must run the
+// expected-smaller path FIRST — its row then reflects an honest peak,
+// while the larger path's row includes everything before it.
+
+#ifndef GEODP_BENCH_COMMON_PEAK_RSS_H_
+#define GEODP_BENCH_COMMON_PEAK_RSS_H_
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace geodp {
+namespace bench {
+
+/// Peak RSS in MiB, 0.0 where the platform offers no getrusage. Linux
+/// reports ru_maxrss in KiB, macOS in bytes.
+inline double PeakRssMb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+}  // namespace bench
+}  // namespace geodp
+
+#endif  // GEODP_BENCH_COMMON_PEAK_RSS_H_

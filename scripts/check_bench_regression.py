@@ -13,6 +13,17 @@ Two comparison modes, both over benchmarks matched by name in two files:
           --over BENCH_fig6_runtime.json --min-speedup 2.0 \\
           --filter 'Perturb|ToSpherical|ToCartesian'
 
+  * Clip-mode gate — within ONE file, pairs every ghost clipping row
+    (name containing "/ghost/") with its materialized counterpart and
+    asserts the ghost path pays for itself on at least one axis: wall-ms
+    speedup >= --min-speedup OR peak-RSS ratio >= --min-rss-ratio. CI uses
+    this over the committed BENCH_table2 baseline (tight floors, recorded
+    host) and over a fresh run (soft floors, unknown runner):
+
+      check_bench_regression.py \\
+          --clip-mode-gate bench/baselines/BENCH_table2_cnn_mnist.json \\
+          --min-speedup 2.0 --min-rss-ratio 4.0
+
   * Baseline gate — asserts a fresh run has not regressed below a fraction
     of the committed baseline's steps_per_s. The tolerance band is wide
     because CI hosts differ from the machine that recorded the baseline;
@@ -183,6 +194,67 @@ def run_speedup_gate(args):
     )
 
 
+def run_clip_mode_gate(args):
+    doc, rows = load_bench_json(args.clip_mode_gate)
+    pattern = re.compile(args.filter) if args.filter else None
+    pairs = []
+    for name in sorted(rows):
+        if "/ghost/" not in name:
+            continue
+        if pattern and not pattern.search(name):
+            continue
+        counterpart = name.replace("/ghost/", "/materialize/")
+        if counterpart not in rows:
+            print(
+                f"check_bench_regression: note: {name} has no "
+                f"materialized counterpart {counterpart!r}; skipped"
+            )
+            continue
+        pairs.append((name, counterpart))
+    if not pairs:
+        fail(
+            f"no ghost/materialize row pairs found in {args.clip_mode_gate}"
+            + (f" under filter {args.filter!r}" if args.filter else "")
+        )
+    failures = []
+    for ghost_name, mat_name in pairs:
+        ghost, mat = rows[ghost_name], rows[mat_name]
+        speedup = mat["wall_ms"] / ghost["wall_ms"]
+        ghost_rss = ghost.get("peak_rss_mb", 0)
+        mat_rss = mat.get("peak_rss_mb", 0)
+        rss_ratio = (
+            mat_rss / ghost_rss
+            if isinstance(ghost_rss, (int, float))
+            and isinstance(mat_rss, (int, float))
+            and ghost_rss > 0
+            else 0.0
+        )
+        ok = speedup >= args.min_speedup or rss_ratio >= args.min_rss_ratio
+        status = "ok" if ok else "FAIL"
+        print(
+            f"  {status:4s} {ghost_name}: {speedup:.2f}x steps "
+            f"({mat['wall_ms']:.4g} ms -> {ghost['wall_ms']:.4g} ms), "
+            f"{rss_ratio:.2f}x peak RSS"
+        )
+        if not ok:
+            failures.append((ghost_name, speedup, rss_ratio))
+    if failures:
+        fail(
+            f"{len(failures)}/{len(pairs)} ghost row(s) below both floors "
+            f"(speedup < {args.min_speedup:.2f}x and RSS ratio < "
+            f"{args.min_rss_ratio:.2f}x): "
+            + ", ".join(
+                f"{n} ({s:.2f}x, {r:.2f}x)" for n, s, r in failures
+            )
+        )
+    print(
+        f"check_bench_regression: OK: {len(pairs)} ghost/materialize "
+        f"pair(s) clear speedup >= {args.min_speedup:.2f}x or RSS ratio "
+        f">= {args.min_rss_ratio:.2f}x ({doc['simd']} tier "
+        f"@ {doc['git_rev']})"
+    )
+
+
 def run_baseline_gate(args):
     fresh_doc, fresh = load_bench_json(args.fresh)
     base_doc, base = load_bench_json(args.baseline)
@@ -235,6 +307,13 @@ def main():
                              "regress below")
     parser.add_argument("--min-ratio", type=float, default=0.25,
                         help="fresh/baseline steps_per_s floor (default 0.25)")
+    parser.add_argument("--clip-mode-gate", metavar="JSON",
+                        help="single run whose /ghost/ rows must beat their "
+                             "/materialize/ counterparts on speedup or "
+                             "peak-RSS ratio")
+    parser.add_argument("--min-rss-ratio", type=float, default=4.0,
+                        help="materialize/ghost peak-RSS floor for the "
+                             "clip-mode gate (default 4.0)")
     parser.add_argument("--filter", metavar="REGEX",
                         help="only gate benchmark names matching this regex")
     parser.add_argument("--allow-tier-mismatch", action="store_true",
@@ -245,12 +324,16 @@ def main():
 
     speedup_mode = args.speedup_of is not None or args.over is not None
     baseline_mode = args.fresh is not None or args.baseline is not None
-    if speedup_mode == baseline_mode:
-        fail("pick one mode: --speedup-of/--over or --fresh/--baseline")
+    clip_mode = args.clip_mode_gate is not None
+    if speedup_mode + baseline_mode + clip_mode != 1:
+        fail("pick one mode: --speedup-of/--over, --fresh/--baseline, "
+             "or --clip-mode-gate")
     if speedup_mode:
         if not (args.speedup_of and args.over):
             fail("--speedup-of and --over must be given together")
         run_speedup_gate(args)
+    elif clip_mode:
+        run_clip_mode_gate(args)
     else:
         if not (args.fresh and args.baseline):
             fail("--fresh and --baseline must be given together")

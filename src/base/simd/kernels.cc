@@ -72,6 +72,10 @@ void Atan2(const double* y, const double* x, double* out, int64_t n) {
   ActiveKernels().atan2(y, x, out, n);
 }
 
+void WrapReflect(double* angles, int64_t n) {
+  ActiveKernels().wrap_reflect(angles, n);
+}
+
 void GaussianAdd(Rng& stream, double stddev, float* dst, int64_t n) {
   ActiveKernels().gaussian_add_f32(stream, stddev, dst, n);
 }

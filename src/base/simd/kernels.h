@@ -78,6 +78,14 @@ void SinCos(const double* angles, double* sin_out, double* cos_out,
 /// out[i] = atan2(y[i], x[i]) with the usual quadrant conventions.
 void Atan2(const double* y, const double* x, double* out, int64_t n);
 
+/// Reflect-wraps angles[0..n) in place into [0, pi] — the canonical range
+/// of every non-final hyper-spherical angle. The scalar tier keeps the
+/// historical fmod loop bit-for-bit; the AVX2 tier range-reduces with a
+/// floor-based division instead of fmod and may differ in the last bits,
+/// but both tiers guarantee results land inside [0, pi] (per-tier golden
+/// contract, like SinCos/Atan2).
+void WrapReflect(double* angles, int64_t n);
+
 /// dst[0..n) += N(0, stddev^2) variates drawn from `stream` by the
 /// Box-Muller transform. The scalar tier consumes the stream exactly like
 /// n calls of Rng::Gaussian(0, stddev) on a fresh stream; the AVX2 tier

@@ -23,7 +23,8 @@ namespace geodp {
 namespace simd {
 namespace {
 
-constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kTwoPi = 2.0 * kPi;
 
 void AddAvx2(float* y, const float* x, int64_t n) {
   int64_t i = 0;
@@ -198,6 +199,38 @@ void Atan2Avx2(const double* y, const double* x, double* out, int64_t n) {
   for (; i < n; ++i) out[i] = std::atan2(y[i], x[i]);
 }
 
+// Reflect-wrap four angles into [0, pi] without fmod: t - 2pi*floor(t/2pi)
+// range-reduces into [0, 2pi) up to rounding, a clamp pins roundoff
+// stragglers back inside the interval (so huge inputs like 1e9*pi still
+// land in range), and lanes past pi reflect to 2pi - t. The division
+// rounds differently from the scalar tier's fmod, so this kernel carries
+// per-tier goldens like SinCos/Atan2.
+__m256d WrapReflect4(__m256d t) {
+  const __m256d two_pi = _mm256_set1_pd(kTwoPi);
+  const __m256d whole_turns = _mm256_floor_pd(_mm256_div_pd(t, two_pi));
+  t = _mm256_fnmadd_pd(whole_turns, two_pi, t);
+  t = _mm256_min_pd(_mm256_max_pd(t, _mm256_setzero_pd()), two_pi);
+  const __m256d reflected = _mm256_sub_pd(two_pi, t);
+  const __m256d over_pi = _mm256_cmp_pd(t, _mm256_set1_pd(kPi), _CMP_GT_OQ);
+  return _mm256_blendv_pd(t, reflected, over_pi);
+}
+
+void WrapReflectAvx2(double* angles, int64_t n) {
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(angles + i, WrapReflect4(_mm256_loadu_pd(angles + i)));
+  }
+  if (i < n) {
+    // Padded tail: same vector path as the body, so a value's rounding
+    // never depends on its position relative to the tail boundary.
+    double in[4] = {0.0, 0.0, 0.0, 0.0};
+    double out[4];
+    for (int64_t t = i; t < n; ++t) in[t - i] = angles[t];
+    _mm256_storeu_pd(out, WrapReflect4(_mm256_loadu_pd(in)));
+    for (int64_t t = i; t < n; ++t) angles[t] = out[t - i];
+  }
+}
+
 // Box-Muller, batched four pairs at a time: the uniforms are drawn from
 // the stream scalar-side in exactly the pair order the scalar tier uses
 // (u1 with the small-value rejection, then u2), and the sqrt/log/sincos
@@ -264,6 +297,7 @@ const KernelTable& Avx2Kernels() {
       .sqrt_array = SqrtArrayAvx2,
       .sincos = SinCosAvx2,
       .atan2 = Atan2Avx2,
+      .wrap_reflect = WrapReflectAvx2,
       .gaussian_add_f32 = GaussianAddF32Avx2,
       .gaussian_add_f64 = GaussianAddF64Avx2,
   };

@@ -28,6 +28,7 @@ struct KernelTable {
   void (*sqrt_array)(const double*, double*, int64_t);
   void (*sincos)(const double*, double*, double*, int64_t);
   void (*atan2)(const double*, const double*, double*, int64_t);
+  void (*wrap_reflect)(double*, int64_t);
   void (*gaussian_add_f32)(Rng&, double, float*, int64_t);
   void (*gaussian_add_f64)(Rng&, double, double*, int64_t);
 };

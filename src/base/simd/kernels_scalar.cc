@@ -13,6 +13,8 @@ namespace geodp {
 namespace simd {
 namespace {
 
+constexpr double kPi = 3.14159265358979323846;
+
 void AddScalar(float* y, const float* x, int64_t n) {
   for (int64_t i = 0; i < n; ++i) y[i] += x[i];
 }
@@ -86,6 +88,15 @@ void Atan2Scalar(const double* y, const double* x, double* out, int64_t n) {
   for (int64_t i = 0; i < n; ++i) out[i] = std::atan2(y[i], x[i]);
 }
 
+void WrapReflectScalar(double* angles, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    double theta = std::fmod(angles[i], 2.0 * kPi);
+    if (theta < 0) theta += 2.0 * kPi;
+    if (theta > kPi) theta = 2.0 * kPi - theta;
+    angles[i] = theta;
+  }
+}
+
 void GaussianAddF32Scalar(Rng& stream, double stddev, float* dst, int64_t n) {
   for (int64_t i = 0; i < n; ++i) {
     dst[i] += static_cast<float>(stream.Gaussian(0.0, stddev));
@@ -112,6 +123,7 @@ const KernelTable& ScalarKernels() {
       .sqrt_array = SqrtArrayScalar,
       .sincos = SinCosScalar,
       .atan2 = Atan2Scalar,
+      .wrap_reflect = WrapReflectScalar,
       .gaussian_add_f32 = GaussianAddF32Scalar,
       .gaussian_add_f64 = GaussianAddF64Scalar,
   };

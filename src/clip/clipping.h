@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "base/units.h"
 #include "tensor/tensor.h"
 
 namespace geodp {
@@ -104,9 +105,16 @@ class PsacClipper : public Clipper {
   double radius_;
 };
 
-/// Factory by name: "flat", "AUTO-S", "PSAC".
+/// True when `name` names a shipped clipping strategy ("flat", "AUTO-S",
+/// "PSAC"). Config validation should consult this so MakeClipper only ever
+/// sees known names.
+bool IsKnownClipper(const std::string& name);
+
+/// Factory by name: "flat", "AUTO-S", "PSAC". `name` must satisfy
+/// IsKnownClipper (validated config); the threshold is strongly typed so a
+/// noise multiplier cannot be transposed into the sensitivity bound.
 std::unique_ptr<Clipper> MakeClipper(const std::string& name,
-                                     double clip_threshold);
+                                     ClipThreshold clip_threshold);
 
 /// Clips every per-sample gradient with `clipper` and adds the clipped
 /// gradients into `sum` (shapes must match). The dominant per-sample cost
@@ -119,7 +127,9 @@ void AccumulateClipped(const std::vector<Tensor>& per_sample_gradients,
                        const Clipper& clipper, Tensor& sum);
 
 /// Sum of the clipped per-sample gradients (parallel, thread-count
-/// invariant). The batch must be non-empty.
+/// invariant). An empty batch — a normal occurrence under Poisson
+/// sampling — yields an empty (zero-element) tensor, mirroring
+/// AccumulateClipped's early return.
 Tensor ClipAndSum(const std::vector<Tensor>& per_sample_gradients,
                   const Clipper& clipper);
 

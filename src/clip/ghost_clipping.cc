@@ -1,0 +1,37 @@
+#include "clip/ghost_clipping.h"
+
+#include <cmath>
+
+#include "base/check.h"
+
+namespace geodp {
+
+GhostBatchWeights GhostClipper::Weights(
+    const std::vector<double>& ghost_norm_sq,
+    const std::vector<double>& sample_losses) const {
+  GEODP_CHECK_EQ(ghost_norm_sq.size(),  // geodp: check-ok
+                 sample_losses.size());
+  const size_t batch = ghost_norm_sq.size();
+  GhostBatchWeights out;
+  out.clipped.assign(batch, 0.0);
+  out.raw.assign(batch, 0.0);
+  out.norms.assign(batch, 0.0);
+  for (size_t b = 0; b < batch; ++b) {
+    const double norm = std::sqrt(ghost_norm_sq[b]);
+    out.norms[b] = norm;
+    if (!(std::isfinite(sample_losses[b]) && std::isfinite(norm))) {
+      // Excluded samples keep weight exactly 0.0 in both passes; the
+      // accumulators skip them structurally instead of multiplying, so a
+      // non-finite gradient can never reach the sums.
+      ++out.nonfinite_skipped;
+      continue;
+    }
+    out.clipped[b] = clipper_.ClipScale(norm);
+    out.raw[b] = 1.0;
+    ++out.included;
+    out.included_loss_sum += sample_losses[b];
+  }
+  return out;
+}
+
+}  // namespace geodp

@@ -1,0 +1,61 @@
+// Ghost clipping: the clip-boundary half of per-sample-gradient-free
+// DP-SGD. The layers compute each sample's squared gradient L2 norm
+// directly from activations and backprops (Goodfellow's trick for Linear,
+// the im2col analog for Conv2d) without ever materializing the gradient;
+// this file turns those norms into the per-sample weights of two weighted
+// accumulation passes (clipped sum and raw reference sum). Sensitivity is
+// unchanged relative to the materialized path: weight clipped[b] is
+// exactly Clipper::ClipScale(norm_b), so sample b's contribution to the
+// clipped sum has L2 norm <= C.
+
+#ifndef GEODP_CLIP_GHOST_CLIPPING_H_
+#define GEODP_CLIP_GHOST_CLIPPING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clip/clipping.h"
+
+namespace geodp {
+
+/// Per-batch outcome of converting ghost norms into accumulation weights.
+struct GhostBatchWeights {
+  // Clip scale per sample: multiplying sample b's gradient by clipped[b]
+  // bounds its L2 norm by the clipper's threshold. Exactly 0.0 for
+  // excluded (non-finite) samples — consumers skip those structurally.
+  std::vector<double> clipped;
+  // 1.0 per included sample, 0.0 for excluded ones: the weights of the
+  // noise-free raw reference sum.
+  std::vector<double> raw;
+  // Pre-clip per-sample gradient norms, batch order (telemetry; holds the
+  // raw, possibly non-finite values for excluded samples).
+  std::vector<double> norms;
+  int64_t included = 0;            // samples with finite loss and norm
+  int64_t nonfinite_skipped = 0;   // samples excluded by the finite guard
+  double included_loss_sum = 0.0;  // sum of losses over included samples
+};
+
+/// Bridges ghost-norm bookkeeping to the Clipper interface. Mirrors the
+/// materialized path's non-finite guard: a sample whose loss or gradient
+/// norm is NaN/Inf gets weight exactly 0.0 in both passes (zero
+/// contribution, sensitivity bound unaffected) and is counted.
+class GhostClipper {
+ public:
+  /// Keeps a reference; `clipper` must outlive this object.
+  explicit GhostClipper(const Clipper& clipper) : clipper_(clipper) {}
+
+  /// ghost_norm_sq[b] is sample b's squared gradient norm summed over all
+  /// layers; sample_losses[b] its loss. Both are batch-ordered and must
+  /// have equal size.
+  GhostBatchWeights Weights(const std::vector<double>& ghost_norm_sq,
+                            const std::vector<double>& sample_losses) const;
+
+  const Clipper& clipper() const { return clipper_; }
+
+ private:
+  const Clipper& clipper_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_CLIP_GHOST_CLIPPING_H_

@@ -104,21 +104,15 @@ double AngleSquaredDistance(const std::vector<double>& a,
 
 std::vector<double> WrapAngles(std::vector<double> angles) {
   const size_t n = angles.size();
-  for (size_t i = 0; i < n; ++i) {
-    double theta = angles[i];
-    if (i + 1 < n) {
-      // Reflect into [0, pi]: angle of a half-plane direction.
-      theta = std::fmod(theta, 2.0 * kPi);
-      if (theta < 0) theta += 2.0 * kPi;
-      if (theta > kPi) theta = 2.0 * kPi - theta;
-    } else {
-      // Wrap into (-pi, pi].
-      theta = std::fmod(theta + kPi, 2.0 * kPi);
-      if (theta <= 0) theta += 2.0 * kPi;
-      theta -= kPi;
-    }
-    angles[i] = theta;
-  }
+  if (n == 0) return angles;
+  // The first n-1 angles reflect into [0, pi] (half-plane directions)
+  // through the dispatched kernel: the scalar tier keeps the historical
+  // fmod loop bit-for-bit, the AVX2 tier uses a floor-based reduction.
+  simd::WrapReflect(angles.data(), static_cast<int64_t>(n) - 1);
+  // The final azimuthal angle wraps into (-pi, pi].
+  double theta = std::fmod(angles[n - 1] + kPi, 2.0 * kPi);
+  if (theta <= 0) theta += 2.0 * kPi;
+  angles[n - 1] = theta - kPi;
   return angles;
 }
 

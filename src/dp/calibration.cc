@@ -37,16 +37,17 @@ double RunEpsilon(double sigma, double sampling_rate, int64_t steps,
 
 }  // namespace
 
-StatusOr<double> TrainingRunEpsilon(double sigma, double sampling_rate,
-                                    int64_t steps, double delta) {
-  if (!(sigma > 0.0)) {
+StatusOr<double> TrainingRunEpsilon(NoiseMultiplier sigma,
+                                    double sampling_rate, int64_t steps,
+                                    double delta) {
+  if (!(sigma.value() > 0.0)) {
     std::ostringstream message;
-    message << "noise multiplier sigma must be > 0, got " << sigma;
+    message << "noise multiplier sigma must be > 0, got " << sigma.value();
     return Status::InvalidArgument(message.str());
   }
   const Status shape = ValidateRunShape(sampling_rate, steps, delta);
   if (!shape.ok()) return shape;
-  return RunEpsilon(sigma, sampling_rate, steps, delta);
+  return RunEpsilon(sigma.value(), sampling_rate, steps, delta);
 }
 
 StatusOr<double> NoiseMultiplierForTargetEpsilon(double target_epsilon,

@@ -14,15 +14,18 @@
 #include <cstdint>
 
 #include "base/status.h"
+#include "base/units.h"
 
 namespace geodp {
 
 /// Epsilon (at `delta`) of `steps` subsampled-Gaussian releases with noise
-/// multiplier sigma and sampling rate q, via the RDP accountant. Returns
-/// InvalidArgument if sigma <= 0, q outside (0, 1], steps < 0, or delta
-/// outside (0, 1).
-StatusOr<double> TrainingRunEpsilon(double sigma, double sampling_rate,
-                                    int64_t steps, double delta);
+/// multiplier sigma and sampling rate q, via the RDP accountant. Sigma is
+/// strongly typed so it cannot be transposed with the rate or delta.
+/// Returns InvalidArgument if sigma <= 0, q outside (0, 1], steps < 0, or
+/// delta outside (0, 1).
+StatusOr<double> TrainingRunEpsilon(NoiseMultiplier sigma,
+                                    double sampling_rate, int64_t steps,
+                                    double delta);
 
 /// Smallest sigma whose TrainingRunEpsilon is <= target_epsilon, found by
 /// bisection (epsilon is monotone decreasing in sigma). `precision` is the

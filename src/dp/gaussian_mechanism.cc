@@ -20,12 +20,12 @@ double GaussianEpsilonForSigma(double sigma, double delta) {
 
 GaussianMechanism::GaussianMechanism(GaussianMechanismOptions options)
     : options_(options) {
-  GEODP_CHECK_GE(options_.l2_sensitivity, 0.0);  // geodp: check-ok
-  GEODP_CHECK_GE(options_.noise_multiplier, 0.0);  // geodp: check-ok
+  GEODP_CHECK_GE(options_.l2_sensitivity.value(), 0.0);  // geodp: check-ok
+  GEODP_CHECK_GE(options_.noise_multiplier.value(), 0.0);  // geodp: check-ok
 }
 
 double GaussianMechanism::NoiseStddev() const {
-  return options_.l2_sensitivity * options_.noise_multiplier;
+  return options_.l2_sensitivity.value() * options_.noise_multiplier.value();
 }
 
 double GaussianMechanism::Perturb(double value, Rng& rng) const {

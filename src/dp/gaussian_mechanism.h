@@ -5,6 +5,7 @@
 #define GEODP_DP_GAUSSIAN_MECHANISM_H_
 
 #include "base/rng.h"
+#include "base/units.h"
 #include "tensor/tensor.h"
 
 namespace geodp {
@@ -19,10 +20,12 @@ double GaussianSigmaForEpsilonDelta(double epsilon, double delta);
 /// noise multiplier at a given delta.
 double GaussianEpsilonForSigma(double sigma, double delta);
 
-/// Parameters of a single Gaussian-mechanism release.
+/// Parameters of a single Gaussian-mechanism release. Both fields are
+/// strongly typed: swapping sensitivity for sigma is a silent privacy bug
+/// a bare pair of doubles cannot catch.
 struct GaussianMechanismOptions {
-  double l2_sensitivity = 1.0;
-  double noise_multiplier = 1.0;  // sigma
+  Sensitivity l2_sensitivity{1.0};
+  NoiseMultiplier noise_multiplier{1.0};  // sigma
 };
 
 /// Adds i.i.d. N(0, (sigma * sensitivity)^2) noise to scalars or vectors.

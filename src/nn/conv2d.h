@@ -30,6 +30,18 @@ class Conv2d : public Layer {
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
+
+  // Ghost clipping via the im2col unfolding: sample b's weight gradient
+  // is G_b = gy_b cols_b^T ([OC, IC*K*K]) — tiny next to a whole-model
+  // per-sample gradient — so its norm is taken and G_b discarded, then a
+  // second weighted pass accumulates. Works for both ConvImpl choices
+  // (the gradient is implementation-independent).
+  bool SupportsGhostClip() override { return true; }
+  Tensor GhostBackward(
+      const Tensor& grad_output,
+      std::vector<double>& ghost_norm_sq) override;  // geodp: per-sample
+  void GhostAccumulate(const std::vector<double>& weights) override;
+
   std::string name() const override { return "Conv2d"; }
 
   int64_t in_channels() const { return in_channels_; }
@@ -53,6 +65,12 @@ class Conv2d : public Layer {
   Parameter weight_;  // [OC, IC, K, K]
   Parameter bias_;    // [OC]
   Tensor cached_input_;
+  Tensor cached_grad_output_;  // set by GhostBackward for GhostAccumulate
+  // Per-sample unfolded input, stored transposed ([B, OH*OW, IC*K*K]) so
+  // both ghost passes feed sample b's gy_b [OC, OH*OW] straight into the
+  // matmul kernel against cols_b^T without re-running im2col. Activation
+  // footprint (O(batch * receptive fields)), not per-sample gradients.
+  Tensor cached_columns_t_;
 };
 
 }  // namespace geodp

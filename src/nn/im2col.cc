@@ -29,8 +29,18 @@ Tensor Im2Col(const Tensor& image, int64_t kernel_size, int64_t padding) {
   GEODP_CHECK_GT(out_w, 0);
 
   Tensor columns({channels * kernel_size * kernel_size, out_h * out_w});
-  const float* src = image.data();
-  float* dst = columns.data();
+  Im2ColInto(image.data(), channels, height, width, kernel_size, padding,
+             columns.data());
+  return columns;
+}
+
+void Im2ColInto(const float* image, int64_t channels, int64_t height,
+                int64_t width, int64_t kernel_size, int64_t padding,
+                float* columns) {
+  const int64_t out_h = height + 2 * padding - kernel_size + 1;
+  const int64_t out_w = width + 2 * padding - kernel_size + 1;
+  const float* src = image;
+  float* dst = columns;
   const int64_t spatial = out_h * out_w;
   const int64_t num_rows = channels * kernel_size * kernel_size;
   ParallelFor(0, num_rows, kIm2ColRowGrain, [&](int64_t lo, int64_t hi) {
@@ -53,7 +63,6 @@ Tensor Im2Col(const Tensor& image, int64_t kernel_size, int64_t padding) {
       }
     }
   });
-  return columns;
 }
 
 Tensor Col2Im(const Tensor& columns, int64_t channels, int64_t height,
@@ -65,8 +74,18 @@ Tensor Col2Im(const Tensor& columns, int64_t channels, int64_t height,
   GEODP_CHECK_EQ(columns.dim(1), out_h * out_w);
 
   Tensor image({channels, height, width});
-  const float* src = columns.data();
-  float* dst = image.data();
+  Col2ImInto(columns.data(), channels, height, width, kernel_size, padding,
+             image.data());
+  return image;
+}
+
+void Col2ImInto(const float* columns, int64_t channels, int64_t height,
+                int64_t width, int64_t kernel_size, int64_t padding,
+                float* image) {
+  const int64_t out_h = height + 2 * padding - kernel_size + 1;
+  const int64_t out_w = width + 2 * padding - kernel_size + 1;
+  const float* src = columns;
+  float* dst = image;
   const int64_t spatial = out_h * out_w;
   // Overlapping receptive fields of one channel scatter into the same
   // image plane, so the fold parallelizes over channels (disjoint planes);
@@ -95,7 +114,6 @@ Tensor Col2Im(const Tensor& columns, int64_t channels, int64_t height,
       }
     }
   });
-  return image;
 }
 
 }  // namespace geodp

@@ -16,11 +16,26 @@ namespace geodp {
 /// stride 1.
 Tensor Im2Col(const Tensor& image, int64_t kernel_size, int64_t padding);
 
+/// Raw-pointer Im2Col into a caller-owned buffer of C*K*K * OH*OW floats.
+/// Lets batched callers unfold sample slices without staging each image
+/// in its own tensor (Conv2d's ghost-clipping pass reuses one scratch
+/// buffer across the whole batch this way).
+void Im2ColInto(const float* image, int64_t channels, int64_t height,
+                int64_t width, int64_t kernel_size, int64_t padding,
+                float* columns);
+
 /// Inverse scatter-add of Im2Col: folds columns [C*K*K, OH*OW] back into
 /// an image [C, H, W], accumulating overlapping contributions. Used for
 /// the input-gradient pass.
 Tensor Col2Im(const Tensor& columns, int64_t channels, int64_t height,
               int64_t width, int64_t kernel_size, int64_t padding);
+
+/// Raw-pointer Col2Im accumulating into a caller-owned image buffer of
+/// C*H*W floats, which must be zeroed (or hold a partial sum to fold
+/// onto) on entry.
+void Col2ImInto(const float* columns, int64_t channels, int64_t height,
+                int64_t width, int64_t kernel_size, int64_t padding,
+                float* image);
 
 }  // namespace geodp
 

@@ -1,6 +1,9 @@
 #include "nn/linear.h"
 
+#include <algorithm>
+
 #include "base/check.h"
+#include "base/simd/kernels.h"
 #include "nn/init.h"
 #include "tensor/tensor_ops.h"
 
@@ -51,6 +54,62 @@ Tensor Linear::Backward(const Tensor& grad_output) {
   }
   // dx[b, i] = sum_o dy[b, o] * W[o, i]
   return Matmul(grad_output, weight_.value);
+}
+
+Tensor Linear::GhostBackward(
+    const Tensor& grad_output,
+    std::vector<double>& ghost_norm_sq) {  // geodp: per-sample norms out
+  GEODP_CHECK_EQ(grad_output.ndim(), 2);
+  GEODP_CHECK_EQ(grad_output.dim(0), cached_input_.dim(0));
+  GEODP_CHECK_EQ(grad_output.dim(1), out_features_);
+  const int64_t batch = grad_output.dim(0);
+  GEODP_CHECK_EQ(ghost_norm_sq.size(),  // geodp: per-sample
+                 static_cast<size_t>(batch));
+  // Goodfellow factorization: sample b's weight gradient is the outer
+  // product dy_b x_b^T, so ||dW_b||^2 = ||dy_b||^2 * ||x_b||^2; the bias
+  // gradient is dy_b itself and adds one more ||dy_b||^2.
+  for (int64_t b = 0; b < batch; ++b) {
+    const double gy_sq = simd::SumSquares(
+        grad_output.data() + b * out_features_, out_features_);
+    const double x_sq = simd::SumSquares(
+        cached_input_.data() + b * in_features_, in_features_);
+    // geodp: per-sample squared norm, consumed by the clip boundary
+    ghost_norm_sq[static_cast<size_t>(b)] +=
+        gy_sq * (with_bias_ ? x_sq + 1.0 : x_sq);
+  }
+  cached_grad_output_ = grad_output;
+  return Matmul(grad_output, weight_.value);
+}
+
+void Linear::GhostAccumulate(const std::vector<double>& weights) {
+  GEODP_CHECK(!cached_grad_output_.empty())
+      << "GhostAccumulate before GhostBackward";
+  const int64_t batch = cached_grad_output_.dim(0);
+  GEODP_CHECK_EQ(static_cast<int64_t>(weights.size()), batch);
+  // Scale each sample's backprop row by its weight, then one matmul
+  // accumulates the weighted sum of outer products. Zero-weight samples
+  // are zero-filled, never multiplied: a non-finite excluded row must
+  // contribute exactly nothing, and 0 * inf would be NaN.
+  Tensor scaled(cached_grad_output_.shape());
+  for (int64_t b = 0; b < batch; ++b) {
+    float* row = scaled.data() + b * out_features_;
+    if (weights[static_cast<size_t>(b)] == 0.0) {
+      std::fill(row, row + out_features_, 0.0f);
+    } else {
+      simd::ClipScaleAssign(
+          row, cached_grad_output_.data() + b * out_features_,
+          static_cast<float>(weights[static_cast<size_t>(b)]),
+          out_features_);
+    }
+  }
+  weight_.grad.AddInPlace(Matmul(Transpose(scaled), cached_input_));
+  if (with_bias_) {
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t o = 0; o < out_features_; ++o) {
+        bias_.grad[o] += scaled[b * out_features_ + o];
+      }
+    }
+  }
 }
 
 std::vector<Parameter*> Linear::Parameters() {

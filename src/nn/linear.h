@@ -21,6 +21,16 @@ class Linear : public Layer {
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
+
+  // Ghost clipping (Goodfellow factorization): per-sample
+  // ||dW_b||^2 = ||dy_b||^2 * ||x_b||^2 (+ ||dy_b||^2 for the bias) from
+  // the cached activations, no per-sample gradient ever materialized.
+  bool SupportsGhostClip() override { return true; }
+  Tensor GhostBackward(
+      const Tensor& grad_output,
+      std::vector<double>& ghost_norm_sq) override;  // geodp: per-sample
+  void GhostAccumulate(const std::vector<double>& weights) override;
+
   std::string name() const override { return "Linear"; }
 
   int64_t in_features() const { return in_features_; }
@@ -36,6 +46,7 @@ class Linear : public Layer {
   Parameter weight_;
   Parameter bias_;
   Tensor cached_input_;
+  Tensor cached_grad_output_;  // set by GhostBackward for GhostAccumulate
 };
 
 }  // namespace geodp

@@ -14,6 +14,8 @@ double SoftmaxCrossEntropy::Forward(const Tensor& logits,
 
   probabilities_ = Tensor({batch, classes});
   labels_ = labels;
+  sample_losses_.clear();
+  sample_losses_.reserve(static_cast<size_t>(batch));
   double total_loss = 0.0;
   for (int64_t b = 0; b < batch; ++b) {
     GEODP_CHECK(labels[static_cast<size_t>(b)] >= 0 &&
@@ -38,6 +40,7 @@ double SoftmaxCrossEntropy::Forward(const Tensor& logits,
         static_cast<double>(
             probabilities_[b * classes + labels[static_cast<size_t>(b)]]),
         1e-12);
+    sample_losses_.push_back(-std::log(p_true));
     total_loss -= std::log(p_true);
   }
   return total_loss / static_cast<double>(batch);
@@ -52,6 +55,17 @@ Tensor SoftmaxCrossEntropy::Backward() const {
   for (int64_t b = 0; b < batch; ++b) {
     grad[b * classes + labels_[static_cast<size_t>(b)]] -= 1.0f;
     for (int64_t k = 0; k < classes; ++k) grad[b * classes + k] *= inv_batch;
+  }
+  return grad;
+}
+
+Tensor SoftmaxCrossEntropy::BackwardSum() const {
+  GEODP_CHECK(!probabilities_.empty()) << "BackwardSum before Forward";
+  const int64_t batch = probabilities_.dim(0);
+  const int64_t classes = probabilities_.dim(1);
+  Tensor grad = probabilities_;
+  for (int64_t b = 0; b < batch; ++b) {
+    grad[b * classes + labels_[static_cast<size_t>(b)]] -= 1.0f;
   }
   return grad;
 }

@@ -29,6 +29,37 @@ class Layer {
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<Parameter*> Parameters() { return {}; }
 
+  /// True when the layer can run the ghost-clipping backward protocol
+  /// below. Parameter-free layers always can (the defaults just forward
+  /// to Backward); layers with parameters must override the two hooks to
+  /// opt in.
+  virtual bool SupportsGhostClip() { return Parameters().empty(); }
+
+  /// Ghost-clipping pass 1 of 2: like Backward, but instead of
+  /// accumulating parameter gradients it adds sample b's squared
+  /// parameter-gradient L2 norm into ghost_norm_sq[b] (Goodfellow-style
+  /// bookkeeping from the cached activations and this grad_output) and
+  /// caches whatever GhostAccumulate needs. ghost_norm_sq must have
+  /// batch-size entries. The default — correct only for parameter-free
+  /// layers — is a plain Backward that leaves the norms untouched.
+  virtual Tensor GhostBackward(
+      const Tensor& grad_output,
+      std::vector<double>& ghost_norm_sq) {  // geodp: per-sample norms out
+    (void)ghost_norm_sq;  // geodp: per-sample (no parameters, no norm)
+    return Backward(grad_output);
+  }
+
+  /// Ghost-clipping pass 2 of 2: accumulates sum_b weights[b] * g_b into
+  /// the parameter gradients, where g_b is sample b's parameter gradient
+  /// implied by the last GhostBackward. `weights` has one entry per
+  /// sample (a clip scale, 1.0 for raw sums, or exactly 0.0 for excluded
+  /// samples — implementations must skip zero-weight samples structurally
+  /// rather than multiply, so non-finite gradients cannot poison the sum
+  /// via 0 * inf). Default: no-op for parameter-free layers.
+  virtual void GhostAccumulate(const std::vector<double>& weights) {
+    (void)weights;
+  }
+
   virtual std::string name() const = 0;
 };
 

@@ -9,7 +9,8 @@ namespace geodp {
 
 PrivateBatchGradient ComputeLinearPerSampleGradients(
     const Tensor& inputs, const std::vector<int64_t>& labels,
-    const Tensor& weight, const Tensor& bias, double clip_threshold) {
+    const Tensor& weight, const Tensor& bias, ClipThreshold clip_threshold) {
+  const double clip_c = clip_threshold.value();
   GEODP_CHECK_EQ(inputs.ndim(), 2);
   GEODP_CHECK_EQ(weight.ndim(), 2);
   GEODP_CHECK_EQ(bias.ndim(), 1);
@@ -19,7 +20,7 @@ PrivateBatchGradient ComputeLinearPerSampleGradients(
   GEODP_CHECK_EQ(weight.dim(1), features);
   GEODP_CHECK_EQ(bias.dim(0), classes);
   GEODP_CHECK_EQ(static_cast<int64_t>(labels.size()), batch);
-  GEODP_CHECK_GT(clip_threshold, 0.0);
+  GEODP_CHECK_GT(clip_c, 0.0);
 
   // Batched forward: logits = X W^T + b.
   Tensor logits = Matmul(inputs, Transpose(weight));
@@ -72,7 +73,7 @@ PrivateBatchGradient ComputeLinearPerSampleGradients(
     }
     // ||grad_i||^2 = ||e_i||^2 * (||x_i||^2 + 1)  (weight + bias parts).
     const double norm = std::sqrt(error_sq * (x_sq + 1.0));
-    const double scale = 1.0 / std::max(1.0, norm / clip_threshold);
+    const double scale = 1.0 / std::max(1.0, norm / clip_c);
     for (int64_t k = 0; k < classes; ++k) {
       errors_clipped[i * classes + k] =
           static_cast<float>(scale) * errors_raw[i * classes + k];

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/units.h"
 #include "optim/dp_sgd.h"
 #include "tensor/tensor.h"
 
@@ -26,11 +27,12 @@ namespace geodp {
 ///
 /// `inputs` is the flattened batch [B, D]; `weight` [K, D]; `bias` [K];
 /// labels in [0, K). Per-sample gradients are flat-clipped to
-/// `clip_threshold`. The returned flat layout is [W row-major, then b] —
-/// the same order FlattenGradients produces for a Linear layer.
+/// `clip_threshold` (strongly typed: this is the sensitivity bound C, not
+/// a noise multiplier). The returned flat layout is [W row-major, then b]
+/// — the same order FlattenGradients produces for a Linear layer.
 PrivateBatchGradient ComputeLinearPerSampleGradients(
     const Tensor& inputs, const std::vector<int64_t>& labels,
-    const Tensor& weight, const Tensor& bias, double clip_threshold);
+    const Tensor& weight, const Tensor& bias, ClipThreshold clip_threshold);
 
 }  // namespace geodp
 

@@ -1,0 +1,45 @@
+// Ghost-clipped private gradient computation: the O(batch + params)
+// alternative to ComputePerSampleGradients. One batched forward, one
+// batched backward that has each parameterized layer derive every
+// sample's squared gradient norm from its cached activations and the
+// incoming backprop (Goodfellow's trick for Linear, the im2col analog
+// for Conv2d), then two weighted accumulation passes — clipped and raw —
+// that never materialize a per-sample gradient. Produces the same
+// PrivateBatchGradient contract as the materialized path (equal clipped
+// and raw averages up to per-tier floating-point tolerance).
+
+#ifndef GEODP_OPTIM_GHOST_GRAD_H_
+#define GEODP_OPTIM_GHOST_GRAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clip/clipping.h"
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/sequential.h"
+#include "optim/dp_sgd.h"
+
+namespace geodp {
+
+/// True when every layer of the model implements the ghost-clipping
+/// protocol (SupportsGhostClip). Parameter-free layers always qualify;
+/// a model with any parameterized layer lacking ghost hooks must fall
+/// back to the materialized path.
+bool GhostClipSupported(Sequential& model);
+
+/// Ghost-clipped drop-in for ComputePerSampleGradients: same inputs,
+/// same PrivateBatchGradient semantics (averages divided by the full
+/// batch size, non-finite samples contributing exactly zero,
+/// sample_losses batch-aligned with raw values), but computed without
+/// ever materializing a per-sample gradient. Requires
+/// GhostClipSupported(model). Leaves the accumulated parameter
+/// gradients zeroed.
+PrivateBatchGradient ComputeGhostClippedGradients(
+    Sequential& model, SoftmaxCrossEntropy& loss,
+    const InMemoryDataset& dataset, const std::vector<int64_t>& indices,
+    const Clipper& clipper, bool record_sample_norms = false);
+
+}  // namespace geodp
+
+#endif  // GEODP_OPTIM_GHOST_GRAD_H_

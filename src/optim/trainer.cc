@@ -18,6 +18,7 @@
 #include "obs/trace.h"
 #include "optim/adaptive_beta.h"
 #include "optim/dp_sgd.h"
+#include "optim/ghost_grad.h"
 #include "optim/techniques.h"
 
 namespace geodp {
@@ -103,7 +104,7 @@ void MirrorStepMetrics(const StepRecord& record,
 std::string OptionsFingerprint(const TrainerOptions& o, int64_t train_size) {
   std::ostringstream out;
   out << std::hexfloat;
-  out << "v1"
+  out << "v2"
       << "|method=" << static_cast<int>(o.method)
       << "|train_size=" << train_size
       << "|batch=" << o.batch_size
@@ -115,6 +116,7 @@ std::string OptionsFingerprint(const TrainerOptions& o, int64_t train_size) {
       << "|beta_floor=" << o.adaptive_beta_floor
       << "|angles=" << static_cast<int>(o.angle_handling)
       << "|clipper=" << o.clipper
+      << "|clip_mode=" << o.clip_mode
       << "|poisson=" << o.poisson_sampling
       << "|is=" << o.importance_sampling
       << "|sur=" << o.selective_update
@@ -154,6 +156,16 @@ Status ValidateTrainerOptions(const TrainerOptions& options,
   }
   if (!(options.clip_threshold > 0.0)) {
     return Status::InvalidArgument("clip_threshold must be positive");
+  }
+  if (!IsKnownClipper(options.clipper)) {
+    return Status::InvalidArgument(
+        "unknown clipper \"" + options.clipper +
+        "\" (expected \"flat\", \"AUTO-S\", or \"PSAC\")");
+  }
+  if (options.clip_mode != "materialize" && options.clip_mode != "ghost") {
+    return Status::InvalidArgument(
+        "unknown clip_mode \"" + options.clip_mode +
+        "\" (expected \"materialize\" or \"ghost\")");
   }
   if (!(options.noise_multiplier >= 0.0)) {
     return Status::InvalidArgument("noise_multiplier must be >= 0");
@@ -202,6 +214,12 @@ TrainingResult DpTrainer::Train() {
 StatusOr<TrainingResult> DpTrainer::Run() {
   const Status valid = ValidateTrainerOptions(options_, train_->size());
   if (!valid.ok()) return valid;
+  const bool ghost_clipping = options_.clip_mode == "ghost";
+  if (ghost_clipping && !GhostClipSupported(*model_)) {
+    return Status::InvalidArgument(
+        "clip_mode \"ghost\" requires every model layer to support ghost "
+        "clipping; use clip_mode \"materialize\" for this model");
+  }
 
   Rng rng(options_.seed);
   Rng noise_rng = rng.Fork();
@@ -221,7 +239,7 @@ StatusOr<TrainingResult> DpTrainer::Run() {
   double current_beta = options_.beta;
 
   const std::unique_ptr<Clipper> clipper =
-      MakeClipper(options_.clipper, options_.clip_threshold);
+      MakeClipper(options_.clipper, ClipThreshold(options_.clip_threshold));
 
   BatchSampler uniform_sampler(train_->size(), options_.batch_size,
                                rng.Next());
@@ -397,9 +415,13 @@ StatusOr<TrainingResult> DpTrainer::Run() {
       grads.batch_size = 0;
       ++result.empty_lots;
     } else {
-      grads = ComputePerSampleGradients(
-          *model_, loss, *train_, batch, *clipper,
-          /*record_sample_norms=*/observing || publishing);
+      grads = ghost_clipping
+                  ? ComputeGhostClippedGradients(
+                        *model_, loss, *train_, batch, *clipper,
+                        /*record_sample_norms=*/observing || publishing)
+                  : ComputePerSampleGradients(
+                        *model_, loss, *train_, batch, *clipper,
+                        /*record_sample_norms=*/observing || publishing);
       result.nonfinite_skipped += grads.nonfinite_skipped;
     }
     if (options_.poisson_sampling && !batch.empty()) {

@@ -39,6 +39,16 @@ struct TrainerOptions {
   double adaptive_beta_floor = 1e-4;
   AngleHandling angle_handling = AngleHandling::kNone;
   std::string clipper = "flat";            // "flat" | "AUTO-S" | "PSAC"
+  // How per-sample clipping is computed. "materialize" runs each example
+  // individually and clips its flattened gradient (optim/dp_sgd.h);
+  // "ghost" derives every sample's gradient norm from layer activations
+  // and backprops without materializing per-sample gradients
+  // (optim/ghost_grad.h) — O(batch + params) staging memory instead of
+  // O(batch * params), numerically equivalent up to per-tier
+  // floating-point tolerance. "ghost" requires every model layer to
+  // support the ghost protocol (Linear/Conv2d plus parameter-free
+  // layers); Run() fails with InvalidArgument otherwise.
+  std::string clip_mode = "materialize";   // "materialize" | "ghost"
   // Poisson subsampling (each example included independently with rate
   // B/N) — the sampling model the RDP accountant assumes. When false, the
   // trainer uses epoch-shuffled fixed-size batches (common practice; the

@@ -70,10 +70,38 @@ TEST(PsacClipperTest, DampsSmallGradientsLessThanAutoS) {
   EXPECT_GT(psac.Clip(g).L2Norm(), auto_s.Clip(g).L2Norm());
 }
 
+TEST(ClipAndSumTest, EmptyBatchYieldsEmptyTensorNotAbort) {
+  // Empty per-sample batches are a normal occurrence under Poisson
+  // subsampling (an empty lot); they used to hard-abort via GEODP_CHECK.
+  const FlatClipper clipper(1.0);
+  const Tensor sum = ClipAndSum({}, clipper);
+  EXPECT_TRUE(sum.empty());
+  EXPECT_EQ(sum.numel(), 0);
+}
+
+TEST(ClipAndSumTest, EmptyBatchMatchesAccumulateClippedNoOp) {
+  // AccumulateClipped's early return leaves the accumulator untouched;
+  // ClipAndSum's empty tensor is the from-scratch analog of that.
+  const FlatClipper clipper(1.0);
+  Tensor sum = Tensor::Vector({1.5, -2.5});
+  AccumulateClipped({}, clipper, sum);
+  EXPECT_EQ(sum[0], 1.5f);
+  EXPECT_EQ(sum[1], -2.5f);
+}
+
+TEST(ClipperFactoryTest, IsKnownClipperNames) {
+  EXPECT_TRUE(IsKnownClipper("flat"));
+  EXPECT_TRUE(IsKnownClipper("AUTO-S"));
+  EXPECT_TRUE(IsKnownClipper("PSAC"));
+  EXPECT_FALSE(IsKnownClipper("median"));
+  EXPECT_FALSE(IsKnownClipper(""));
+  EXPECT_FALSE(IsKnownClipper("Flat"));  // names are case-sensitive
+}
+
 TEST(ClipperFactoryTest, KnownNames) {
-  EXPECT_EQ(MakeClipper("flat", 0.1)->name(), "flat");
-  EXPECT_EQ(MakeClipper("AUTO-S", 0.1)->name(), "AUTO-S");
-  EXPECT_EQ(MakeClipper("PSAC", 0.1)->name(), "PSAC");
+  EXPECT_EQ(MakeClipper("flat", ClipThreshold(0.1))->name(), "flat");
+  EXPECT_EQ(MakeClipper("AUTO-S", ClipThreshold(0.1))->name(), "AUTO-S");
+  EXPECT_EQ(MakeClipper("PSAC", ClipThreshold(0.1))->name(), "PSAC");
 }
 
 // Parameterized invariant: ||Clip(g)|| <= C for every strategy and any
@@ -83,7 +111,7 @@ class ClipBoundTest
 
 TEST_P(ClipBoundTest, ClippedNormNeverExceedsThreshold) {
   const auto& [name, threshold] = GetParam();
-  const auto clipper = MakeClipper(name, threshold);
+  const auto clipper = MakeClipper(name, ClipThreshold(threshold));
   Rng rng(99);
   for (int trial = 0; trial < 50; ++trial) {
     const double scale = std::pow(10.0, rng.Uniform(-4.0, 4.0));
@@ -96,7 +124,7 @@ TEST_P(ClipBoundTest, ClippedNormNeverExceedsThreshold) {
 
 TEST_P(ClipBoundTest, ClippingPreservesDirection) {
   const auto& [name, threshold] = GetParam();
-  const auto clipper = MakeClipper(name, threshold);
+  const auto clipper = MakeClipper(name, ClipThreshold(threshold));
   Rng rng(101);
   for (int trial = 0; trial < 20; ++trial) {
     const Tensor g = Tensor::Randn({9}, rng);

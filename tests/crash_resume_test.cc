@@ -211,6 +211,41 @@ TEST(CrashResumeTest, ResumeExtendsTraining) {
   EXPECT_GT(extended.result.epsilon, first.result.epsilon);
 }
 
+TEST(CrashResumeTest, GhostClipModeBitIdentical) {
+  TrainerOptions options = BaseOptions();
+  options.clip_mode = "ghost";
+  CheckBitIdenticalResume(options, "resume_ghost", {1, 11, 29});
+}
+
+TEST(CrashResumeTest, GhostClipModePoissonBitIdentical) {
+  TrainerOptions options = BaseOptions();
+  options.clip_mode = "ghost";
+  options.poisson_sampling = true;
+  CheckBitIdenticalResume(options, "resume_ghost_poisson", {5, 17});
+}
+
+TEST(CrashResumeTest, ResumeRefusesCrossClipMode) {
+  // The options fingerprint embeds clip_mode, so a ghost run can never
+  // silently continue a materialize checkpoint (or vice versa) — the two
+  // paths are equivalent only up to floating-point tolerance, not bit
+  // layout.
+  const InMemoryDataset train = MakeTrainSet(80, 50);
+  const std::string dir = FreshDir("resume_cross_mode");
+
+  TrainerOptions part1 = BaseOptions();
+  part1.iterations = 5;
+  part1.checkpoint_every = 1;
+  part1.checkpoint_dir = dir;
+  ASSERT_TRUE(RunSegment(train, part1, 7).ok);
+
+  TrainerOptions part2 = BaseOptions();
+  part2.clip_mode = "ghost";
+  part2.resume_from = dir;
+  const SegmentOutput resumed = RunSegment(train, part2, 7);
+  EXPECT_FALSE(resumed.ok);
+  EXPECT_EQ(resumed.status.code(), StatusCode::kFailedPrecondition);
+}
+
 TEST(CrashResumeTest, ResumeRefusesMismatchedOptions) {
   const InMemoryDataset train = MakeTrainSet(80, 50);
   const std::string dir = FreshDir("resume_mismatch");

@@ -53,8 +53,10 @@ TEST(AnalyticGaussianTest, TighterThanClassicCalibration) {
 }
 
 TEST(CalibrationTest, EpsilonMonotoneInSigma) {
-  const double hi = TrainingRunEpsilon(0.5, 0.01, 500, 1e-5).value();
-  const double lo = TrainingRunEpsilon(4.0, 0.01, 500, 1e-5).value();
+  const double hi =
+      TrainingRunEpsilon(NoiseMultiplier(0.5), 0.01, 500, 1e-5).value();
+  const double lo =
+      TrainingRunEpsilon(NoiseMultiplier(4.0), 0.01, 500, 1e-5).value();
   EXPECT_GT(hi, lo);
 }
 
@@ -62,11 +64,13 @@ TEST(CalibrationTest, SolverHitsTarget) {
   const double target = 4.0;
   const double sigma =
       NoiseMultiplierForTargetEpsilon(target, 1e-5, 0.02, 800).value();
-  const double achieved = TrainingRunEpsilon(sigma, 0.02, 800, 1e-5).value();
+  const double achieved =
+      TrainingRunEpsilon(NoiseMultiplier(sigma), 0.02, 800, 1e-5).value();
   EXPECT_LE(achieved, target * 1.001);
   // Not grossly over-noised: a slightly smaller sigma would violate it.
   const double relaxed =
-      TrainingRunEpsilon(sigma * 0.98, 0.02, 800, 1e-5).value();
+      TrainingRunEpsilon(NoiseMultiplier(sigma * 0.98), 0.02, 800, 1e-5)
+          .value();
   EXPECT_GT(relaxed, target * 0.98);
 }
 
@@ -80,14 +84,26 @@ TEST(AnalyticGaussianTest, SigmaSolverRejectsBadInputs) {
 }
 
 TEST(CalibrationTest, TrainingRunEpsilonRejectsBadInputs) {
-  EXPECT_EQ(TrainingRunEpsilon(-1.0, 0.01, 100, 1e-5).status().code(),
-            StatusCode::kInvalidArgument);
-  EXPECT_EQ(TrainingRunEpsilon(1.0, 1.5, 100, 1e-5).status().code(),
-            StatusCode::kInvalidArgument);
-  EXPECT_EQ(TrainingRunEpsilon(1.0, 0.01, -1, 1e-5).status().code(),
-            StatusCode::kInvalidArgument);
-  EXPECT_EQ(TrainingRunEpsilon(1.0, 0.01, 100, 2.0).status().code(),
-            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      TrainingRunEpsilon(NoiseMultiplier(-1.0), 0.01, 100, 1e-5)
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      TrainingRunEpsilon(NoiseMultiplier(1.0), 1.5, 100, 1e-5)
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      TrainingRunEpsilon(NoiseMultiplier(1.0), 0.01, -1, 1e-5)
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      TrainingRunEpsilon(NoiseMultiplier(1.0), 0.01, 100, 2.0)
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
 }
 
 TEST(CalibrationTest, SolverRejectsBadInputs) {
@@ -124,7 +140,7 @@ TEST(PrivacyLedgerTest, ComposedGuaranteeMatchesAccountant) {
   ledger.RecordSubsampledGaussian(1.0, 0.01, 200);
   const PrivacyGuarantee guarantee = ledger.ComposedGuarantee(1e-5);
   EXPECT_NEAR(guarantee.epsilon,
-              TrainingRunEpsilon(1.0, 0.01, 200, 1e-5).value(),
+              TrainingRunEpsilon(NoiseMultiplier(1.0), 0.01, 200, 1e-5).value(),
               1e-9);
   EXPECT_DOUBLE_EQ(guarantee.delta, 1e-5);
 }
@@ -142,8 +158,10 @@ TEST(PrivacyLedgerTest, MixedEventsCompose) {
   ledger.RecordSubsampledGaussian(2.0, 0.01, 100);
   ledger.RecordLaplace(0.5, 1);
   const PrivacyGuarantee guarantee = ledger.ComposedGuarantee(1e-5);
-  EXPECT_NEAR(guarantee.epsilon,
-              TrainingRunEpsilon(2.0, 0.01, 100, 1e-5).value() + 0.5, 1e-9);
+  EXPECT_NEAR(
+      guarantee.epsilon,
+      TrainingRunEpsilon(NoiseMultiplier(2.0), 0.01, 100, 1e-5).value() + 0.5,
+      1e-9);
 }
 
 TEST(PrivacyLedgerTest, ReportMentionsEventsAndGuarantee) {

@@ -39,7 +39,8 @@ TEST(GaussianCalibrationTest, PaperSigmaEpsilonTable) {
 }
 
 TEST(GaussianMechanismTest, StddevAndMoments) {
-  GaussianMechanism mech({.l2_sensitivity = 2.0, .noise_multiplier = 1.5});
+  GaussianMechanism mech({.l2_sensitivity = Sensitivity(2.0),
+                          .noise_multiplier = NoiseMultiplier(1.5)});
   EXPECT_DOUBLE_EQ(mech.NoiseStddev(), 3.0);
   Rng rng(1);
   RunningStat stat;
@@ -49,7 +50,8 @@ TEST(GaussianMechanismTest, StddevAndMoments) {
 }
 
 TEST(GaussianMechanismTest, TensorPerturbShape) {
-  GaussianMechanism mech({.l2_sensitivity = 1.0, .noise_multiplier = 0.0});
+  GaussianMechanism mech({.l2_sensitivity = Sensitivity(1.0),
+                          .noise_multiplier = NoiseMultiplier(0.0)});
   Rng rng(2);
   const Tensor t = Tensor::Vector({1, 2, 3});
   const Tensor noisy = mech.Perturb(t, rng);

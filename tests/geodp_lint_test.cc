@@ -137,6 +137,24 @@ TEST(GeodpLintR2, ClipSubsystemIsExempt) {
       LintFixture("r2_per_sample_leak.cc", "src/clip/export.cc").empty());
 }
 
+TEST(GeodpLintR2, UnannotatedGhostNormIdentifierFlagged) {
+  // ghost_norm* identifiers carry per-sample gradient norms even though no
+  // per-sample gradient is materialized, so the privacy boundary covers
+  // them like the materialized spellings.
+  const std::vector<Finding> findings =
+      LintFixture("r2_ghost_norm_leak.cc", "src/optim/ghost_export.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR2PrivacyBoundary);
+  EXPECT_EQ(findings[0].line, 11);
+  EXPECT_NE(findings[0].message.find("ghost_norm"), std::string::npos);
+}
+
+TEST(GeodpLintR2, AnnotatedGhostNormUseIsExempt) {
+  EXPECT_TRUE(
+      LintFixture("r2_ghost_norm_leak.cc", "src/clip/ghost_export.cc")
+          .empty());
+}
+
 TEST(GeodpLintR3, CheckMacroInDpFlagged) {
   const std::vector<Finding> findings =
       LintFixture("r3_check_in_dp.cc", "src/dp/new_mechanism.cc");
@@ -160,6 +178,24 @@ TEST(GeodpLintR3, AbortInCkptFlagged) {
   EXPECT_EQ(findings[0].rule, RuleId::kR3CheckAbort);
   EXPECT_EQ(findings[0].line, 8);
   EXPECT_NE(findings[0].message.find("abort"), std::string::npos);
+}
+
+TEST(GeodpLintR3, CheckMacroInClipFlagged) {
+  // src/clip/ joined the R3 surface when ClipAndSum's empty-batch abort
+  // was replaced with defined behavior: new hard-stops there must carry a
+  // check-ok justification.
+  const std::vector<Finding> findings =
+      LintFixture("r3_check_in_dp.cc", "src/clip/new_strategy.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR3CheckAbort);
+}
+
+TEST(GeodpLintR3, AbortInClipFlagged) {
+  const std::vector<Finding> findings =
+      LintFixture("r3_abort_in_ckpt.cc", "src/clip/give_up.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR3CheckAbort);
+  EXPECT_EQ(findings[0].line, 8);
 }
 
 TEST(GeodpLintR4, HeaderWithoutGuardFlagged) {

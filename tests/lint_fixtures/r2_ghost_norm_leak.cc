@@ -1,0 +1,19 @@
+// Fixture: seeded R2 violation — ghost-norm bookkeeping (per-sample
+// gradient norms computed without materializing the gradient) consumed
+// outside src/clip/ with no annotation; the trailing-annotated use below
+// is exempt.
+#include <vector>
+
+namespace geodp {
+
+double LeakGhostNorms(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double ghost_norm_sq : values) total += ghost_norm_sq;
+  return total;
+}
+
+double AnnotatedGhostUse(double ghost_norm) {  // geodp: per-sample
+  return ghost_norm;  // geodp: per-sample norm, clipped downstream
+}
+
+}  // namespace geodp

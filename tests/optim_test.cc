@@ -152,7 +152,8 @@ TEST(FastLinearGradTest, MatchesLoopPathExactly) {
   const auto params = model->Parameters();
   const Tensor x = ds.StackImages(indices).Reshape({16, 36});
   const PrivateBatchGradient fast = ComputeLinearPerSampleGradients(
-      x, ds.GatherLabels(indices), params[0]->value, params[1]->value, 0.05);
+      x, ds.GatherLabels(indices), params[0]->value, params[1]->value,
+      ClipThreshold(0.05));
 
   EXPECT_NEAR(loop.mean_loss, fast.mean_loss, 1e-6);
   EXPECT_LT(MaxAbsDiff(loop.averaged_clipped, fast.averaged_clipped), 1e-5);
@@ -170,7 +171,7 @@ TEST(FastLinearGradTest, ClipBoundHolds) {
   const Tensor b = Tensor::Randn({4}, rng);
   const std::vector<int64_t> labels = {0, 1, 2, 3, 0, 1, 2, 3};
   const PrivateBatchGradient result =
-      ComputeLinearPerSampleGradients(x, labels, w, b, 0.02);
+      ComputeLinearPerSampleGradients(x, labels, w, b, ClipThreshold(0.02));
   EXPECT_LE(result.averaged_clipped.L2Norm(), 0.02 + 1e-6);
 }
 

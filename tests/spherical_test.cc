@@ -2,10 +2,12 @@
 // including parameterized round-trip property sweeps across dimensions.
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "base/rng.h"
+#include "base/simd/dispatch.h"
 #include "core/spherical.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
@@ -139,6 +141,61 @@ TEST(SphericalTest, WrapAnglesCanonicalRanges) {
   const auto wrapped2 = WrapAngles({0.3, -kPi - 0.2});
   EXPECT_NEAR(wrapped2[0], 0.3, 1e-9);
   EXPECT_NEAR(wrapped2[1], kPi - 0.2, 1e-9);
+}
+
+TEST(SphericalTest, WrapAnglesBoundaryValuesStayInRangeOnEveryTier) {
+  // Boundary and extreme inputs for both wrap conventions, checked on
+  // every available SIMD tier: the AVX2 tier range-reduces with a
+  // floor-based division instead of fmod, and the per-tier contract is
+  // that results still land inside the canonical ranges even at inputs
+  // like 1e9*pi, where one rounding step of the reduction is larger
+  // than the whole output range.
+  const SimdTier entry_tier = ActiveSimdTier();
+  const std::vector<double> boundary = {-kPi, 0.0, kPi, 2.0 * kPi, 1e9 * kPi};
+  for (const SimdTier tier : AvailableSimdTiers()) {
+    SetSimdTier(tier);
+    SCOPED_TRACE(std::string("tier ") + SimdTierName(tier));
+    for (const double theta : boundary) {
+      SCOPED_TRACE("theta " + std::to_string(theta));
+      // Both positions: as a non-final angle (reflects into [0, pi]) and
+      // as the final angle (wraps into (-pi, pi]).
+      const auto wrapped = WrapAngles({theta, theta});
+      EXPECT_GE(wrapped[0], 0.0);
+      EXPECT_LE(wrapped[0], kPi);
+      EXPECT_GT(wrapped[1], -kPi);
+      EXPECT_LE(wrapped[1], kPi);
+    }
+    // Exact boundary semantics at moderate angles are tier-independent.
+    const auto exact = WrapAngles({-kPi, 2.0 * kPi});
+    EXPECT_NEAR(exact[0], kPi, 1e-9);
+    EXPECT_NEAR(exact[1], 0.0, 1e-9);
+    const auto zero = WrapAngles({0.0, kPi});
+    EXPECT_NEAR(zero[0], 0.0, 1e-12);
+    EXPECT_NEAR(zero[1], kPi, 1e-9);
+  }
+  SetSimdTier(entry_tier);
+}
+
+TEST(SphericalTest, WrapAnglesScalarAndAvx2TiersAgreeClosely) {
+  // The tiers may differ in the last bits (different range-reduction
+  // algorithms) but must agree to high relative accuracy for angles of
+  // ordinary magnitude.
+  if (!SimdTierAvailable(SimdTier::kAvx2)) GTEST_SKIP() << "no AVX2 host";
+  const SimdTier entry_tier = ActiveSimdTier();
+  std::vector<double> angles;
+  for (int i = -40; i <= 40; ++i) angles.push_back(0.37 * i);
+  angles.push_back(kPi);  // final-angle slot below
+
+  SetSimdTier(SimdTier::kScalar);
+  const auto scalar = WrapAngles(angles);
+  SetSimdTier(SimdTier::kAvx2);
+  const auto avx2 = WrapAngles(angles);
+  SetSimdTier(entry_tier);
+
+  ASSERT_EQ(scalar.size(), avx2.size());
+  for (size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_NEAR(scalar[i], avx2[i], 1e-9) << "angle " << i;
+  }
 }
 
 TEST(SphericalTest, ClampAnglesSaturates) {

@@ -62,6 +62,8 @@ int RunTrain(int argc, const char* const* argv) {
   flags.AddInt("train-examples", 1000, "training set size");
   flags.AddInt("test-examples", 200, "test set size");
   flags.AddString("clipper", "flat", "flat | AUTO-S | PSAC");
+  flags.AddString("geodp_clip_mode", "materialize",
+                  "materialize | ghost (per-sample-gradient-free clipping)");
   flags.AddBool("is", false, "importance sampling");
   flags.AddBool("sur", false, "selective update and release");
   flags.AddBool("adam", false, "DP-Adam post-processing");
@@ -148,6 +150,7 @@ int RunTrain(int argc, const char* const* argv) {
   options.noise_multiplier = flags.GetDouble("sigma");
   options.beta = flags.GetDouble("beta");
   options.clipper = flags.GetString("clipper");
+  options.clip_mode = flags.GetString("geodp_clip_mode");
   options.importance_sampling = flags.GetBool("is");
   options.selective_update = flags.GetBool("sur");
   options.use_adam = flags.GetBool("adam");
@@ -327,7 +330,7 @@ int RunPrivacy(int argc, const char* const* argv) {
     std::printf("sigma for eps<=%.3f: %.4f\n", target_eps, sigma);
   }
   const StatusOr<double> run_epsilon =
-      TrainingRunEpsilon(sigma, q, steps, delta);
+      TrainingRunEpsilon(NoiseMultiplier(sigma), q, steps, delta);
   if (!run_epsilon.ok()) {
     std::printf("%s\n", run_epsilon.status().ToString().c_str());
     return 1;

@@ -235,7 +235,7 @@ struct PathInfo {
   // tests and benches may use local clocks and ad-hoc randomness.
   bool r1_applies = false;
   bool r2_applies = false;  // src/ outside src/clip/
-  bool r3_applies = false;  // src/ckpt/, src/dp/, src/optim/trainer*
+  bool r3_applies = false;  // src/ckpt/, src/dp/, src/clip/, trainer*
   // The one place `// geodp: cpuid-ok` may authorize a cpu feature probe.
   bool in_simd_dispatch = false;  // src/base/simd/
   bool iostream_banned = false;
@@ -258,8 +258,12 @@ PathInfo ClassifyPath(const std::string& path) {
 
   info.r2_applies = info.in_src && !StartsWith(path, "src/clip/");
   info.in_simd_dispatch = StartsWith(path, "src/base/simd/");
+  // src/clip/ joined R3 when ClipAndSum gained defined empty-lot behavior:
+  // the clipping boundary sits on the trainer's Status path, so residual
+  // aborts there must be annotated internal invariants.
   info.r3_applies = StartsWith(path, "src/ckpt/") ||
                     StartsWith(path, "src/dp/") ||
+                    StartsWith(path, "src/clip/") ||
                     StartsWith(path, "src/optim/trainer");
   info.iostream_banned = info.in_src && path != "src/base/check.h";
   return info;
@@ -286,8 +290,11 @@ constexpr std::array<std::string_view, 8> kCpuidIdentifiers = {
     "__cpuid",                "__cpuid_count",
     "_xgetbv",                "_may_i_use_cpu_feature"};
 
-constexpr std::array<std::string_view, 3> kPerSamplePatterns = {
-    "per_sample", "per_example", "sample_grad"};
+// "ghost_norm" covers the ghost-clipping bookkeeping (per-sample squared
+// gradient norms computed without materializing the gradient): the values
+// are exactly as privacy-sensitive as the gradients they summarize.
+constexpr std::array<std::string_view, 4> kPerSamplePatterns = {
+    "per_sample", "per_example", "sample_grad", "ghost_norm"};
 
 constexpr std::array<std::string_view, 4> kAbortCalls = {"abort", "_Exit",
                                                          "quick_exit", "exit"};
