@@ -15,9 +15,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "base/fault_injection.h"
 #include "base/simd/dispatch.h"
 #include "common/peak_rss.h"
 
@@ -64,6 +66,15 @@ inline std::string BenchJsonEscape(const std::string& text) {
 inline bool WriteBenchJson(const std::string& path,
                            const std::string& bench_name,
                            const std::vector<JsonCaptureReporter::Run>& runs) {
+  // "bench.json_out" lets the chaos tooling prove a failed results dump
+  // is reported (non-zero exit) instead of silently losing the numbers.
+  const int injected = FaultInjector::SimulatedErrno(
+      FaultInjector::Global().Fire("bench.json_out"));
+  if (injected != 0) {
+    std::fprintf(stderr, "bench_json: cannot write %s: %s\n", path.c_str(),
+                 std::strerror(injected));
+    return false;
+  }
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "bench_json: cannot open %s\n", path.c_str());

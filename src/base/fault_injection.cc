@@ -1,0 +1,240 @@
+#include "base/fault_injection.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace geodp {
+namespace {
+
+// Parses one "<site>@<trigger>:<action>" element; returns a descriptive
+// error without touching the injector.
+Status ParseOneSpec(const std::string& spec, std::string* site,
+                    int64_t* target_hit, double* probability,
+                    FaultInjector::Action* action, int64_t* stall_ms) {
+  const size_t at = spec.find('@');
+  if (at == std::string::npos) {
+    return Status::InvalidArgument(
+        "fail-point spec must be <site>@<hit|p=prob>:<action>, got: " + spec);
+  }
+  const size_t colon = spec.find(':', at + 1);
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(
+        "fail-point spec is missing its ':<action>' part: " + spec);
+  }
+  *site = spec.substr(0, at);
+  if (site->empty()) {
+    return Status::InvalidArgument("fail-point site is empty: " + spec);
+  }
+  const std::string trigger = spec.substr(at + 1, colon - at - 1);
+  *target_hit = 0;
+  *probability = 0.0;
+  if (trigger.rfind("p=", 0) == 0) {
+    char* end = nullptr;
+    const std::string prob_text = trigger.substr(2);
+    const double p = std::strtod(prob_text.c_str(), &end);
+    if (end == prob_text.c_str() || *end != '\0' || !(p > 0.0) || p > 1.0) {
+      return Status::InvalidArgument(
+          "fail-point probability must be in (0, 1]: " + spec);
+    }
+    *probability = p;
+  } else {
+    char* end = nullptr;
+    const long long hit = std::strtoll(trigger.c_str(), &end, 10);
+    if (end == trigger.c_str() || *end != '\0' || hit <= 0) {
+      return Status::InvalidArgument(
+          "fail-point hit must be a positive integer or p=<prob>: " + spec);
+    }
+    *target_hit = hit;
+  }
+  const std::string action_text = spec.substr(colon + 1);
+  *stall_ms = 0;
+  if (action_text == "crash") {
+    *action = FaultInjector::Action::kCrash;
+  } else if (action_text == "short_write") {
+    *action = FaultInjector::Action::kShortWrite;
+  } else if (action_text == "bit_flip") {
+    *action = FaultInjector::Action::kBitFlip;
+  } else if (action_text == "eio") {
+    *action = FaultInjector::Action::kEio;
+  } else if (action_text == "eintr") {
+    *action = FaultInjector::Action::kEintr;
+  } else if (action_text == "enospc") {
+    *action = FaultInjector::Action::kEnospc;
+  } else if (action_text == "torn_rename") {
+    *action = FaultInjector::Action::kTornRename;
+  } else if (action_text.rfind("stall:", 0) == 0) {
+    char* end = nullptr;
+    const std::string ms_text = action_text.substr(6);
+    const long long ms = std::strtoll(ms_text.c_str(), &end, 10);
+    if (end == ms_text.c_str() || *end != '\0' || ms <= 0) {
+      return Status::InvalidArgument(
+          "stall duration must be a positive millisecond count: " + spec);
+    }
+    *action = FaultInjector::Action::kStall;
+    *stall_ms = ms;
+  } else {
+    return Status::InvalidArgument(
+        "unknown fail-point action (want crash|short_write|bit_flip|eio|"
+        "eintr|enospc|torn_rename|stall:<ms>): " + action_text);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& site, int64_t hit, Action action) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  if (action != Action::kNone) {
+    ArmedSite armed;
+    armed.site = site;
+    armed.target_hit = hit;
+    armed.action = action;
+    sites_.push_back(std::move(armed));
+  }
+  armed_sites_.store(static_cast<int64_t>(sites_.size()),
+                     std::memory_order_relaxed);
+}
+
+void FaultInjector::AddSite(const std::string& site, int64_t hit,
+                            double probability, Action action,
+                            int64_t stall_ms) {
+  if (action == Action::kNone) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ArmedSite armed;
+  armed.site = site;
+  armed.target_hit = hit;
+  armed.probability = probability;
+  armed.action = action;
+  armed.stall_ms = stall_ms;
+  sites_.push_back(std::move(armed));
+  armed_sites_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  armed_sites_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::SeedRng(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rng_ = Rng(seed);
+  for (ArmedSite& armed : sites_) {
+    armed.hits = 0;
+    armed.spent = false;
+  }
+  // Every entry is live again (spent decrements happened in Fire).
+  armed_sites_.store(static_cast<int64_t>(sites_.size()),
+                     std::memory_order_relaxed);
+}
+
+FaultInjector::Action FaultInjector::Fire(const std::string& site) {
+  if (!armed()) return Action::kNone;
+  Action fired = Action::kNone;
+  int64_t stall_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (ArmedSite& armed : sites_) {
+      if (armed.site != site) continue;
+      ++armed.hits;
+      if (armed.spent || fired != Action::kNone) continue;
+      const bool triggered =
+          armed.target_hit > 0
+              ? armed.hits == armed.target_hit
+              : rng_.Uniform() < armed.probability;
+      if (!triggered) continue;
+      fired = armed.action;
+      stall_ms = armed.stall_ms;
+      // Hit-based non-crash entries are one-shot so the run continues
+      // past them (and a retry of the failed operation can succeed);
+      // probabilistic entries keep firing.
+      if (armed.target_hit > 0 && fired != Action::kCrash) {
+        // A spent one-shot is inert; once every entry is, armed() goes
+        // false again and Fire is back to its single-atomic fast path.
+        armed.spent = true;
+        armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      if (fired == Action::kCrash) {
+        // Simulated preemption: no destructors, no buffers flushed beyond
+        // what the checkpoint protocol already fsynced — like kill -9.
+        std::fprintf(stderr, "fault_injection: crash at %s (hit %lld)\n",
+                     site.c_str(), static_cast<long long>(armed.hits));
+        // geodp: check-ok simulated preemption is this class's contract
+        std::_Exit(kCrashExitCode);
+      }
+    }
+  }
+  if (fired == Action::kStall && stall_ms > 0) {
+    // Sleep outside the lock so other threads' Fire calls stay cheap
+    // while this one simulates wedged I/O.
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
+  return fired;
+}
+
+int64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  bool any = false;
+  for (const ArmedSite& armed : sites_) {
+    if (armed.site != site) continue;
+    total += armed.hits;
+    any = true;
+  }
+  return any ? total : 0;
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  Global().Disarm();
+  if (spec.empty()) return Status::Ok();
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string element = spec.substr(begin, end - begin);
+    if (element.empty()) {
+      Global().Disarm();
+      return Status::InvalidArgument(
+          "fail-point spec has an empty element: " + spec);
+    }
+    std::string site;
+    int64_t hit = 0;
+    double probability = 0.0;
+    Action action = Action::kNone;
+    int64_t stall_ms = 0;
+    const Status parsed =
+        ParseOneSpec(element, &site, &hit, &probability, &action, &stall_ms);
+    if (!parsed.ok()) {
+      Global().Disarm();
+      return parsed;
+    }
+    Global().AddSite(site, hit, probability, action, stall_ms);
+    if (end == spec.size()) break;
+    begin = end + 1;
+  }
+  return Status::Ok();
+}
+
+int FaultInjector::SimulatedErrno(Action action) {
+  switch (action) {
+    case Action::kEio:
+      return EIO;
+    case Action::kEintr:
+      return EINTR;
+    case Action::kEnospc:
+      return ENOSPC;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace geodp

@@ -1,0 +1,142 @@
+// Fail-point hooks for resilience and crash-safety testing.
+//
+// Production code calls FaultInjector::Fire(site) at every filesystem
+// boundary (checkpoint write/read/prune, JSONL metrics/trace writers,
+// dataset loads, bench JSON out) and at the end of each training step.
+// Normally this is a single relaxed atomic load returning kNone. Tests,
+// the CLI (--geodp_failpoint) and the geodp_chaos harness can arm any
+// number of fail points — "<site>@<hit>:<action>" or, probabilistically,
+// "<site>@p=<prob>:<action>" — and the matching Fire calls then return
+// the action, letting us prove that kill-at-any-step resume is
+// bit-identical, that torn checkpoint writes are never resumed from, and
+// that transient errno failures are retried / degraded around instead of
+// killing a run mid-privacy-budget.
+//
+// Actions:
+//   crash        _Exit(kCrashExitCode), a simulated kill -9
+//   short_write  truncate the bytes being written (torn write)
+//   bit_flip     flip one bit in the bytes being written (bit rot)
+//   eio          simulate EIO at the I/O substrate (transient, retryable)
+//   eintr        simulate EINTR (transient, retryable)
+//   enospc       simulate ENOSPC (permanent; disk full)
+//   torn_rename  rename an incomplete temp file into place (torn file)
+//   stall:<ms>   block the firing thread <ms> milliseconds (wedged I/O)
+//
+// Hit-based errno/corruption actions are one-shot (the run continues past
+// them, which is what lets a retry succeed); probabilistic arms persist
+// and draw from a seeded xoshiro stream so a given (spec, seed) pair
+// fires identically on every run. kCrash never disarms — the process is
+// gone. Fail-point catalog: docs/fault_tolerance.md.
+
+#ifndef GEODP_BASE_FAULT_INJECTION_H_
+#define GEODP_BASE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+
+namespace geodp {
+
+/// Process-wide fail-point registry. Arm/Disarm/Fire are all thread-safe;
+/// any number of sites can be armed at once.
+class FaultInjector {
+ public:
+  enum class Action {
+    kNone = 0,     // fail point not armed / not this site / not this hit
+    kCrash,        // terminate the process immediately (simulated kill -9)
+    kShortWrite,   // truncate the bytes being written (torn write)
+    kBitFlip,      // flip one bit in the bytes being written (bit rot)
+    kEio,          // simulated EIO (transient read/write error)
+    kEintr,        // simulated EINTR (interrupted syscall)
+    kEnospc,       // simulated ENOSPC (disk full, permanent)
+    kTornRename,   // rename a truncated temp file into place
+    kStall,        // Fire() blocked the thread for the armed duration
+  };
+
+  static FaultInjector& Global();
+
+  /// Arms `site` to return `action` on its `hit`-th Fire (1-based),
+  /// replacing every previously armed fail point (legacy single-site API;
+  /// ArmFromSpec layers multi-site arming on AddSite).
+  void Arm(const std::string& site, int64_t hit, Action action);
+
+  /// Appends one armed fail point without disturbing the others. Exactly
+  /// one of `hit` (> 0, fire on that 1-based call) or `probability`
+  /// (in (0, 1], fire on each call with that chance) selects the trigger;
+  /// pass hit = 0 for probabilistic arms. `stall_ms` is only read for
+  /// kStall.
+  void AddSite(const std::string& site, int64_t hit, double probability,
+               Action action, int64_t stall_ms = 0);
+
+  /// Disarms everything and resets all hit counters.
+  void Disarm();
+
+  /// Re-seeds the stream behind probabilistic arms (deterministic per
+  /// (spec, seed) pair). Also resets every armed site's hit counter.
+  void SeedRng(uint64_t seed);
+
+  /// True while any fail point can still fire (single relaxed atomic
+  /// load; this is all a Fire call costs when fault injection is off).
+  /// Spent one-shot entries do not count: once every armed entry has
+  /// fired, armed() is false again.
+  bool armed() const {
+    return armed_sites_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Reports this site being reached. Returns the triggered action when
+  /// an armed entry for this site fires, kNone otherwise. Hit-based
+  /// entries other than kCrash disarm after firing (one-shot);
+  /// probabilistic entries persist. kCrash terminates the process via
+  /// _Exit(kCrashExitCode) — callers never observe it. kStall sleeps the
+  /// armed duration inside Fire (outside the registry lock) and then
+  /// reports kStall.
+  Action Fire(const std::string& site);
+
+  /// Total Fire calls observed for `site` across all armed entries (0
+  /// when the site is not armed). Test introspection.
+  int64_t hits(const std::string& site) const;
+
+  /// Exit code used by Action::kCrash, distinguishable from normal failures.
+  static constexpr int kCrashExitCode = 87;
+
+  /// Arms the global injector from a comma-separated CLI spec, each
+  /// element "<site>@<hit>:<action>" or "<site>@p=<prob>:<action>", e.g.
+  /// "trainer.step@25:crash,obs.jsonl@p=0.01:eio" or
+  /// "ckpt.write_io@2:stall:40". Replaces everything previously armed.
+  /// An empty spec is a no-op; a malformed element returns a descriptive
+  /// InvalidArgument and leaves the injector disarmed.
+  static Status ArmFromSpec(const std::string& spec);
+
+  /// The simulated errno for an errno-emulating action (EIO, EINTR,
+  /// ENOSPC); 0 for every other action.
+  static int SimulatedErrno(Action action);
+
+ private:
+  struct ArmedSite {
+    std::string site;
+    int64_t target_hit = 0;    // > 0: fire on this 1-based hit
+    double probability = 0.0;  // > 0: fire with this chance per call
+    Action action = Action::kNone;
+    int64_t stall_ms = 0;
+    int64_t hits = 0;
+    bool spent = false;  // one-shot entry already fired
+  };
+
+  FaultInjector() : rng_(kDefaultSeed) {}
+
+  static constexpr uint64_t kDefaultSeed = 0x67e0d01dull;
+
+  std::atomic<int64_t> armed_sites_{0};
+  mutable std::mutex mutex_;
+  std::vector<ArmedSite> sites_;
+  Rng rng_;  // probabilistic draws; guarded by mutex_
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_BASE_FAULT_INJECTION_H_

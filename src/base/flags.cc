@@ -196,6 +196,11 @@ void AddCommonFlags(FlagParser& parser) {
                    "target epsilon budget reported by /statusz; /healthz "
                    "flips to 503 once epsilon-so-far exceeds it (0 = "
                    "unbounded)");
+  parser.AddInt("geodp_stall_timeout_ms", 0,
+                "stall watchdog: cancel training cooperatively (flushing a "
+                "final checkpoint) once no step completes for this many "
+                "milliseconds; /readyz also reports 503 past it (0 = "
+                "disabled)");
   parser.AddString("geodp_simd", "auto",
                    "SIMD kernel tier: scalar, avx2 or auto (cpuid "
                    "detection; also settable via GEODP_SIMD)");

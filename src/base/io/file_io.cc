@@ -1,0 +1,215 @@
+#include "base/io/file_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "base/fault_injection.h"
+
+namespace geodp {
+namespace {
+
+// Fires `site` (when set) and returns the simulated errno of an armed
+// errno-emulating action, 0 otherwise. Corruption/rename actions are
+// reported through `action` for the call sites that honor them.
+int FireSite(const std::string& site, FaultInjector::Action* action) {
+  if (action != nullptr) *action = FaultInjector::Action::kNone;
+  if (site.empty()) return 0;
+  const FaultInjector::Action fired = FaultInjector::Global().Fire(site);
+  if (action != nullptr) *action = fired;
+  return FaultInjector::SimulatedErrno(fired);
+}
+
+// Flushes the directory entry of `path` so a completed rename survives a
+// crash. Best-effort: some filesystems refuse to open directories.
+void SyncParentDir(const std::filesystem::path& path) {
+  if (!path.has_parent_path()) return;
+  const int dir_fd =
+      ::open(path.parent_path().c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadFileWithRetry(const std::string& path,
+                                        const RetryPolicy& policy,
+                                        const std::string& fault_site) {
+  RetryState retry(policy);
+  while (true) {
+    int err = FireSite(fault_site, nullptr);
+    if (err == 0) {
+      const int fd = ::open(path.c_str(), O_RDONLY);
+      if (fd < 0) {
+        err = errno;
+      } else {
+        std::string bytes;
+        char buffer[1 << 16];
+        while (true) {
+          const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+          if (n > 0) {
+            bytes.append(buffer, static_cast<size_t>(n));
+            continue;
+          }
+          if (n == 0) {
+            ::close(fd);
+            return bytes;
+          }
+          if (errno == EINTR) continue;  // bare EINTR: re-read, no backoff
+          err = errno;
+          break;
+        }
+        ::close(fd);
+      }
+    }
+    if (!retry.ShouldRetry(err)) {
+      return StatusFromErrno(err, "cannot read " + path);
+    }
+  }
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes,
+                       const RetryPolicy& policy, const std::string& fault_site,
+                       const std::string& pre_rename_site) {
+  const std::filesystem::path final_path(path);
+  const std::string tmp_path = path + ".tmp";
+  RetryState retry(policy);
+  while (true) {
+    FaultInjector::Action action = FaultInjector::Action::kNone;
+    int err = FireSite(fault_site, &action);
+    // Corruption actions succeed with damaged bytes — simulated silent
+    // corruption the reader's checksums must catch.
+    std::string corrupted;
+    std::string_view attempt_bytes = bytes;
+    if (action == FaultInjector::Action::kShortWrite ||
+        action == FaultInjector::Action::kTornRename) {
+      attempt_bytes = bytes.substr(0, bytes.size() / 2);
+    } else if (action == FaultInjector::Action::kBitFlip && !bytes.empty()) {
+      corrupted.assign(bytes);
+      corrupted[corrupted.size() / 2] ^= 0x10;
+      attempt_bytes = corrupted;
+    }
+
+    if (err == 0) {
+      std::error_code ec;
+      if (final_path.has_parent_path()) {
+        std::filesystem::create_directories(final_path.parent_path(), ec);
+        // An existing directory is fine; a real failure surfaces at open.
+      }
+      const int fd =
+          ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd < 0) {
+        err = errno;
+      } else {
+        size_t written = 0;
+        while (written < attempt_bytes.size()) {
+          const ssize_t n = ::write(fd, attempt_bytes.data() + written,
+                                    attempt_bytes.size() - written);
+          if (n >= 0) {
+            written += static_cast<size_t>(n);
+            continue;
+          }
+          if (errno == EINTR) continue;
+          err = errno;
+          break;
+        }
+        if (err == 0 && ::fsync(fd) != 0) err = errno;
+        ::close(fd);
+        if (err == 0 && !pre_rename_site.empty()) {
+          FaultInjector::Global().Fire(pre_rename_site);
+        }
+        if (err == 0 && ::rename(tmp_path.c_str(), path.c_str()) != 0) {
+          err = errno;
+        }
+        if (err == 0) {
+          SyncParentDir(final_path);
+          return Status::Ok();
+        }
+      }
+      std::remove(tmp_path.c_str());  // geodp: raw-io-ok attempt cleanup
+    }
+    if (!retry.ShouldRetry(err)) {
+      return StatusFromErrno(err, "cannot write " + path);
+    }
+  }
+}
+
+RetryingWriter::RetryingWriter(std::string path, RetryPolicy policy,
+                               std::string fault_site)
+    : path_(std::move(path)),
+      policy_(policy),
+      fault_site_(std::move(fault_site)) {}
+
+RetryingWriter::~RetryingWriter() { Close(); }
+
+Status RetryingWriter::Open() {
+  if (fd_ >= 0) return Status::Ok();
+  RetryState retry(policy_);
+  while (true) {
+    int err = FireSite(fault_site_, nullptr);
+    if (err == 0) {
+      const int fd = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                            0644);  // geodp: raw-io-ok the substrate itself
+      if (fd >= 0) {
+        fd_ = fd;
+        return Status::Ok();
+      }
+      err = errno;
+    }
+    if (!retry.ShouldRetry(err)) {
+      const Status failed = StatusFromErrno(err, "cannot open " + path_);
+      if (status_.ok()) status_ = failed;
+      return failed;
+    }
+  }
+}
+
+Status RetryingWriter::Append(std::string_view bytes) {
+  if (fd_ < 0) {
+    ++dropped_appends_;
+    if (status_.ok()) {
+      status_ = Status::FailedPrecondition("writer is not open: " + path_);
+    }
+    return status_;
+  }
+  RetryState retry(policy_);
+  size_t written = 0;
+  while (written < bytes.size()) {
+    int err = FireSite(fault_site_, nullptr);
+    if (err == 0) {
+      const ssize_t n =
+          ::write(fd_, bytes.data() + written, bytes.size() - written);
+      if (n >= 0) {
+        written += static_cast<size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      err = errno;
+    }
+    if (!retry.ShouldRetry(err)) {
+      ++dropped_appends_;
+      const Status failed = StatusFromErrno(err, "write failed for " + path_);
+      if (status_.ok()) status_ = failed;
+      return failed;
+    }
+  }
+  return Status::Ok();
+}
+
+const Status& RetryingWriter::Close() {
+  if (fd_ < 0) return status_;
+  const bool close_failed = ::close(fd_) != 0;
+  fd_ = -1;
+  if (close_failed && status_.ok()) {
+    status_ = StatusFromErrno(errno, "close failed for " + path_);
+  }
+  return status_;
+}
+
+}  // namespace geodp

@@ -1,0 +1,95 @@
+// Status-returning file I/O substrate. Every filesystem boundary in the
+// library goes through these helpers (lint rule R5 bans raw
+// fopen/std::ofstream/::open elsewhere in src/): they classify errnos,
+// retry transient failures under a deterministic RetryPolicy
+// (base/io/retry.h), and honor FaultInjector fail points so the chaos
+// harness can exercise every error path.
+//
+// Each helper takes an optional fail-point site name; when armed with an
+// errno-emulating action (eio/eintr/enospc) the operation behaves
+// exactly as if the syscall failed with that errno — transient ones are
+// retried, permanent ones surface as typed Status codes.
+
+#ifndef GEODP_BASE_IO_FILE_IO_H_
+#define GEODP_BASE_IO_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/io/retry.h"
+#include "base/status.h"
+
+namespace geodp {
+
+/// Reads the whole file at `path` into a string, retrying transient
+/// failures per `policy`. `fault_site` (when non-empty) is fired once
+/// per attempt.
+StatusOr<std::string> ReadFileWithRetry(const std::string& path,
+                                        const RetryPolicy& policy = {},
+                                        const std::string& fault_site = "");
+
+/// Writes `bytes` to `path` via the atomic protocol (temp file in the
+/// same directory, fsync, rename into place, directory fsync), creating
+/// parent directories as needed. Each attempt is all-or-nothing:
+/// transient failures are retried from scratch per `policy`, and a
+/// failed attempt leaves no temp file behind. `fault_site` is fired once
+/// per attempt and additionally understands short_write / bit_flip
+/// (corrupt the bytes, then succeed — simulated silent corruption) and
+/// torn_rename (rename a truncated temp file into place).
+/// `pre_rename_site` (when non-empty) fires after the temp file is
+/// durable but before the rename — the "crash leaves only the temp
+/// file" window the checkpoint crash tests arm.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes,
+                       const RetryPolicy& policy = {},
+                       const std::string& fault_site = "",
+                       const std::string& pre_rename_site = "");
+
+/// Append-oriented writer with per-append retry: open once (truncating),
+/// then every Append writes its bytes completely or reports why not.
+/// The first failure of any phase sticks in status(); appends after a
+/// sticky failure are counted and dropped, never silently lost, which is
+/// what the trainer's degraded mode is built on. Writes are unbuffered
+/// (one write(2) per Append), so a crash loses at most the append in
+/// flight — the property the telemetry JSONL crash tests rely on.
+class RetryingWriter {
+ public:
+  /// Does not open; call Open(). `fault_site` fires once per physical
+  /// write/open attempt.
+  explicit RetryingWriter(std::string path, RetryPolicy policy = {},
+                          std::string fault_site = "");
+  ~RetryingWriter();
+
+  RetryingWriter(const RetryingWriter&) = delete;
+  RetryingWriter& operator=(const RetryingWriter&) = delete;
+
+  /// Creates/truncates the file, retrying transient failures.
+  Status Open();
+
+  /// Writes all of `bytes`, retrying transient partial/failed writes per
+  /// the policy. On give-up the error sticks and the append is counted
+  /// as dropped.
+  Status Append(std::string_view bytes);
+
+  /// Closes the fd, folding close-time errors into status(). Idempotent;
+  /// returns the sticky status.
+  const Status& Close();
+
+  bool open() const { return fd_ >= 0; }
+  /// First error any phase hit (Ok while everything succeeded).
+  const Status& status() const { return status_; }
+  const std::string& path() const { return path_; }
+  /// Appends lost to an unopened file or exhausted retries.
+  int64_t dropped_appends() const { return dropped_appends_; }
+
+ private:
+  std::string path_;
+  RetryPolicy policy_;
+  std::string fault_site_;
+  int fd_ = -1;
+  Status status_;
+  int64_t dropped_appends_ = 0;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_BASE_IO_FILE_IO_H_

@@ -1,0 +1,76 @@
+#include "base/io/retry.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "base/timer.h"
+
+namespace geodp {
+namespace {
+
+// Substream id reserved for retry jitter; training noise derives its
+// substreams from per-chunk ids, so this stream never collides with one
+// the trajectory depends on.
+constexpr uint64_t kJitterStreamId = 0x10b5ull;
+
+}  // namespace
+
+IoStats& IoStats::Global() {
+  static IoStats* stats = new IoStats();
+  return *stats;
+}
+
+bool IsTransientErrno(int err) {
+  return err == EINTR || err == EAGAIN || err == EWOULDBLOCK || err == EIO;
+}
+
+Status StatusFromErrno(int err, const std::string& context) {
+  const std::string message = context + ": " + std::strerror(err);
+  if (IsTransientErrno(err)) return Status::Unavailable(message);
+  switch (err) {
+    case ENOSPC:
+    case EDQUOT:
+      return Status::ResourceExhausted(message);
+    case EROFS:
+    case EACCES:
+    case EPERM:
+      return Status::FailedPrecondition(message);
+    case ENOENT:
+      return Status::NotFound(message);
+    default:
+      return Status::Internal(message);
+  }
+}
+
+RetryState::RetryState(const RetryPolicy& policy)
+    : policy_(policy),
+      start_us_(Timer::ProcessMicros()),
+      jitter_rng_(Rng::Substream(policy.seed, kJitterStreamId)) {}
+
+bool RetryState::ShouldRetry(int err) {
+  ++attempts_;
+  const bool out_of_attempts = attempts_ >= policy_.max_attempts;
+  const bool past_deadline =
+      policy_.deadline_us > 0 &&
+      Timer::ProcessMicros() - start_us_ >= policy_.deadline_us;
+  if (!IsTransientErrno(err) || out_of_attempts || past_deadline) {
+    IoStats::Global().giveups.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  double backoff = static_cast<double>(policy_.initial_backoff_us);
+  for (int k = 1; k < attempts_; ++k) backoff *= policy_.backoff_multiplier;
+  // Symmetric jitter from the dedicated substream keeps concurrent
+  // retriers from thundering in lockstep while staying reproducible.
+  backoff += backoff * policy_.jitter_fraction *
+             (jitter_rng_.Uniform() * 2.0 - 1.0);
+  if (backoff > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(backoff)));
+  }
+  IoStats::Global().retries.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace geodp

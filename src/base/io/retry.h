@@ -1,0 +1,91 @@
+// Deterministic retry/backoff policy for the file I/O substrate.
+//
+// Every filesystem boundary in the library goes through base/io/ (lint
+// rule R5), and every operation there retries transient errno failures
+// (EINTR/EAGAIN/EIO) under a RetryPolicy: bounded attempts, exponential
+// backoff with jitter drawn from a dedicated xoshiro substream — so a
+// run that retries is still bit-reproducible — and an optional per-op
+// deadline on the R1-safe process clock. Permanent errnos (ENOSPC,
+// EROFS, ENOENT, ...) map to typed Status codes immediately; exhausted
+// transient retries map to kUnavailable.
+
+#ifndef GEODP_BASE_IO_RETRY_H_
+#define GEODP_BASE_IO_RETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "base/rng.h"
+#include "base/status.h"
+
+namespace geodp {
+
+/// How an I/O operation retries transient failures. The defaults keep
+/// total worst-case delay in the low milliseconds so tests and tight
+/// loops stay fast; long-lived services can widen them per call site.
+struct RetryPolicy {
+  // Total tries including the first (1 = no retry).
+  int max_attempts = 4;
+  // Backoff before retry k (1-based) is initial_backoff_us *
+  // backoff_multiplier^(k-1), +/- jitter_fraction of itself.
+  int64_t initial_backoff_us = 500;
+  double backoff_multiplier = 2.0;
+  double jitter_fraction = 0.25;
+  // Give up once this much process time elapsed since the first attempt
+  // (0 = attempts bound only).
+  int64_t deadline_us = 0;
+  // Root seed of the jitter substream. Fixed by default so retry timing
+  // is reproducible; callers that interleave many concurrent ops can
+  // salt it. Jitter never feeds back into training randomness: the
+  // stream is derived with Rng::Substream, independent of every other
+  // stream in the process.
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// Process-wide I/O resilience tallies. Dependency-free (base/ cannot
+/// link the metrics registry in obs/); the trainer mirrors these into
+/// MetricsRegistry as the io.retries / io.giveups counters.
+struct IoStats {
+  std::atomic<int64_t> retries{0};
+  std::atomic<int64_t> giveups{0};
+
+  static IoStats& Global();
+};
+
+/// True for errnos worth retrying (EINTR, EAGAIN/EWOULDBLOCK, EIO).
+bool IsTransientErrno(int err);
+
+/// Maps an errno to a typed Status: transient errnos and unknown
+/// failures that may clear -> kUnavailable; ENOSPC/EDQUOT ->
+/// kResourceExhausted; EROFS/EACCES/EPERM -> kFailedPrecondition;
+/// ENOENT -> kNotFound; anything else -> kInternal. The message is
+/// "<context>: <strerror>".
+Status StatusFromErrno(int err, const std::string& context);
+
+/// One operation's retry bookkeeping: feed it each failed attempt's
+/// errno; it decides whether to retry (sleeping the backoff and counting
+/// IoStats::retries) or give up (counting IoStats::giveups).
+class RetryState {
+ public:
+  explicit RetryState(const RetryPolicy& policy);
+
+  /// Called after a failed attempt with that attempt's errno. When it
+  /// returns true the caller should re-run the operation (the backoff
+  /// sleep already happened); false means give up now — the errno was
+  /// permanent, attempts ran out, or the deadline passed.
+  bool ShouldRetry(int err);
+
+  /// Attempts consumed so far (failed calls to ShouldRetry).
+  int attempts() const { return attempts_; }
+
+ private:
+  RetryPolicy policy_;
+  int attempts_ = 0;
+  int64_t start_us_;
+  Rng jitter_rng_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_BASE_IO_RETRY_H_

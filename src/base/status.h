@@ -21,6 +21,17 @@ enum class StatusCode {
   kFailedPrecondition = 3,
   kInternal = 4,
   kNotFound = 5,
+  // A transient failure (EINTR/EAGAIN/EIO class): the operation may
+  // succeed if retried. The retry layer in base/io/ returns this after
+  // exhausting its policy, so callers can distinguish "kept failing
+  // transiently" from a permanent error.
+  kUnavailable = 6,
+  // A resource is permanently exhausted (ENOSPC/EDQUOT class); retrying
+  // cannot help until an operator intervenes.
+  kResourceExhausted = 7,
+  // Cooperative cancellation (e.g. the trainer's stall watchdog): the
+  // operation stopped cleanly before completing.
+  kCancelled = 8,
 };
 
 /// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -48,6 +59,15 @@ class Status {
   }
   static Status NotFound(std::string message) {
     return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

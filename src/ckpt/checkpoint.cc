@@ -1,19 +1,15 @@
 #include "ckpt/checkpoint.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cstring>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "base/crc32.h"
+#include "base/fault_injection.h"
+#include "base/io/file_io.h"
 #include "ckpt/byte_io.h"
-#include "ckpt/fault_injection.h"
 
 namespace geodp {
 namespace {
@@ -273,58 +269,24 @@ Status SaveTrainingCheckpoint(const TrainingCheckpoint& checkpoint,
       break;
   }
 
-  std::error_code ec;
-  const std::filesystem::path final_path(path);
-  if (final_path.has_parent_path()) {
-    std::filesystem::create_directories(final_path.parent_path(), ec);
-    // An existing directory is fine; a real failure surfaces at fopen.
-  }
-
-  const std::string tmp_path = path + ".tmp";
-  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::Internal("cannot open checkpoint temp file: " + tmp_path);
-  }
-  const size_t written =
-      std::fwrite(file_bytes.data(), 1, file_bytes.size(), file);
-  if (written != file_bytes.size() || std::fflush(file) != 0 ||
-      fsync(fileno(file)) != 0) {
-    std::fclose(file);
-    std::remove(tmp_path.c_str());
-    return Status::Internal("cannot write checkpoint temp file: " +
-                            tmp_path);
-  }
-  std::fclose(file);
-
-  faults.Fire("ckpt.before_rename");
-
-  std::filesystem::rename(tmp_path, path, ec);
-  if (ec) {
-    std::remove(tmp_path.c_str());
-    return Status::Internal("cannot rename checkpoint into place: " + path +
-                            ": " + ec.message());
-  }
-  // Make the rename itself durable. Best-effort: some filesystems refuse
-  // to open a directory for writing.
-  if (final_path.has_parent_path()) {
-    const int dir_fd =
-        open(final_path.parent_path().c_str(), O_RDONLY | O_DIRECTORY);
-    if (dir_fd >= 0) {
-      fsync(dir_fd);
-      close(dir_fd);
-    }
-  }
-  return Status::Ok();
+  // The atomic protocol (temp file + fsync + rename + dir fsync) lives in
+  // the I/O substrate now; "ckpt.write_io" injects errnos into it and
+  // "ckpt.before_rename" preserves the crash window between the durable
+  // temp file and the rename.
+  return AtomicWriteFile(path, file_bytes, RetryPolicy{}, "ckpt.write_io",
+                         "ckpt.before_rename");
 }
 
 StatusOr<TrainingCheckpoint> LoadTrainingCheckpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::NotFound("cannot open checkpoint file: " + path);
+  StatusOr<std::string> read =
+      ReadFileWithRetry(path, RetryPolicy{}, "ckpt.read");
+  if (!read.ok()) {
+    if (read.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("cannot open checkpoint file: " + path);
+    }
+    return read.status();
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string bytes = buffer.str();
+  const std::string bytes = std::move(read).value();
 
   if (bytes.size() < kEnvelopeBytes) {
     return Status::InvalidArgument("truncated checkpoint file: " + path);
@@ -381,12 +343,20 @@ StatusOr<FoundCheckpoint> FindLatestGoodCheckpoint(const std::string& dir) {
                           std::to_string(skipped) + " corrupt)");
 }
 
-void PruneOldCheckpoints(const std::string& dir, int64_t keep) {
+int64_t PruneOldCheckpoints(const std::string& dir, int64_t keep) {
   if (keep < 1) keep = 1;
   const auto files = ListCheckpointFiles(dir);
+  int64_t errors = 0;
   for (size_t i = static_cast<size_t>(keep); i < files.size(); ++i) {
-    std::remove(files[i].second.c_str());
+    const FaultInjector::Action fired =
+        FaultInjector::Global().Fire("ckpt.prune");
+    if (FaultInjector::SimulatedErrno(fired) != 0) {
+      ++errors;  // simulated unlink failure: leave the file, count it
+      continue;
+    }
+    if (std::remove(files[i].second.c_str()) != 0) ++errors;
   }
+  return errors;
 }
 
 }  // namespace geodp

@@ -92,9 +92,11 @@ struct TrainingCheckpoint {
 std::string CheckpointFileName(int64_t next_attempt);
 
 /// Serializes `checkpoint` and writes it durably to `path` using the
-/// temp-file + fsync + rename protocol above. Creates the parent directory
-/// if needed. Honors the "ckpt.before_write" / "ckpt.write" /
-/// "ckpt.before_rename" fail points (fault_injection.h).
+/// temp-file + fsync + rename protocol above (base/io/file_io.h). Creates
+/// the parent directory if needed. Honors the "ckpt.before_write" /
+/// "ckpt.write" / "ckpt.write_io" / "ckpt.before_rename" fail points
+/// (base/fault_injection.h); transient errnos at "ckpt.write_io" are
+/// retried per the default RetryPolicy.
 Status SaveTrainingCheckpoint(const TrainingCheckpoint& checkpoint,
                               const std::string& path);
 
@@ -119,8 +121,11 @@ StatusOr<FoundCheckpoint> FindLatestGoodCheckpoint(const std::string& dir);
 
 /// Deletes all but the newest `keep` checkpoint files in `dir`. Keeping
 /// more than one means a corrupt newest file still leaves a fallback.
-/// Best-effort: unreadable directories or undeletable files are ignored.
-void PruneOldCheckpoints(const std::string& dir, int64_t keep);
+/// Best-effort: unreadable directories or undeletable files are never
+/// fatal — each failed unlink (including ones injected at the
+/// "ckpt.prune" fail point) is counted in the returned error tally so
+/// the trainer can surface it as the ckpt.prune_errors counter.
+int64_t PruneOldCheckpoints(const std::string& dir, int64_t keep);
 
 }  // namespace geodp
 

@@ -2,11 +2,24 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <fstream>
+#include <sstream>
 #include <vector>
+
+#include "base/io/file_io.h"
 
 namespace geodp {
 namespace {
+
+// Reads a whole IDX file through the resilient substrate, preserving the
+// historical "cannot open <path>" NotFound message for missing files.
+StatusOr<std::string> ReadIdxFile(const std::string& path) {
+  StatusOr<std::string> read =
+      ReadFileWithRetry(path, RetryPolicy{}, "data.idx_read");
+  if (!read.ok() && read.status().code() == StatusCode::kNotFound) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return read;
+}
 
 constexpr uint32_t kImageMagic = 2051;  // IDX3: unsigned byte, 3 dims
 constexpr uint32_t kLabelMagic = 2049;  // IDX1: unsigned byte, 1 dim
@@ -36,10 +49,14 @@ void WriteBigEndian32(std::ostream& out, uint32_t value) {
 StatusOr<InMemoryDataset> LoadMnistIdx(const std::string& images_path,
                                        const std::string& labels_path,
                                        int64_t max_examples) {
-  std::ifstream images(images_path, std::ios::binary);
-  if (!images) return Status::NotFound("cannot open " + images_path);
-  std::ifstream labels(labels_path, std::ios::binary);
-  if (!labels) return Status::NotFound("cannot open " + labels_path);
+  StatusOr<std::string> image_bytes = ReadIdxFile(images_path);
+  if (!image_bytes.ok()) return image_bytes.status();
+  StatusOr<std::string> label_bytes = ReadIdxFile(labels_path);
+  if (!label_bytes.ok()) return label_bytes.status();
+  std::istringstream images(std::move(image_bytes).value(),
+                            std::ios::binary);
+  std::istringstream labels(std::move(label_bytes).value(),
+                            std::ios::binary);
 
   uint32_t magic = 0, image_count = 0, rows = 0, cols = 0;
   if (!ReadBigEndian32(images, &magic) || magic != kImageMagic) {
@@ -102,10 +119,8 @@ Status SaveMnistIdx(const InMemoryDataset& dataset,
   }
   const int64_t rows = first.dim(1), cols = first.dim(2);
 
-  std::ofstream images(images_path, std::ios::binary);
-  if (!images) return Status::NotFound("cannot open " + images_path);
-  std::ofstream labels(labels_path, std::ios::binary);
-  if (!labels) return Status::NotFound("cannot open " + labels_path);
+  std::ostringstream images(std::ios::binary);
+  std::ostringstream labels(std::ios::binary);
 
   WriteBigEndian32(images, kImageMagic);
   WriteBigEndian32(images, static_cast<uint32_t>(dataset.size()));
@@ -128,7 +143,11 @@ Status SaveMnistIdx(const InMemoryDataset& dataset,
   if (!images.good() || !labels.good()) {
     return Status::Internal("IDX write failed");
   }
-  return Status::Ok();
+  const Status images_written = AtomicWriteFile(
+      images_path, images.str(), RetryPolicy{}, "data.idx_write");
+  if (!images_written.ok()) return images_written;
+  return AtomicWriteFile(labels_path, labels.str(), RetryPolicy{},
+                         "data.idx_write");
 }
 
 }  // namespace geodp

@@ -1,9 +1,10 @@
 #include "nn/checkpoint.h"
 
 #include <cstdint>
-#include <fstream>
+#include <sstream>
 #include <vector>
 
+#include "base/io/file_io.h"
 #include "tensor/serialization.h"
 
 namespace geodp {
@@ -29,8 +30,7 @@ bool ReadString(std::istream& in, std::string* value) {
 }  // namespace
 
 Status SaveCheckpoint(Layer& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::NotFound("cannot open for write: " + path);
+  std::ostringstream out(std::ios::binary);
   out.write(kMagic, sizeof(kMagic));
   const std::vector<Parameter*> params = model.Parameters();
   const uint32_t count = static_cast<uint32_t>(params.size());
@@ -41,12 +41,19 @@ Status SaveCheckpoint(Layer& model, const std::string& path) {
     if (!status.ok()) return status;
   }
   if (!out.good()) return Status::Internal("checkpoint write failed");
-  return Status::Ok();
+  return AtomicWriteFile(path, out.str(), RetryPolicy{}, "nn.ckpt_write");
 }
 
 Status LoadCheckpoint(Layer& model, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open for read: " + path);
+  StatusOr<std::string> read =
+      ReadFileWithRetry(path, RetryPolicy{}, "nn.ckpt_read");
+  if (!read.ok()) {
+    if (read.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("cannot open for read: " + path);
+    }
+    return read.status();
+  }
+  std::istringstream in(std::move(read).value(), std::ios::binary);
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in.good() || magic[0] != 'G' || magic[1] != 'D' || magic[2] != 'P' ||

@@ -107,7 +107,8 @@ std::string StatusJsonBody(const TrainingStatusSnapshot& s) {
   }
   out << ",\"epsilon_spent\":" << FormatDouble(s.epsilon_spent)
       << ",\"epsilon_budget\":" << FormatDouble(s.epsilon_budget)
-      << ",\"delta\":" << FormatDouble(s.delta) << ",\"checkpoint_dir\":\""
+      << ",\"delta\":" << FormatDouble(s.delta) << ",\"degraded\":"
+      << (s.degraded ? "true" : "false") << ",\"checkpoint_dir\":\""
       << JsonEscape(s.checkpoint_dir) << "\",\"latest_checkpoint\":\""
       << JsonEscape(s.latest_checkpoint) << "\",\"publish_sequence\":"
       << s.publish_sequence << ",\"publish_micros\":" << s.publish_micros;
@@ -189,6 +190,7 @@ std::string StatuszHtml(const TrainingStatusSnapshot& s) {
   row("epsilon_budget",
       s.epsilon_budget > 0.0 ? FormatDouble(s.epsilon_budget) : "unbounded");
   row("delta", FormatDouble(s.delta));
+  row("degraded", s.degraded ? "true" : "false");
   row("checkpoint_dir", s.checkpoint_dir.empty() ? "(off)" : s.checkpoint_dir);
   row("latest_checkpoint",
       s.latest_checkpoint.empty() ? "(none)" : s.latest_checkpoint);

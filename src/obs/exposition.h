@@ -23,7 +23,7 @@ namespace geodp {
 /// once handed to the publisher), so serving a request never touches
 /// trainer state.
 struct TrainingStatusSnapshot {
-  std::string run_state;  // "training" | "finished"
+  std::string run_state;  // "training" | "finished" | "cancelled"
   std::string options_fingerprint;
   int64_t step = 0;        // accepted updates so far
   int64_t attempt = 0;     // loop iterations so far (>= step under SUR)
@@ -33,6 +33,9 @@ struct TrainingStatusSnapshot {
   double epsilon_spent = 0.0;
   double epsilon_budget = 0.0;  // 0 = unbounded (watchdog disabled)
   double delta = 0.0;
+  // True once an observability sink lost data (telemetry writes kept
+  // failing). Training itself is unaffected; /healthz reports "degraded".
+  bool degraded = false;
   std::string checkpoint_dir;      // empty when checkpointing is off
   std::string latest_checkpoint;   // last durably-written checkpoint file
   int64_t publish_sequence = 0;    // filled by the publisher

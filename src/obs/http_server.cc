@@ -76,6 +76,10 @@ IntrospectionResponse CheckHealth(const TrainingStatusPublisher* publisher,
                    std::to_string(age_micros / 1000) + " ms)\n");
     }
   }
+  // Degraded (telemetry loss, training unaffected) is alive-but-impaired:
+  // 200 so orchestrators do not kill a run that is still spending epsilon
+  // productively, with a body monitors can alert on.
+  if (snapshot->degraded) return TextResponse(200, "degraded\n");
   return TextResponse(200, "ok\n");
 }
 
@@ -312,6 +316,7 @@ StatusOr<std::unique_ptr<IntrospectionHandle>> ApplyIntrospectionFlags(
   handle->publisher = std::make_unique<TrainingStatusPublisher>();
   IntrospectionServerOptions options;
   options.port = static_cast<int>(port);
+  options.stall_timeout_ms = parser.GetInt("geodp_stall_timeout_ms");
   handle->server = std::make_unique<IntrospectionServer>(
       &MetricsRegistry::Global(), handle->publisher.get(), options);
   const Status started = handle->server->Start();

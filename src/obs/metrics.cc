@@ -2,10 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 
 #include "base/check.h"
+#include "base/io/file_io.h"
 
 namespace geodp {
 
@@ -166,12 +166,7 @@ std::string MetricsRegistry::ToJsonl() const {
 }
 
 Status MetricsRegistry::WriteJsonl(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::InvalidArgument("cannot open " + path);
-  out << ToJsonl();
-  out.flush();
-  if (!out) return Status::Internal("write failed for " + path);
-  return Status::Ok();
+  return AtomicWriteFile(path, ToJsonl(), RetryPolicy{}, "obs.metrics_jsonl");
 }
 
 void MetricsRegistry::Reset() {

@@ -30,10 +30,9 @@ std::string StepRecordToJson(const StepRecord& record) {
   return out.str();
 }
 
-JsonlStepWriter::JsonlStepWriter(const std::string& path) : path_(path) {
-  file_ = std::fopen(path.c_str(), "w");
-  if (file_ == nullptr) {
-    status_ = Status::InvalidArgument("cannot open " + path);
+JsonlStepWriter::JsonlStepWriter(const std::string& path)
+    : writer_(path, RetryPolicy{}, "obs.jsonl") {
+  if (!writer_.Open().ok()) {
     MetricsRegistry::Global().IncrementCounter("obs.jsonl_open_errors");
   }
 }
@@ -41,35 +40,30 @@ JsonlStepWriter::JsonlStepWriter(const std::string& path) : path_(path) {
 JsonlStepWriter::~JsonlStepWriter() { Close(); }
 
 void JsonlStepWriter::OnStep(const StepRecord& record) {
-  if (file_ == nullptr) {
-    ++dropped_records_;
-    MetricsRegistry::Global().IncrementCounter("obs.jsonl_write_errors");
-    return;
-  }
-  const std::string line = StepRecordToJson(record);
-  if (std::fprintf(file_, "%s\n", line.c_str()) < 0 ||
-      std::fflush(file_) != 0) {
-    if (status_.ok()) status_ = Status::Internal("write failed for " + path_);
-    ++dropped_records_;
+  if (!writer_.Append(StepRecordToJson(record) + "\n").ok()) {
     MetricsRegistry::Global().IncrementCounter("obs.jsonl_write_errors");
     return;
   }
   ++records_written_;
 }
 
+bool JsonlStepWriter::healthy() const {
+  return writer_.status().ok() && writer_.dropped_appends() == 0;
+}
+
 const Status& JsonlStepWriter::Close() {
-  if (file_ == nullptr) return status_;
-  const bool flush_failed = std::fflush(file_) != 0;
-  const bool close_failed = std::fclose(file_) != 0;
-  file_ = nullptr;
-  if ((flush_failed || close_failed) && status_.ok()) {
-    status_ = Status::Internal("close failed for " + path_);
-  }
-  if (dropped_records_ > 0 && status_.ok()) {
-    status_ = Status::Internal(std::to_string(dropped_records_) +
-                               " telemetry record(s) dropped for " + path_);
+  writer_.Close();
+  if (status_.ok()) status_ = writer_.status();
+  if (writer_.dropped_appends() > 0 && status_.ok()) {
+    status_ = Status::Internal(std::to_string(writer_.dropped_appends()) +
+                               " telemetry record(s) dropped for " +
+                               writer_.path());
   }
   return status_;
+}
+
+const Status& JsonlStepWriter::status() const {
+  return status_.ok() ? writer_.status() : status_;
 }
 
 std::unique_ptr<JsonlStepWriter> ApplyObservabilityFlags(

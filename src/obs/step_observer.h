@@ -11,12 +11,12 @@
 #define GEODP_OBS_STEP_OBSERVER_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "base/flags.h"
+#include "base/io/file_io.h"
 #include "base/status.h"
 
 namespace geodp {
@@ -55,6 +55,12 @@ class StepObserver {
   virtual ~StepObserver() = default;
 
   virtual void OnStep(const StepRecord& record) = 0;
+
+  /// False once this observer has lost data (e.g. its sink's writes keep
+  /// failing). The trainer treats an unhealthy observer as a degraded run
+  /// — training continues, the obs.degraded gauge flips — never a fatal
+  /// error. Default: always healthy.
+  virtual bool healthy() const { return true; }
 };
 
 /// Serializes a record as one deterministic JSON object (fixed key order,
@@ -72,17 +78,24 @@ class CollectingStepObserver : public StepObserver {
   std::vector<StepRecord> records_;
 };
 
-/// Appends one JSON line per step to a file, flushing after each record
-/// so telemetry survives a crashed run. Write failures (disk full, closed
-/// fd) are never silent: each dropped record bumps dropped_records() and
-/// the global "obs.jsonl_write_errors" counter, and the first failure
-/// sticks in status() so the run finishes non-OK.
+/// Appends one JSON line per step to a file through RetryingWriter
+/// (unbuffered, one write(2) per record) so telemetry survives a crashed
+/// run. Transient write failures retry per the default RetryPolicy;
+/// exhausted retries and permanent errnos (disk full) are never silent:
+/// each dropped record bumps dropped_records() and the global
+/// "obs.jsonl_write_errors" counter, the first failure sticks in
+/// status(), and healthy() turns false so the trainer can mark the run
+/// degraded instead of aborting. The "obs.jsonl" fail point injects
+/// errnos into every physical open/write attempt.
 class JsonlStepWriter : public StepObserver {
  public:
   explicit JsonlStepWriter(const std::string& path);
   ~JsonlStepWriter() override;
 
   void OnStep(const StepRecord& record) override;
+
+  /// False once opening failed or any record was dropped.
+  bool healthy() const override;
 
   /// Flushes and closes the file, folding any close-time error into
   /// status(). Idempotent; returns the final status. The destructor calls
@@ -91,18 +104,16 @@ class JsonlStepWriter : public StepObserver {
   const Status& Close();
 
   /// Ok unless the file could not be opened or a write/close failed.
-  const Status& status() const { return status_; }
-  const std::string& path() const { return path_; }
+  const Status& status() const;
+  const std::string& path() const { return writer_.path(); }
   int64_t records_written() const { return records_written_; }
   /// Records lost to an unopened file or failed writes.
-  int64_t dropped_records() const { return dropped_records_; }
+  int64_t dropped_records() const { return writer_.dropped_appends(); }
 
  private:
-  std::string path_;
-  std::FILE* file_ = nullptr;
+  RetryingWriter writer_;
   Status status_;
   int64_t records_written_ = 0;
-  int64_t dropped_records_ = 0;
 };
 
 /// Applies the observability flags registered by AddCommonFlags:

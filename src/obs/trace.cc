@@ -2,10 +2,11 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <vector>
 
+#include "base/io/file_io.h"
 #include "base/thread_pool.h"
 #include "base/timer.h"
 
@@ -83,8 +84,7 @@ Status FlushTrace() {
     events = g_events;
     path = g_path;
   }
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::InvalidArgument("cannot open " + path);
+  std::ostringstream out;
   out << "{\"traceEvents\":[";
   for (size_t i = 0; i < events.size(); ++i) {
     if (i > 0) out << ",";
@@ -93,9 +93,7 @@ Status FlushTrace() {
         << ",\"pid\":0,\"tid\":" << events[i].tid << "}";
   }
   out << "\n]}\n";
-  out.flush();
-  if (!out) return Status::Internal("write failed for " + path);
-  return Status::Ok();
+  return AtomicWriteFile(path, out.str(), RetryPolicy{}, "obs.trace");
 }
 
 int64_t BufferedTraceEventCount() {

@@ -1,14 +1,23 @@
 #include "optim/trainer.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <ios>
 #include <memory>
+#include <mutex>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "base/check.h"
+#include "base/fault_injection.h"
+#include "base/io/retry.h"
 #include "base/rng.h"
+#include "base/timer.h"
 #include "ckpt/checkpoint.h"
-#include "ckpt/fault_injection.h"
 #include "clip/clipping.h"
 #include "data/dataloader.h"
 #include "nn/loss.h"
@@ -94,6 +103,67 @@ void MirrorStepMetrics(const StepRecord& record,
   }
   registry.SetGauge("trainer.epsilon", record.epsilon);
 }
+
+// Background thread that watches for a wedged training loop: the loop
+// heartbeats once per attempt, and when no heartbeat lands for the
+// configured timeout the watchdog flips a sticky `stalled` flag. The loop
+// polls it at each attempt boundary and cancels cooperatively — the
+// watchdog never kills anything itself, so the final checkpoint flush
+// always runs. Uses the R1-safe process clock (base/timer.h).
+class StallWatchdog {
+ public:
+  explicit StallWatchdog(int64_t timeout_ms)
+      : timeout_us_(timeout_ms * 1000),
+        last_beat_us_(Timer::ProcessMicros()),
+        thread_([this] { Loop(); }) {}
+
+  ~StallWatchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  /// Called by the training loop once per attempt.
+  void Heartbeat() {
+    last_beat_us_.store(Timer::ProcessMicros(), std::memory_order_relaxed);
+  }
+
+  /// Sticky: true once any heartbeat gap exceeded the timeout.
+  bool stalled() const { return stalled_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop() {
+    // Check a few times per timeout window so detection latency stays a
+    // fraction of the timeout without busy-polling.
+    const auto interval =
+        std::chrono::microseconds(std::max<int64_t>(timeout_us_ / 4, 1000));
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, interval, [this] { return stop_; });
+      if (stop_) return;
+      const int64_t gap_us =
+          Timer::ProcessMicros() -
+          last_beat_us_.load(std::memory_order_relaxed);
+      if (gap_us >= timeout_us_ && !stalled_.exchange(true)) {
+        std::fprintf(stderr,
+                     "trainer: stall watchdog fired (no step for %lld ms); "
+                     "cancelling at the next attempt boundary\n",
+                     static_cast<long long>(gap_us / 1000));
+      }
+    }
+  }
+
+  const int64_t timeout_us_;
+  std::atomic<int64_t> last_beat_us_;
+  std::atomic<bool> stalled_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;  // guarded by mu_
+  std::thread thread_;
+};
 
 // Canonical string of every option that shapes the training trajectory.
 // Stored in each checkpoint and compared on resume, so a checkpoint can
@@ -192,6 +262,12 @@ Status ValidateTrainerOptions(const TrainerOptions& options,
   }
   if (options.checkpoint_keep < 1) {
     return Status::InvalidArgument("checkpoint_keep must be >= 1");
+  }
+  if (options.max_missed_checkpoints < 0) {
+    return Status::InvalidArgument("max_missed_checkpoints must be >= 0");
+  }
+  if (options.stall_timeout_ms < 0) {
+    return Status::InvalidArgument("stall_timeout_ms must be >= 0");
   }
   return Status::Ok();
 }
@@ -361,6 +437,49 @@ StatusOr<TrainingResult> DpTrainer::Run() {
   const bool checkpointing = options_.checkpoint_every > 0;
   FaultInjector& faults = FaultInjector::Global();
 
+  // -- Resilience state -------------------------------------------------
+  // Sticky once any observability sink loses data: training continues,
+  // the obs.degraded gauge flips, /healthz reports "degraded".
+  bool degraded = false;
+  int64_t missed_checkpoints = 0;  // consecutive write failures skipped
+  bool warned_missed = false;
+  bool warned_prune = false;
+  // Baselines for mirroring the dependency-free base/io tallies into the
+  // metrics registry as this run's io.retries / io.giveups deltas.
+  IoStats& io_stats = IoStats::Global();
+  int64_t mirrored_retries = io_stats.retries.load(std::memory_order_relaxed);
+  int64_t mirrored_giveups = io_stats.giveups.load(std::memory_order_relaxed);
+  const auto mirror_io_stats = [&] {
+    const int64_t retries = io_stats.retries.load(std::memory_order_relaxed);
+    const int64_t giveups = io_stats.giveups.load(std::memory_order_relaxed);
+    if (retries > mirrored_retries) {
+      MetricsRegistry::Global().IncrementCounter("io.retries",
+                                                 retries - mirrored_retries);
+      mirrored_retries = retries;
+    }
+    if (giveups > mirrored_giveups) {
+      MetricsRegistry::Global().IncrementCounter("io.giveups",
+                                                 giveups - mirrored_giveups);
+      mirrored_giveups = giveups;
+    }
+  };
+  const auto note_degraded = [&](const char* what) {
+    if (degraded) return;
+    degraded = true;
+    MetricsRegistry::Global().SetGauge("obs.degraded", 1.0);
+    std::fprintf(stderr,
+                 "trainer: %s is failing; continuing degraded (training "
+                 "unaffected, telemetry may be incomplete)\n",
+                 what);
+  };
+  if (observing || publishing) {
+    MetricsRegistry::Global().SetGauge("obs.degraded", 0.0);
+  }
+  std::unique_ptr<StallWatchdog> watchdog;
+  if (options_.stall_timeout_ms > 0) {
+    watchdog = std::make_unique<StallWatchdog>(options_.stall_timeout_ms);
+  }
+
   // Copy-on-publish status for the introspection server. Reporting only:
   // nothing the trainer computes depends on whether a publisher is set, so
   // the trajectory (and the JSONL bytes) are identical either way.
@@ -384,6 +503,7 @@ StatusOr<TrainingResult> DpTrainer::Run() {
     }
     snap.epsilon_budget = options_.epsilon_budget;
     snap.delta = options_.delta;
+    snap.degraded = degraded;
     snap.checkpoint_dir = options_.checkpoint_dir;
     snap.latest_checkpoint = last_checkpoint_path;
     publisher->Publish(std::move(snap));
@@ -392,9 +512,54 @@ StatusOr<TrainingResult> DpTrainer::Run() {
     publish_status("training", accepted_updates, start_attempt, nullptr);
   }
 
+  // Builds and writes the full-state checkpoint for `next_attempt`.
+  // Shared by the periodic in-loop save and the cancellation flush.
+  const auto save_checkpoint = [&](int64_t next_attempt) -> Status {
+    TrainingCheckpoint ckpt;
+    ckpt.next_attempt = next_attempt;
+    ckpt.accepted_updates = accepted_updates;
+    ckpt.loss_iterations = result.loss_iterations;
+    ckpt.loss_history = result.loss_history;
+    ckpt.empty_lots = result.empty_lots;
+    ckpt.nonfinite_skipped = result.nonfinite_skipped;
+    ckpt.sur_accepted = selective.accepted();
+    ckpt.sur_rejected = selective.rejected();
+    ckpt.current_beta = current_beta;
+    ckpt.param_names.reserve(params.size());
+    ckpt.param_values.reserve(params.size());
+    for (const Parameter* param : params) {
+      ckpt.param_names.push_back(param->name);
+      ckpt.param_values.push_back(param->value);
+    }
+    ckpt.noise_rng = noise_rng.ExportState();
+    ckpt.uniform_sampler = uniform_sampler.ExportState();
+    ckpt.poisson_rng = poisson_sampler.ExportState();
+    ckpt.importance_sampler = importance_sampler.ExportState();
+    ckpt.adam = adam.ExportState();
+    ckpt.accountant_orders = accountant.orders();
+    ckpt.accountant_rdp = accountant.cumulative_rdp();
+    ckpt.accountant_steps = accountant.total_steps();
+    ckpt.ledger_events = result.ledger.events();
+    ckpt.beta_controller = beta_controller.ExportState();
+    ckpt.options_fingerprint = fingerprint;
+    const std::string path =
+        options_.checkpoint_dir + "/" + CheckpointFileName(next_attempt);
+    const Status saved = SaveTrainingCheckpoint(ckpt, path);
+    if (saved.ok()) last_checkpoint_path = path;
+    return saved;
+  };
+
+  bool cancelled = false;
   int64_t attempt = start_attempt;
   for (; attempt < max_attempts && accepted_updates < options_.iterations;
        ++attempt) {
+    if (watchdog != nullptr) {
+      if (watchdog->stalled()) {
+        cancelled = true;
+        break;
+      }
+      watchdog->Heartbeat();
+    }
     const TraceSpan step_span("step");
     const int64_t t = accepted_updates;
     clipper->OnStep(t);
@@ -495,7 +660,11 @@ StatusOr<TrainingResult> DpTrainer::Run() {
           grads, *perturber, *clipper, accountant, options_, t, attempt,
           current_beta, step_accepted, selective, flat_dim);
       if (observing) observer->OnStep(record);
+      if (observing && !observer->healthy()) {
+        note_degraded("the telemetry sink");
+      }
       MirrorStepMetrics(record, options_);
+      mirror_io_stats();
       if (publishing) {
         last_record = record;
         have_record = true;
@@ -504,39 +673,52 @@ StatusOr<TrainingResult> DpTrainer::Run() {
 
     if (checkpointing && (attempt + 1) % options_.checkpoint_every == 0) {
       const TraceSpan ckpt_span("step.checkpoint");
-      TrainingCheckpoint ckpt;
-      ckpt.next_attempt = attempt + 1;
-      ckpt.accepted_updates = accepted_updates;
-      ckpt.loss_iterations = result.loss_iterations;
-      ckpt.loss_history = result.loss_history;
-      ckpt.empty_lots = result.empty_lots;
-      ckpt.nonfinite_skipped = result.nonfinite_skipped;
-      ckpt.sur_accepted = selective.accepted();
-      ckpt.sur_rejected = selective.rejected();
-      ckpt.current_beta = current_beta;
-      ckpt.param_names.reserve(params.size());
-      ckpt.param_values.reserve(params.size());
-      for (const Parameter* param : params) {
-        ckpt.param_names.push_back(param->name);
-        ckpt.param_values.push_back(param->value);
+      const Status saved = save_checkpoint(attempt + 1);
+      if (!saved.ok()) {
+        // The write already exhausted its own errno retries. Skip it and
+        // keep training — epsilon spent on completed steps is
+        // unrecoverable, so aborting here wastes budget — but bound the
+        // debt: too many consecutive misses means the next crash would
+        // lose more work than the operator allowed.
+        ++missed_checkpoints;
+        MetricsRegistry::Global().IncrementCounter("ckpt.missed");
+        if (missed_checkpoints > options_.max_missed_checkpoints) {
+          return Status(saved.code(),
+                        saved.message() + " (" +
+                            std::to_string(missed_checkpoints) +
+                            " consecutive checkpoint(s) missed, bound is " +
+                            std::to_string(options_.max_missed_checkpoints) +
+                            ")");
+        }
+        if (!warned_missed) {
+          warned_missed = true;
+          std::fprintf(stderr,
+                       "trainer: checkpoint write failed (%s); skipping "
+                       "(miss %lld of %lld allowed)\n",
+                       saved.message().c_str(),
+                       static_cast<long long>(missed_checkpoints),
+                       static_cast<long long>(
+                           options_.max_missed_checkpoints));
+        }
+      } else {
+        missed_checkpoints = 0;
+        const int64_t prune_errors = PruneOldCheckpoints(
+            options_.checkpoint_dir, options_.checkpoint_keep);
+        if (prune_errors > 0) {
+          // Never fatal: a stale checkpoint file costs disk, not
+          // correctness. Counted so operators see the leak.
+          MetricsRegistry::Global().IncrementCounter("ckpt.prune_errors",
+                                                     prune_errors);
+          if (!warned_prune) {
+            warned_prune = true;
+            std::fprintf(stderr,
+                         "trainer: failed to prune %lld old checkpoint "
+                         "file(s) in %s; continuing\n",
+                         static_cast<long long>(prune_errors),
+                         options_.checkpoint_dir.c_str());
+          }
+        }
       }
-      ckpt.noise_rng = noise_rng.ExportState();
-      ckpt.uniform_sampler = uniform_sampler.ExportState();
-      ckpt.poisson_rng = poisson_sampler.ExportState();
-      ckpt.importance_sampler = importance_sampler.ExportState();
-      ckpt.adam = adam.ExportState();
-      ckpt.accountant_orders = accountant.orders();
-      ckpt.accountant_rdp = accountant.cumulative_rdp();
-      ckpt.accountant_steps = accountant.total_steps();
-      ckpt.ledger_events = result.ledger.events();
-      ckpt.beta_controller = beta_controller.ExportState();
-      ckpt.options_fingerprint = fingerprint;
-      const std::string path = options_.checkpoint_dir + "/" +
-                               CheckpointFileName(attempt + 1);
-      const Status saved = SaveTrainingCheckpoint(ckpt, path);
-      if (!saved.ok()) return saved;
-      PruneOldCheckpoints(options_.checkpoint_dir, options_.checkpoint_keep);
-      last_checkpoint_path = path;
     }
 
     if (publishing) {
@@ -545,6 +727,25 @@ StatusOr<TrainingResult> DpTrainer::Run() {
     }
 
     faults.Fire("trainer.step");
+  }
+
+  if (cancelled) {
+    // Cooperative cancellation: flush a final checkpoint so the epsilon
+    // already spent stays resumable, report, and return kCancelled.
+    std::string detail = "training cancelled by the stall watchdog after " +
+                         std::to_string(attempt) + " attempt(s)";
+    if (checkpointing) {
+      const Status flushed = save_checkpoint(attempt);
+      detail += flushed.ok()
+                    ? "; final checkpoint flushed to " + last_checkpoint_path
+                    : "; final checkpoint flush failed: " + flushed.message();
+    }
+    if (observing || publishing) mirror_io_stats();
+    if (publishing) {
+      publish_status("cancelled", accepted_updates, attempt,
+                     have_record ? &last_record : nullptr);
+    }
+    return Status::Cancelled(detail);
   }
 
   result.final_train_loss =
@@ -559,6 +760,7 @@ StatusOr<TrainingResult> DpTrainer::Run() {
   result.sur_accepted = selective.accepted();
   result.sur_rejected = selective.rejected();
   result.final_beta = adapt_beta ? current_beta : options_.beta;
+  if (observing || publishing) mirror_io_stats();
   if (publishing) {
     publish_status("finished", accepted_updates, attempt,
                    have_record ? &last_record : nullptr);

@@ -96,6 +96,26 @@ struct TrainerOptions {
   // uninterrupted run. Options must match the checkpointed run
   // (`iterations` may differ, so training can be extended).
   std::string resume_from;
+
+  // -- Resilience (docs/fault_tolerance.md) ----------------------------
+  // Epsilon spent on completed steps is unrecoverable, so aborting a run
+  // over a transient I/O failure wastes privacy budget. These knobs keep
+  // a run alive through bounded trouble; none of them shapes the
+  // trajectory, so all are excluded from the options fingerprint.
+  //
+  // Consecutive checkpoint-write failures tolerated before giving up.
+  // Each failure (after the write's own retries) is skipped with a
+  // warning and counted in the ckpt.missed counter; a later successful
+  // checkpoint clears the debt. Exceeding the bound is the only fatal
+  // checkpoint path. 0 (default) keeps the historical strict behavior:
+  // the first exhausted write aborts the run.
+  int64_t max_missed_checkpoints = 0;
+  // Stall watchdog: when > 0, a background thread flags the run once no
+  // training step completes for this many milliseconds (process time).
+  // The loop then cancels cooperatively at the next attempt boundary —
+  // flushing a final checkpoint so the spent epsilon stays resumable —
+  // and Run() returns kCancelled. 0 (default) disables the watchdog.
+  int64_t stall_timeout_ms = 0;
 };
 
 /// Everything a training run reports.

@@ -2,12 +2,13 @@
 
 #include <cstdint>
 #include <cstring>
-#include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <vector>
 
 #include "base/crc32.h"
+#include "base/io/file_io.h"
 
 namespace geodp {
 namespace {
@@ -162,14 +163,22 @@ StatusOr<Tensor> ReadTensor(std::istream& in) {
 }
 
 Status SaveTensorToFile(const Tensor& tensor, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::NotFound("cannot open for write: " + path);
-  return WriteTensor(tensor, out);
+  std::ostringstream out(std::ios::binary);
+  const Status written = WriteTensor(tensor, out);
+  if (!written.ok()) return written;
+  return AtomicWriteFile(path, out.str(), RetryPolicy{}, "tensor.file_write");
 }
 
 StatusOr<Tensor> LoadTensorFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open for read: " + path);
+  StatusOr<std::string> read =
+      ReadFileWithRetry(path, RetryPolicy{}, "tensor.file_read");
+  if (!read.ok()) {
+    if (read.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("cannot open for read: " + path);
+    }
+    return read.status();
+  }
+  std::istringstream in(std::move(read).value(), std::ios::binary);
   return ReadTensor(in);
 }
 

@@ -9,9 +9,9 @@
 #include <vector>
 
 #include "base/crc32.h"
+#include "base/fault_injection.h"
 #include "ckpt/byte_io.h"
 #include "ckpt/checkpoint.h"
-#include "ckpt/fault_injection.h"
 #include "gtest/gtest.h"
 
 namespace geodp {

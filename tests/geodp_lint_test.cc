@@ -229,6 +229,65 @@ TEST(GeodpLintR4, IostreamInLibraryFlaggedButAllowedInTools) {
   EXPECT_TRUE(LintFixture("r4_iostream.cc", "tools/debug_dump.cc").empty());
 }
 
+TEST(GeodpLintR5, RawOfstreamFlaggedWithExactLocation) {
+  const std::vector<Finding> findings =
+      LintFixture("r5_raw_ofstream.cc", "src/obs/debug_dump.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR5RawIo);
+  EXPECT_STREQ(RuleIdName(findings[0].rule), "R5");
+  EXPECT_EQ(findings[0].path, "src/obs/debug_dump.cc");
+  EXPECT_EQ(findings[0].line, 8);
+  EXPECT_NE(findings[0].message.find("ofstream"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("base/io"), std::string::npos);
+}
+
+TEST(GeodpLintR5, IoSubstrateItselfIsExempt) {
+  // src/base/io/ is where the raw syscalls are supposed to live.
+  EXPECT_TRUE(
+      LintFixture("r5_raw_ofstream.cc", "src/base/io/file_io.cc").empty());
+}
+
+TEST(GeodpLintR5, ToolsAndTestsAreExempt) {
+  EXPECT_TRUE(
+      LintFixture("r5_raw_ofstream.cc", "tools/debug_dump.cc").empty());
+  EXPECT_TRUE(
+      LintFixture("r5_raw_ofstream.cc", "tests/some_test.cc").empty());
+}
+
+TEST(GeodpLintR5, RawIoOkAnnotationExcusesTheGuardedLine) {
+  EXPECT_TRUE(
+      LintFixture("r5_fopen_annotated.cc", "src/core/probe.cc").empty());
+}
+
+TEST(GeodpLintR5, UnannotatedFopenCallFlagged) {
+  const std::string code = "std::FILE* f = std::fopen(path, \"wb\");\n";
+  const std::vector<Finding> findings =
+      LintContent("src/core/raw_fopen.cc", code);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR5RawIo);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("fopen"), std::string::npos);
+}
+
+TEST(GeodpLintR5, GlobalOpenCallFlaggedButMethodOpenIsNot) {
+  const std::vector<Finding> findings = LintContent(
+      "src/core/raw_open.cc", "int fd = ::open(path, O_RDONLY);\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR5RawIo);
+
+  // Method calls named Open/open (e.g. RetryingWriter::Open) are not raw
+  // I/O, and neither is a qualified call on another class.
+  EXPECT_TRUE(LintContent("src/core/method_open.cc",
+                          "writer.open(path); RetryingWriter::open(x);\n")
+                  .empty());
+}
+
+TEST(GeodpLintR5, NolintSuppressesTheFlaggedLine) {
+  const std::string code =
+      "std::ofstream out(path);  // geodp: nolint(R5) legacy escape\n";
+  EXPECT_TRUE(LintContent("src/core/nolint_io.cc", code).empty());
+}
+
 TEST(GeodpLintAnn, MisspelledTagIsItselfAFinding) {
   const std::vector<Finding> findings =
       LintFixture("ann_bad_tag.cc", "src/core/answer.cc");

@@ -158,12 +158,20 @@ TEST(StatuszTest, JsonGoldenBytes) {
             "{\"run_state\":\"training\",\"options_fingerprint\":\"v1|seed=1\","
             "\"step\":5,\"attempt\":6,\"iterations\":10,\"last_record\":null,"
             "\"epsilon_spent\":0.5,\"epsilon_budget\":2,\"delta\":1e-05,"
-            "\"checkpoint_dir\":\"/tmp/ckpt\",\"latest_checkpoint\":"
+            "\"degraded\":false,\"checkpoint_dir\":\"/tmp/ckpt\","
+            "\"latest_checkpoint\":"
             "\"/tmp/ckpt/ckpt_000006.geockpt\",\"publish_sequence\":7,"
             "\"publish_micros\":123}");
   const std::string html = StatuszHtml(s);
   EXPECT_NE(html.find("<title>geodp /statusz</title>"), std::string::npos);
   EXPECT_NE(html.find("v1|seed=1"), std::string::npos);
+  EXPECT_NE(html.find("<tr><td>degraded</td><td>false</td></tr>"),
+            std::string::npos);
+
+  s.degraded = true;
+  EXPECT_NE(StatuszJson(s).find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(StatuszHtml(s).find("<tr><td>degraded</td><td>true</td></tr>"),
+            std::string::npos);
 }
 
 TEST(StatuszTest, LastRecordEmbedsStepRecordJson) {
@@ -257,6 +265,45 @@ TEST(RouteTest, HealthzFlipsOnExceededBudgetOnly) {
                                       options)
                 .status,
             200);
+}
+
+TEST(RouteTest, DegradedRunStaysHealthyWithMarkerBody) {
+  // Telemetry loss must not get the run killed by an orchestrator: the
+  // epsilon already spent is unrecoverable. /healthz stays 200 but the
+  // body carries the "degraded" marker monitors alert on.
+  const IntrospectionServerOptions options;
+  TrainingStatusPublisher publisher;
+  TrainingStatusSnapshot snapshot;
+  snapshot.run_state = "training";
+  snapshot.degraded = true;
+  publisher.Publish(snapshot);
+  const IntrospectionResponse health = RouteIntrospectionRequest(
+      "GET", "/healthz", nullptr, &publisher, options);
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "degraded\n");
+}
+
+TEST(PrometheusTextTest, ResilienceCountersGoldenBytes) {
+  // The counters the trainer mirrors from the I/O substrate and the
+  // checkpoint miss/prune paths, in Prometheus exposition form.
+  MetricsRegistry registry;
+  registry.IncrementCounter("io.retries", 4);
+  registry.IncrementCounter("io.giveups", 1);
+  registry.IncrementCounter("ckpt.missed", 2);
+  registry.IncrementCounter("ckpt.prune_errors", 1);
+  EXPECT_EQ(PrometheusText(registry.Snapshot()),
+            "# HELP geodp_ckpt_missed_total ckpt.missed\n"
+            "# TYPE geodp_ckpt_missed_total counter\n"
+            "geodp_ckpt_missed_total 2\n"
+            "# HELP geodp_ckpt_prune_errors_total ckpt.prune_errors\n"
+            "# TYPE geodp_ckpt_prune_errors_total counter\n"
+            "geodp_ckpt_prune_errors_total 1\n"
+            "# HELP geodp_io_giveups_total io.giveups\n"
+            "# TYPE geodp_io_giveups_total counter\n"
+            "geodp_io_giveups_total 1\n"
+            "# HELP geodp_io_retries_total io.retries\n"
+            "# TYPE geodp_io_retries_total counter\n"
+            "geodp_io_retries_total 4\n");
 }
 
 TEST(RouteTest, ReadyzStallWatchdog) {

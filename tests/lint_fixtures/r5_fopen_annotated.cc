@@ -1,0 +1,13 @@
+// Fixture: raw fopen excused by an explicit raw-io-ok annotation.
+#include <cstdio>
+
+namespace geodp {
+
+bool Exists(const char* path) {
+  // geodp: raw-io-ok existence probe only, no data read or written
+  std::FILE* file = std::fopen(path, "rb");
+  if (file != nullptr) std::fclose(file);
+  return file != nullptr;
+}
+
+}  // namespace geodp

@@ -1,0 +1,12 @@
+// Fixture: seeded R5 violation — std::ofstream bypassing the I/O
+// substrate (no retry, no errno classification, no fault injection).
+#include <fstream>
+
+namespace geodp {
+
+void DumpDebug(const char* path) {
+  std::ofstream out(path);
+  out << "x";
+}
+
+}  // namespace geodp

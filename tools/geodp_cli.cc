@@ -13,10 +13,10 @@
 #include <string>
 #include <thread>
 
+#include "base/fault_injection.h"
 #include "base/flags.h"
 #include "base/rng.h"
 #include "base/simd/dispatch.h"
-#include "ckpt/fault_injection.h"
 #include "core/privacy_region.h"
 #include "data/gradient_dataset.h"
 #include "data/synthetic_images.h"
@@ -77,8 +77,16 @@ int RunTrain(int argc, const char* const* argv) {
                 "resume from the newest valid checkpoint in "
                 "--geodp_checkpoint_dir");
   flags.AddString("geodp_failpoint", "",
-                  "fault injection spec <site>@<hit>:<action> "
-                  "(crash | short_write | bit_flip)");
+                  "comma-separated fault injection specs "
+                  "<site>@<hit|p=prob>:<action> (crash | short_write | "
+                  "bit_flip | eio | eintr | enospc | torn_rename | "
+                  "stall:<ms>)");
+  flags.AddInt("geodp_failpoint_seed", 0,
+               "seed for probabilistic fail points (0 = built-in default; "
+               "same seed + same spec = same firing schedule)");
+  flags.AddInt("geodp_max_missed_checkpoints", 0,
+               "consecutive failed checkpoint writes to skip before "
+               "aborting (0 = strict: first failure aborts)");
   AddCommonFlags(flags);
   const Status status = flags.Parse(argc, argv);
   if (!status.ok()) {
@@ -159,6 +167,9 @@ int RunTrain(int argc, const char* const* argv) {
   options.step_observer = step_writer.get();
   if (http != nullptr) options.status_publisher = http->publisher.get();
   options.epsilon_budget = flags.GetDouble("geodp_epsilon_budget");
+  options.max_missed_checkpoints =
+      flags.GetInt("geodp_max_missed_checkpoints");
+  options.stall_timeout_ms = flags.GetInt("geodp_stall_timeout_ms");
   const std::string checkpoint_dir = flags.GetString("geodp_checkpoint_dir");
   if (!checkpoint_dir.empty()) {
     options.checkpoint_dir = checkpoint_dir;
@@ -171,6 +182,11 @@ int RunTrain(int argc, const char* const* argv) {
   if (!failpoint_status.ok()) {
     std::printf("%s\n", failpoint_status.ToString().c_str());
     return 1;
+  }
+  // SeedRng resets per-site hit counters, so seed after arming.
+  const int64_t failpoint_seed = flags.GetInt("geodp_failpoint_seed");
+  if (failpoint_seed != 0) {
+    FaultInjector::Global().SeedRng(static_cast<uint64_t>(failpoint_seed));
   }
 
   DpTrainer trainer(model.get(), &train, &test, options);
@@ -201,21 +217,26 @@ int RunTrain(int argc, const char* const* argv) {
   if (step_writer != nullptr) {
     const Status writer_status = step_writer->Close();
     if (!writer_status.ok()) {
-      std::printf("metrics: %s\n", writer_status.ToString().c_str());
-      return 1;
+      // Telemetry loss degrades the run, it does not fail it: the model
+      // and the spent epsilon are intact. Exit 0 with a grep-able marker
+      // (the chaos harness and monitors key on "degraded").
+      std::printf("metrics: degraded: %s (%lld record(s) dropped)\n",
+                  writer_status.ToString().c_str(),
+                  static_cast<long long>(step_writer->dropped_records()));
+    } else {
+      std::printf("metrics: %lld step records -> %s\n",
+                  static_cast<long long>(step_writer->records_written()),
+                  step_writer->path().c_str());
     }
-    std::printf("metrics: %lld step records -> %s\n",
-                static_cast<long long>(step_writer->records_written()),
-                step_writer->path().c_str());
   }
   if (TracingEnabled()) {
     const Status trace_status = FlushTrace();
     if (!trace_status.ok()) {
-      std::printf("trace: %s\n", trace_status.ToString().c_str());
-      return 1;
+      std::printf("trace: degraded: %s\n", trace_status.ToString().c_str());
+    } else {
+      std::printf("trace: %lld events flushed\n",
+                  static_cast<long long>(BufferedTraceEventCount()));
     }
-    std::printf("trace: %lld events flushed\n",
-                static_cast<long long>(BufferedTraceEventCount()));
   }
 
   const std::string save_path = flags.GetString("save");

@@ -50,7 +50,7 @@ void ParseAnnotation(std::string_view text, const std::string& path,
   const std::string token(text.substr(begin, end - begin));
 
   if (token == "per-sample" || token == "sensitivity-checked" ||
-      token == "check-ok" || token == "cpuid-ok") {
+      token == "check-ok" || token == "cpuid-ok" || token == "raw-io-ok") {
     tags.push_back(token);
     return;
   }
@@ -61,7 +61,8 @@ void ParseAnnotation(std::string_view text, const std::string& path,
     bool any = false;
     bool ok = true;
     while (std::getline(stream, rule, ',')) {
-      if (rule == "R1" || rule == "R2" || rule == "R3" || rule == "R4") {
+      if (rule == "R1" || rule == "R2" || rule == "R3" || rule == "R4" ||
+          rule == "R5") {
         tags.push_back("nolint:" + rule);
         any = true;
       } else {
@@ -74,7 +75,7 @@ void ParseAnnotation(std::string_view text, const std::string& path,
       {RuleId::kAnnotation, path, line_number,
        "unrecognized geodp annotation '" + token +
            "' (expected per-sample, sensitivity-checked, check-ok, "
-           "cpuid-ok, or nolint(R1[,R2,...]))"});
+           "cpuid-ok, raw-io-ok, or nolint(R1[,R2,...]))"});
 }
 
 // Strips comments and literals, collecting `// geodp:` annotations. An
@@ -239,6 +240,9 @@ struct PathInfo {
   // The one place `// geodp: cpuid-ok` may authorize a cpu feature probe.
   bool in_simd_dispatch = false;  // src/base/simd/
   bool iostream_banned = false;
+  // R5: raw file I/O is confined to src/base/io/ so every filesystem
+  // touch gets retry, errno classification and fault-injection coverage.
+  bool r5_applies = false;  // src/ outside src/base/io/
 };
 
 PathInfo ClassifyPath(const std::string& path) {
@@ -266,6 +270,7 @@ PathInfo ClassifyPath(const std::string& path) {
                     StartsWith(path, "src/clip/") ||
                     StartsWith(path, "src/optim/trainer");
   info.iostream_banned = info.in_src && path != "src/base/check.h";
+  info.r5_applies = info.in_src && !StartsWith(path, "src/base/io/");
   return info;
 }
 
@@ -299,10 +304,18 @@ constexpr std::array<std::string_view, 4> kPerSamplePatterns = {
 constexpr std::array<std::string_view, 4> kAbortCalls = {"abort", "_Exit",
                                                          "quick_exit", "exit"};
 
+// R5: direct file-opening entry points. The stream types trip on any
+// mention (a member declaration is already a bypass of the I/O substrate);
+// the C functions must be calls; bare `open` must be a global-namespace
+// call (`::open`) so methods like `writer.Open()` stay legal.
+constexpr std::array<std::string_view, 3> kRawIoStreamTypes = {
+    "ofstream", "ifstream", "fstream"};
+constexpr std::array<std::string_view, 2> kRawIoCalls = {"fopen", "freopen"};
+
 void CheckLine(const std::string& path, const PathInfo& info, const Line& line,
                int line_number, std::vector<Finding>& findings) {
   const std::string_view code = line.code;
-  bool r1_hit = false, r2_hit = false, r3_hit = false;
+  bool r1_hit = false, r2_hit = false, r3_hit = false, r5_hit = false;
 
   ForEachIdentifier(code, [&](std::string_view ident, size_t past_end) {
     if (info.r1_applies && !r1_hit &&
@@ -368,6 +381,37 @@ void CheckLine(const std::string& path, const PathInfo& info, const Line& line,
                  "with `// geodp: check-ok`"});
       }
     }
+    // Preprocessor lines are exempt: `#include <fstream>` mentions the
+    // type without opening anything — only uses are findings.
+    const bool preprocessor =
+        code.find_first_not_of(" \t") != std::string_view::npos &&
+        code[code.find_first_not_of(" \t")] == '#';
+    if (info.r5_applies && !r5_hit && !preprocessor &&
+        !Suppressed(line, RuleId::kR5RawIo) && !HasTag(line, "raw-io-ok")) {
+      const bool stream_type =
+          std::find(kRawIoStreamTypes.begin(), kRawIoStreamTypes.end(),
+                    ident) != kRawIoStreamTypes.end();
+      const bool c_call =
+          std::find(kRawIoCalls.begin(), kRawIoCalls.end(), ident) !=
+              kRawIoCalls.end() &&
+          NextNonSpaceIsCall(code, past_end);
+      const size_t start = past_end - ident.size();
+      const bool global_open =
+          ident == "open" && NextNonSpaceIsCall(code, past_end) &&
+          start >= 2 && code[start - 1] == ':' && code[start - 2] == ':' &&
+          (start < 3 || !IsIdentChar(code[start - 3]));
+      if (stream_type || c_call || global_open) {
+        r5_hit = true;
+        findings.push_back(
+            {RuleId::kR5RawIo, path, line_number,
+             "raw file I/O '" + std::string(ident) +
+                 "' outside src/base/io/ — use ReadFileWithRetry / "
+                 "AtomicWriteFile / RetryingWriter (base/io/file_io.h) "
+                 "so the write gets retry, errno classification and "
+                 "fault-injection coverage, or annotate "
+                 "`// geodp: raw-io-ok` with a rationale"});
+      }
+    }
   });
 
   // R4b: using-directives in headers leak into every includer.
@@ -430,6 +474,8 @@ const char* RuleIdName(RuleId rule) {
       return "R3";
     case RuleId::kR4HeaderHygiene:
       return "R4";
+    case RuleId::kR5RawIo:
+      return "R5";
     case RuleId::kAnnotation:
       return "ANN";
   }

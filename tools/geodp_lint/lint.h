@@ -23,6 +23,15 @@
 //                                 no `using namespace` in headers, and no
 //                                 <iostream> in library code (logging, CLIs,
 //                                 benches, examples and tests are exempt).
+//   R5  raw I/O ban             — library code must not open files directly
+//                                 (fopen, std::ofstream/ifstream/fstream,
+//                                 ::open): all filesystem writes go through
+//                                 src/base/io/ so they get errno
+//                                 classification, deterministic retry, and
+//                                 fault-injection coverage. Only src/base/io/
+//                                 itself may touch the raw syscalls; anywhere
+//                                 else needs `// geodp: raw-io-ok` with a
+//                                 rationale.
 //   ANN annotation grammar      — a `// geodp: ...` comment that does not
 //                                 parse is itself a finding, so a typo never
 //                                 silently disables a rule.
@@ -48,10 +57,11 @@ enum class RuleId {
   kR2PrivacyBoundary,
   kR3CheckAbort,
   kR4HeaderHygiene,
+  kR5RawIo,
   kAnnotation,
 };
 
-/// Stable short identifier used in output and nolint(): "R1".."R4", "ANN".
+/// Stable short identifier used in output and nolint(): "R1".."R5", "ANN".
 const char* RuleIdName(RuleId rule);
 
 struct Finding {
