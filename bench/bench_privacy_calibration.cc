@@ -28,10 +28,13 @@ void Run() {
       {"sigma", "single-release eps", "RDP eps (T=1000, q=0.01)"});
   for (double sigma : {1e-2, 1e-1, 0.5, 1.0, 2.0, 4.0, 10.0}) {
     RdpAccountant accountant;
-    accountant.AddSubsampledGaussianSteps(sigma, 0.01, 1000);
+    accountant.AddSubsampledGaussianSteps(NoiseMultiplier(sigma),
+                                          SamplingRate(0.01), 1000);
     calibration.AddRow({TablePrinter::Fmt(sigma, 2),
-                        TablePrinter::Fmt(GaussianEpsilonForSigma(sigma, delta), 2),
-                        TablePrinter::Fmt(accountant.GetEpsilon(delta), 2)});
+                        TablePrinter::Fmt(GaussianEpsilonForSigma(sigma,
+                                          delta), 2),
+                        TablePrinter::Fmt(accountant.GetEpsilon(Delta(delta)),
+                                          2)});
   }
   PrintTable(calibration);
 
@@ -59,13 +62,14 @@ void Run() {
   const PrivacyGuarantee advanced =
       AdvancedComposition({per_step_eps, 1e-7}, 500, 1e-6);
   RdpAccountant accountant;
-  accountant.AddSubsampledGaussianSteps(sigma, 0.01, 500);
+  accountant.AddSubsampledGaussianSteps(NoiseMultiplier(sigma),
+                                        SamplingRate(0.01), 500);
   TablePrinter comp({"accounting", "epsilon"});
   comp.AddRow({"basic composition", TablePrinter::Fmt(basic.epsilon, 2)});
   comp.AddRow({"advanced composition",
                TablePrinter::Fmt(advanced.epsilon, 2)});
   comp.AddRow({"RDP (subsampled)",
-               TablePrinter::Fmt(accountant.GetEpsilon(delta), 2)});
+               TablePrinter::Fmt(accountant.GetEpsilon(Delta(delta)), 2)});
   PrintTable(comp);
 }
 

@@ -31,7 +31,8 @@ int main() {
   const double sampling_rate =
       static_cast<double>(kBatch) / static_cast<double>(train.size());
   const StatusOr<double> sigma_or = NoiseMultiplierForTargetEpsilon(
-      kTargetEpsilon, kDelta, sampling_rate, kIterations);
+      Epsilon(kTargetEpsilon), Delta(kDelta), SamplingRate(sampling_rate),
+      kIterations);
   if (!sigma_or.ok()) {
     std::fprintf(stderr, "calibration failed: %s\n",
                  sigma_or.status().ToString().c_str());
@@ -68,9 +69,10 @@ int main() {
       train_with(PerturbationMethod::kGeoDp, 0.002, "GeoDP (beta=0.002)");
 
   PrivacyLedger ledger;
-  ledger.RecordSubsampledGaussian(sigma, sampling_rate, kIterations,
+  ledger.RecordSubsampledGaussian(NoiseMultiplier(sigma),
+                                  SamplingRate(sampling_rate), kIterations,
                                   "GeoDP training run");
-  std::printf("\n%s\n", ledger.Report(kDelta).c_str());
+  std::printf("\n%s\n", ledger.Report(Delta(kDelta)).c_str());
   std::printf(
       "\nNote: GeoDP's magnitude release satisfies the audited guarantee; "
       "its direction is (eps, delta + delta') with delta' <= %.3f "

@@ -13,12 +13,14 @@
 
 #include <immintrin.h>
 
+#include <array>
+
 namespace geodp {
 namespace simd {
 namespace avx2 {
 
 // Horner evaluation of c[0]*x^5 + ... + c[5] (Cephes polevl, degree 5).
-inline __m256d Polevl5(__m256d x, const double (&c)[6]) {
+inline __m256d Polevl5(__m256d x, const std::array<double, 6>& c) {
   __m256d y = _mm256_set1_pd(c[0]);
   for (int i = 1; i < 6; ++i) {
     y = _mm256_fmadd_pd(y, x, _mm256_set1_pd(c[i]));
@@ -28,7 +30,7 @@ inline __m256d Polevl5(__m256d x, const double (&c)[6]) {
 
 // Horner evaluation of x^5 + c[0]*x^4 + ... + c[4] (Cephes p1evl: leading
 // coefficient 1 is implicit).
-inline __m256d P1evl5(__m256d x, const double (&c)[5]) {
+inline __m256d P1evl5(__m256d x, const std::array<double, 5>& c) {
   __m256d y = _mm256_add_pd(x, _mm256_set1_pd(c[0]));
   for (int i = 1; i < 5; ++i) {
     y = _mm256_fmadd_pd(y, x, _mm256_set1_pd(c[i]));
@@ -37,7 +39,7 @@ inline __m256d P1evl5(__m256d x, const double (&c)[5]) {
 }
 
 // Degree-4 polevl used by atan.
-inline __m256d Polevl4(__m256d x, const double (&c)[5]) {
+inline __m256d Polevl4(__m256d x, const std::array<double, 5>& c) {
   __m256d y = _mm256_set1_pd(c[0]);
   for (int i = 1; i < 5; ++i) {
     y = _mm256_fmadd_pd(y, x, _mm256_set1_pd(c[i]));
@@ -56,12 +58,12 @@ inline __m128i PackLow32(__m256i v) {
 
 // Natural log for normal positive inputs (Cephes log.c, rational branch).
 inline __m256d Log(__m256d x) {
-  static constexpr double kLogP[6] = {
+  static constexpr std::array<double, 6> kLogP = {
       1.01875663804580931796E-4, 4.97494994976747001425E-1,
       4.70579119878881725854E0,  1.44989225341610930846E1,
       1.79368678507819816313E1,  7.70838733755885391666E0,
   };
-  static constexpr double kLogQ[5] = {
+  static constexpr std::array<double, 5> kLogQ = {
       1.12873587189167450590E1, 4.52279145837532221105E1,
       8.29875266912776603211E1, 7.11544750618563894466E1,
       2.31251620126765340583E1,
@@ -101,12 +103,12 @@ inline __m256d Log(__m256d x) {
 // Simultaneous sin and cos (Cephes sin.c reduction with the sincos lane
 // selection of the classic sse_mathfun routine, in double precision).
 inline void SinCos(__m256d x, __m256d* sin_out, __m256d* cos_out) {
-  static constexpr double kSinCof[6] = {
+  static constexpr std::array<double, 6> kSinCof = {
       1.58962301576546568060E-10, -2.50507477628578072866E-8,
       2.75573136213857245213E-6,  -1.98412698295895385996E-4,
       8.33333333332211858878E-3,  -1.66666666666666307295E-1,
   };
-  static constexpr double kCosCof[6] = {
+  static constexpr std::array<double, 6> kCosCof = {
       -1.13585365213876817300E-11, 2.08757008419747316778E-9,
       -2.75573141792967388112E-7,  2.48015872888517179954E-5,
       -1.38888888888730564116E-3,  4.16666666666665929218E-2,
@@ -159,12 +161,12 @@ inline void SinCos(__m256d x, __m256d* sin_out, __m256d* cos_out) {
 
 // Arctangent (Cephes atan.c).
 inline __m256d Atan(__m256d x) {
-  static constexpr double kAtanP[5] = {
+  static constexpr std::array<double, 5> kAtanP = {
       -8.750608600031904122785E-1, -1.615753718733365076637E1,
       -7.500855792314704667340E1,  -1.228866684490136173410E2,
       -6.485021904942025371773E1,
   };
-  static constexpr double kAtanQ[5] = {
+  static constexpr std::array<double, 5> kAtanQ = {
       2.485846490142306297962E1, 1.650270098316988542046E2,
       4.328810604912902668951E2, 4.853903996359136964868E2,
       1.945506571482613964425E2,

@@ -13,6 +13,7 @@
 
 #include <immintrin.h>
 
+#include <array>
 #include <cmath>
 #include <cstring>
 
@@ -65,8 +66,8 @@ void ScaleAssignAvx2(float* dst, const float* src, float scale, int64_t n) {
 
 // Horizontal sum in a fixed association: (l0 + l1) + (l2 + l3).
 double HorizontalSum(__m256d v) {
-  double lanes[4];
-  _mm256_storeu_pd(lanes, v);
+  std::array<double, 4> lanes;
+  _mm256_storeu_pd(lanes.data(), v);
   return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
 }
 
@@ -164,12 +165,12 @@ void SinCosAvx2(const double* angles, double* sin_out, double* cos_out,
   if (i < n) {
     // Padded tail: same vector path as the body, so a value's rounding
     // never depends on its position relative to the tail boundary.
-    double in[4] = {0.0, 0.0, 0.0, 0.0};
-    double s[4], c[4];
+    std::array<double, 4> in = {0.0, 0.0, 0.0, 0.0};
+    std::array<double, 4> s, c;
     for (int64_t t = i; t < n; ++t) in[t - i] = angles[t];
-    avx2::SinCos(_mm256_loadu_pd(in), &vs, &vc);
-    _mm256_storeu_pd(s, vs);
-    _mm256_storeu_pd(c, vc);
+    avx2::SinCos(_mm256_loadu_pd(in.data()), &vs, &vc);
+    _mm256_storeu_pd(s.data(), vs);
+    _mm256_storeu_pd(c.data(), vc);
     for (int64_t t = i; t < n; ++t) {
       sin_out[t] = s[t - i];
       cos_out[t] = c[t - i];
@@ -223,10 +224,10 @@ void WrapReflectAvx2(double* angles, int64_t n) {
   if (i < n) {
     // Padded tail: same vector path as the body, so a value's rounding
     // never depends on its position relative to the tail boundary.
-    double in[4] = {0.0, 0.0, 0.0, 0.0};
-    double out[4];
+    std::array<double, 4> in = {0.0, 0.0, 0.0, 0.0};
+    std::array<double, 4> out;
     for (int64_t t = i; t < n; ++t) in[t - i] = angles[t];
-    _mm256_storeu_pd(out, WrapReflect4(_mm256_loadu_pd(in)));
+    _mm256_storeu_pd(out.data(), WrapReflect4(_mm256_loadu_pd(in.data())));
     for (int64_t t = i; t < n; ++t) angles[t] = out[t - i];
   }
 }
@@ -236,8 +237,8 @@ void WrapReflectAvx2(double* angles, int64_t n) {
 // (u1 with the small-value rejection, then u2), and the sqrt/log/sincos
 // math runs vectorized. Outputs per pair keep the scalar ordering:
 // radius*cos first, radius*sin second.
-void GaussianBatch4(Rng& stream, double (&out)[8]) {
-  double u1[4], u2[4];
+void GaussianBatch4(Rng& stream, std::array<double, 8>& out) {
+  std::array<double, 4> u1, u2;
   for (int p = 0; p < 4; ++p) {
     double a = stream.Uniform();
     while (a <= 1e-300) a = stream.Uniform();
@@ -245,13 +246,14 @@ void GaussianBatch4(Rng& stream, double (&out)[8]) {
     u2[p] = stream.Uniform();
   }
   const __m256d radius = _mm256_sqrt_pd(_mm256_mul_pd(
-      _mm256_set1_pd(-2.0), avx2::Log(_mm256_loadu_pd(u1))));
+      _mm256_set1_pd(-2.0), avx2::Log(_mm256_loadu_pd(u1.data()))));
   __m256d vs, vc;
-  avx2::SinCos(_mm256_mul_pd(_mm256_loadu_pd(u2), _mm256_set1_pd(kTwoPi)),
+  avx2::SinCos(_mm256_mul_pd(_mm256_loadu_pd(u2.data()),
+                             _mm256_set1_pd(kTwoPi)),
                &vs, &vc);
-  double rc[4], rs[4];
-  _mm256_storeu_pd(rc, _mm256_mul_pd(radius, vc));
-  _mm256_storeu_pd(rs, _mm256_mul_pd(radius, vs));
+  std::array<double, 4> rc, rs;
+  _mm256_storeu_pd(rc.data(), _mm256_mul_pd(radius, vc));
+  _mm256_storeu_pd(rs.data(), _mm256_mul_pd(radius, vs));
   for (int p = 0; p < 4; ++p) {
     out[2 * p] = rc[p];
     out[2 * p + 1] = rs[p];
@@ -259,7 +261,7 @@ void GaussianBatch4(Rng& stream, double (&out)[8]) {
 }
 
 void GaussianAddF32Avx2(Rng& stream, double stddev, float* dst, int64_t n) {
-  double batch[8];
+  std::array<double, 8> batch;
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
     GaussianBatch4(stream, batch);
@@ -273,7 +275,7 @@ void GaussianAddF32Avx2(Rng& stream, double stddev, float* dst, int64_t n) {
 }
 
 void GaussianAddF64Avx2(Rng& stream, double stddev, double* dst, int64_t n) {
-  double batch[8];
+  std::array<double, 8> batch;
   int64_t i = 0;
   for (; i + 8 <= n; i += 8) {
     GaussianBatch4(stream, batch);

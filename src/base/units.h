@@ -40,6 +40,20 @@ using NoiseMultiplier = internal::UnitDouble<struct NoiseMultiplierTag>;
 /// equals the clip threshold, but the two play different roles).
 using Sensitivity = internal::UnitDouble<struct SensitivityTag>;
 
+/// Privacy budget epsilon of an (epsilon, delta)-DP guarantee. Used where
+/// epsilon is an *input* (a target budget, a recorded Laplace spend);
+/// computed epsilons stay plain doubles.
+using Epsilon = internal::UnitDouble<struct EpsilonTag>;
+
+/// Failure probability delta of an (epsilon, delta)-DP guarantee. Delta
+/// and epsilon ride through every accounting call together, and both are
+/// small dimensionless doubles — exactly the transposition this header
+/// exists to make un-compilable.
+using Delta = internal::UnitDouble<struct DeltaTag>;
+
+/// Poisson sampling rate q = batch_size / dataset_size in (0, 1].
+using SamplingRate = internal::UnitDouble<struct SamplingRateTag>;
+
 }  // namespace geodp
 
 #endif  // GEODP_BASE_UNITS_H_

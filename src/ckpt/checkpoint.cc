@@ -1,6 +1,7 @@
 #include "ckpt/checkpoint.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <cstdio>
 #include <filesystem>
@@ -14,7 +15,7 @@
 namespace geodp {
 namespace {
 
-constexpr char kMagic[4] = {'G', 'D', 'P', 'K'};
+constexpr std::array<char, 4> kMagic = {'G', 'D', 'P', 'K'};
 constexpr uint32_t kVersion = 1;
 // magic + version + payload_len + crc
 constexpr uint64_t kEnvelopeBytes = 4 + 4 + 8 + 4;
@@ -233,10 +234,10 @@ std::vector<std::pair<int64_t, std::string>> ListCheckpointFiles(
 }  // namespace
 
 std::string CheckpointFileName(int64_t next_attempt) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%s%09lld%s", kFilePrefix,
+  std::array<char, 32> buffer;
+  std::snprintf(buffer.data(), buffer.size(), "%s%09lld%s", kFilePrefix,
                 static_cast<long long>(next_attempt), kFileSuffix);
-  return buffer;
+  return buffer.data();
 }
 
 Status SaveTrainingCheckpoint(const TrainingCheckpoint& checkpoint,
@@ -250,7 +251,7 @@ Status SaveTrainingCheckpoint(const TrainingCheckpoint& checkpoint,
   }
   std::string file_bytes;
   file_bytes.reserve(payload.size() + kEnvelopeBytes);
-  file_bytes.append(kMagic, sizeof(kMagic));
+  file_bytes.append(kMagic.data(), kMagic.size());
   AppendPod<uint32_t>(file_bytes, kVersion);
   AppendPod<uint64_t>(file_bytes, payload.size());
   file_bytes.append(payload);
@@ -291,7 +292,7 @@ StatusOr<TrainingCheckpoint> LoadTrainingCheckpoint(const std::string& path) {
   if (bytes.size() < kEnvelopeBytes) {
     return Status::InvalidArgument("truncated checkpoint file: " + path);
   }
-  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+  if (std::memcmp(bytes.data(), kMagic.data(), kMagic.size()) != 0) {
     return Status::InvalidArgument("bad checkpoint magic: " + path);
   }
   uint32_t version = 0;

@@ -1,10 +1,12 @@
 #include "data/mnist_idx.h"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <sstream>
 #include <vector>
 
+#include "base/byte_view.h"
 #include "base/io/file_io.h"
 
 namespace geodp {
@@ -25,8 +27,8 @@ constexpr uint32_t kImageMagic = 2051;  // IDX3: unsigned byte, 3 dims
 constexpr uint32_t kLabelMagic = 2049;  // IDX1: unsigned byte, 1 dim
 
 bool ReadBigEndian32(std::istream& in, uint32_t* value) {
-  unsigned char bytes[4];
-  in.read(reinterpret_cast<char*>(bytes), 4);
+  std::array<unsigned char, 4> bytes;
+  in.read(AsWritableBytes(bytes).data, 4);
   if (!in.good()) return false;
   *value = (static_cast<uint32_t>(bytes[0]) << 24) |
            (static_cast<uint32_t>(bytes[1]) << 16) |
@@ -36,12 +38,12 @@ bool ReadBigEndian32(std::istream& in, uint32_t* value) {
 }
 
 void WriteBigEndian32(std::ostream& out, uint32_t value) {
-  const unsigned char bytes[4] = {
+  const std::array<unsigned char, 4> bytes = {
       static_cast<unsigned char>(value >> 24),
       static_cast<unsigned char>(value >> 16),
       static_cast<unsigned char>(value >> 8),
       static_cast<unsigned char>(value)};
-  out.write(reinterpret_cast<const char*>(bytes), 4);
+  out.write(AsBytes(bytes).data, 4);
 }
 
 }  // namespace
@@ -88,7 +90,8 @@ StatusOr<InMemoryDataset> LoadMnistIdx(const std::string& images_path,
   std::vector<unsigned char> image_buffer(static_cast<size_t>(pixels));
   InMemoryDataset dataset;
   for (int64_t i = 0; i < count; ++i) {
-    images.read(reinterpret_cast<char*>(image_buffer.data()),
+    images.read(AsWritableBytes(image_buffer.data(),
+                                image_buffer.size()).data,
                 static_cast<std::streamsize>(pixels));
     char label_byte = 0;
     labels.read(&label_byte, 1);
@@ -135,7 +138,7 @@ Status SaveMnistIdx(const InMemoryDataset& dataset,
       const float clamped = std::clamp(image[p], 0.0f, 1.0f);
       const unsigned char byte =
           static_cast<unsigned char>(clamped * 255.0f + 0.5f);
-      images.write(reinterpret_cast<const char*>(&byte), 1);
+      images.write(AsBytes(byte).data, 1);
     }
     const char label_byte = static_cast<char>(dataset.label(i));
     labels.write(&label_byte, 1);

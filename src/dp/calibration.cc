@@ -31,30 +31,35 @@ Status ValidateRunShape(double sampling_rate, int64_t steps, double delta) {
 double RunEpsilon(double sigma, double sampling_rate, int64_t steps,
                   double delta) {
   RdpAccountant accountant;
-  accountant.AddSubsampledGaussianSteps(sigma, sampling_rate, steps);
-  return accountant.GetEpsilon(delta);
+  accountant.AddSubsampledGaussianSteps(NoiseMultiplier(sigma),
+                                        SamplingRate(sampling_rate), steps);
+  return accountant.GetEpsilon(Delta(delta));
 }
 
 }  // namespace
 
 StatusOr<double> TrainingRunEpsilon(NoiseMultiplier sigma,
-                                    double sampling_rate, int64_t steps,
-                                    double delta) {
+                                    SamplingRate sampling_rate,
+                                    int64_t steps, Delta delta_in) {
+  const double delta = delta_in.value();
   if (!(sigma.value() > 0.0)) {
     std::ostringstream message;
     message << "noise multiplier sigma must be > 0, got " << sigma.value();
     return Status::InvalidArgument(message.str());
   }
-  const Status shape = ValidateRunShape(sampling_rate, steps, delta);
+  const Status shape = ValidateRunShape(sampling_rate.value(), steps, delta);
   if (!shape.ok()) return shape;
-  return RunEpsilon(sigma.value(), sampling_rate, steps, delta);
+  return RunEpsilon(sigma.value(), sampling_rate.value(), steps, delta);
 }
 
-StatusOr<double> NoiseMultiplierForTargetEpsilon(double target_epsilon,
-                                                 double delta,
-                                                 double sampling_rate,
+StatusOr<double> NoiseMultiplierForTargetEpsilon(Epsilon target,
+                                                 Delta delta_in,
+                                                 SamplingRate rate,
                                                  int64_t steps,
                                                  double precision) {
+  const double target_epsilon = target.value();
+  const double delta = delta_in.value();
+  const double sampling_rate = rate.value();
   if (!(target_epsilon > 0.0)) {
     std::ostringstream message;
     message << "target epsilon must be > 0, got " << target_epsilon;

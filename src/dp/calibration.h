@@ -19,21 +19,21 @@
 namespace geodp {
 
 /// Epsilon (at `delta`) of `steps` subsampled-Gaussian releases with noise
-/// multiplier sigma and sampling rate q, via the RDP accountant. Sigma is
-/// strongly typed so it cannot be transposed with the rate or delta.
-/// Returns InvalidArgument if sigma <= 0, q outside (0, 1], steps < 0, or
-/// delta outside (0, 1).
+/// multiplier sigma and sampling rate q, via the RDP accountant. Every
+/// double parameter is strongly typed (base/units.h) so no two of them
+/// can be transposed. Returns InvalidArgument if sigma <= 0, q outside
+/// (0, 1], steps < 0, or delta outside (0, 1).
 StatusOr<double> TrainingRunEpsilon(NoiseMultiplier sigma,
-                                    double sampling_rate, int64_t steps,
-                                    double delta);
+                                    SamplingRate sampling_rate,
+                                    int64_t steps, Delta delta);
 
 /// Smallest sigma whose TrainingRunEpsilon is <= target_epsilon, found by
 /// bisection (epsilon is monotone decreasing in sigma). `precision` is the
 /// relative width of the final bracket. Returns InvalidArgument on bad
 /// inputs and OutOfRange if the target is unreachable at this q/steps/delta.
-StatusOr<double> NoiseMultiplierForTargetEpsilon(double target_epsilon,
-                                                 double delta,
-                                                 double sampling_rate,
+StatusOr<double> NoiseMultiplierForTargetEpsilon(Epsilon target_epsilon,
+                                                 Delta delta,
+                                                 SamplingRate sampling_rate,
                                                  int64_t steps,
                                                  double precision = 1e-4);
 

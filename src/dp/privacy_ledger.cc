@@ -7,60 +7,59 @@
 
 namespace geodp {
 
-void PrivacyLedger::RecordGaussian(double noise_multiplier, int64_t count,
+void PrivacyLedger::RecordGaussian(NoiseMultiplier sigma, int64_t count,
                                    std::string note) {
-  GEODP_CHECK_GT(noise_multiplier, 0.0);  // geodp: check-ok
+  GEODP_CHECK_GT(sigma.value(), 0.0);  // geodp: check-ok
   GEODP_CHECK_GT(count, 0);  // geodp: check-ok
   PrivacyEvent event;
   event.kind = PrivacyEvent::Kind::kGaussian;
-  event.noise_multiplier = noise_multiplier;
+  event.noise_multiplier = sigma.value();
   event.count = count;
   event.note = std::move(note);
   events_.push_back(std::move(event));
 }
 
-void PrivacyLedger::RecordSubsampledGaussian(double noise_multiplier,
-                                             double sampling_rate,
+void PrivacyLedger::RecordSubsampledGaussian(NoiseMultiplier sigma,
+                                             SamplingRate sampling_rate,
                                              int64_t count,
                                              std::string note) {
-  GEODP_CHECK_GT(noise_multiplier, 0.0);  // geodp: check-ok
-  GEODP_CHECK(sampling_rate > 0.0 && sampling_rate <= 1.0);  // geodp: check-ok
+  const double rate = sampling_rate.value();
+  GEODP_CHECK_GT(sigma.value(), 0.0);  // geodp: check-ok
+  GEODP_CHECK(rate > 0.0 && rate <= 1.0);  // geodp: check-ok
   GEODP_CHECK_GT(count, 0);  // geodp: check-ok
   PrivacyEvent event;
   event.kind = PrivacyEvent::Kind::kSubsampledGaussian;
-  event.noise_multiplier = noise_multiplier;
-  event.sampling_rate = sampling_rate;
+  event.noise_multiplier = sigma.value();
+  event.sampling_rate = rate;
   event.count = count;
   event.note = std::move(note);
   events_.push_back(std::move(event));
 }
 
-void PrivacyLedger::RecordLaplace(double epsilon, int64_t count,
+void PrivacyLedger::RecordLaplace(Epsilon epsilon, int64_t count,
                                   std::string note) {
-  GEODP_CHECK_GT(epsilon, 0.0);  // geodp: check-ok
+  GEODP_CHECK_GT(epsilon.value(), 0.0);  // geodp: check-ok
   GEODP_CHECK_GT(count, 0);  // geodp: check-ok
   PrivacyEvent event;
   event.kind = PrivacyEvent::Kind::kLaplace;
-  event.epsilon = epsilon;
+  event.epsilon = epsilon.value();
   event.count = count;
   event.note = std::move(note);
   events_.push_back(std::move(event));
 }
 
-void PrivacyLedger::RecordSubsampledGaussianCoalesced(double noise_multiplier,
-                                                      double sampling_rate,
-                                                      std::string note) {
+void PrivacyLedger::RecordSubsampledGaussianCoalesced(
+    NoiseMultiplier sigma, SamplingRate sampling_rate, std::string note) {
   if (!events_.empty()) {
     PrivacyEvent& last = events_.back();
     if (last.kind == PrivacyEvent::Kind::kSubsampledGaussian &&
-        last.noise_multiplier == noise_multiplier &&
-        last.sampling_rate == sampling_rate && last.note == note) {
+        last.noise_multiplier == sigma.value() &&
+        last.sampling_rate == sampling_rate.value() && last.note == note) {
       ++last.count;
       return;
     }
   }
-  RecordSubsampledGaussian(noise_multiplier, sampling_rate, 1,
-                           std::move(note));
+  RecordSubsampledGaussian(sigma, sampling_rate, 1, std::move(note));
 }
 
 void PrivacyLedger::RestoreEvents(std::vector<PrivacyEvent> events) {
@@ -73,58 +72,61 @@ int64_t PrivacyLedger::TotalReleases() const {
   return total;
 }
 
-PrivacyGuarantee PrivacyLedger::ComposedGuarantee(double delta) const {
-  GEODP_CHECK(delta > 0.0 && delta < 1.0);  // geodp: check-ok
-  RdpAccountant accountant;
-  double laplace_epsilon = 0.0;
+namespace {
+
+// Replays the Gaussian-kind events into `accountant`; returns whether any
+// were present. Laplace events are left to the caller (they compose by
+// plain epsilon addition, not RDP).
+bool ReplayGaussianEvents(const std::vector<PrivacyEvent>& events,
+                          RdpAccountant& accountant) {
   bool has_gaussian = false;
-  for (const PrivacyEvent& event : events_) {
+  for (const PrivacyEvent& event : events) {
     switch (event.kind) {
       case PrivacyEvent::Kind::kGaussian:
-        accountant.AddGaussianSteps(event.noise_multiplier, event.count);
+        accountant.AddGaussianSteps(NoiseMultiplier(event.noise_multiplier),
+                                    event.count);
         has_gaussian = true;
         break;
       case PrivacyEvent::Kind::kSubsampledGaussian:
-        accountant.AddSubsampledGaussianSteps(event.noise_multiplier,
-                                              event.sampling_rate,
-                                              event.count);
+        accountant.AddSubsampledGaussianSteps(
+            NoiseMultiplier(event.noise_multiplier),
+            SamplingRate(event.sampling_rate), event.count);
         has_gaussian = true;
         break;
       case PrivacyEvent::Kind::kLaplace:
-        laplace_epsilon +=
-            event.epsilon * static_cast<double>(event.count);
         break;
+    }
+  }
+  return has_gaussian;
+}
+
+}  // namespace
+
+PrivacyGuarantee PrivacyLedger::ComposedGuarantee(Delta delta) const {
+  const double d = delta.value();
+  GEODP_CHECK(d > 0.0 && d < 1.0);  // geodp: check-ok
+  RdpAccountant accountant;
+  const bool has_gaussian = ReplayGaussianEvents(events_, accountant);
+  double laplace_epsilon = 0.0;
+  for (const PrivacyEvent& event : events_) {
+    if (event.kind == PrivacyEvent::Kind::kLaplace) {
+      laplace_epsilon += event.epsilon * static_cast<double>(event.count);
     }
   }
   const double gaussian_epsilon =
       has_gaussian ? accountant.GetEpsilon(delta) : 0.0;
-  return {gaussian_epsilon + laplace_epsilon, has_gaussian ? delta : 0.0};
+  return {gaussian_epsilon + laplace_epsilon, has_gaussian ? d : 0.0};
 }
 
-int64_t PrivacyLedger::OptimalOrder(double delta) const {
-  GEODP_CHECK(delta > 0.0 && delta < 1.0);  // geodp: check-ok
+int64_t PrivacyLedger::OptimalOrder(Delta delta) const {
+  const double d = delta.value();
+  GEODP_CHECK(d > 0.0 && d < 1.0);  // geodp: check-ok
   RdpAccountant accountant;
-  bool has_gaussian = false;
-  for (const PrivacyEvent& event : events_) {
-    switch (event.kind) {
-      case PrivacyEvent::Kind::kGaussian:
-        accountant.AddGaussianSteps(event.noise_multiplier, event.count);
-        has_gaussian = true;
-        break;
-      case PrivacyEvent::Kind::kSubsampledGaussian:
-        accountant.AddSubsampledGaussianSteps(event.noise_multiplier,
-                                              event.sampling_rate,
-                                              event.count);
-        has_gaussian = true;
-        break;
-      case PrivacyEvent::Kind::kLaplace:
-        break;
-    }
-  }
+  const bool has_gaussian = ReplayGaussianEvents(events_, accountant);
   return has_gaussian ? accountant.GetOptimalOrder(delta) : 0;
 }
 
-std::string PrivacyLedger::Report(double delta) const {
+std::string PrivacyLedger::Report(Delta delta) const {
   std::ostringstream out;
   out << "privacy ledger (" << events_.size() << " entries, "
       << TotalReleases() << " releases)\n";
@@ -150,7 +152,7 @@ std::string PrivacyLedger::Report(double delta) const {
   // A pure-Laplace ledger composes to (eps, 0)-DP; still echo the delta
   // the caller asked about so the report is unambiguous.
   out << "  => (" << guarantee.epsilon << ", " << guarantee.delta
-      << ")-DP at requested delta=" << delta;
+      << ")-DP at requested delta=" << delta.value();
   const int64_t order = OptimalOrder(delta);
   if (order > 0) out << "\n  => optimal RDP order: " << order;
   return out.str();

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "base/units.h"
 #include "dp/composition.h"
 
 namespace geodp {
@@ -35,20 +36,23 @@ class PrivacyLedger {
  public:
   PrivacyLedger() = default;
 
-  void RecordGaussian(double noise_multiplier, int64_t count = 1,
+  /// Recording APIs take the strong unit types (base/units.h): a sigma,
+  /// a sampling rate and a pure-DP epsilon are all small positive doubles
+  /// and a transposed pair would corrupt the audit trail silently.
+  void RecordGaussian(NoiseMultiplier sigma, int64_t count = 1,
                       std::string note = "");
-  void RecordSubsampledGaussian(double noise_multiplier,
-                                double sampling_rate, int64_t count = 1,
-                                std::string note = "");
-  void RecordLaplace(double epsilon, int64_t count = 1,
+  void RecordSubsampledGaussian(NoiseMultiplier sigma,
+                                SamplingRate sampling_rate,
+                                int64_t count = 1, std::string note = "");
+  void RecordLaplace(Epsilon epsilon, int64_t count = 1,
                      std::string note = "");
 
   /// Like RecordSubsampledGaussian, but merges into the previous event
   /// when it has identical parameters (kind, sigma, rate, note) instead of
   /// appending. Per-step training releases then stay O(1) ledger entries
   /// per parameter regime, which keeps checkpoint snapshots small.
-  void RecordSubsampledGaussianCoalesced(double noise_multiplier,
-                                         double sampling_rate,
+  void RecordSubsampledGaussianCoalesced(NoiseMultiplier sigma,
+                                         SamplingRate sampling_rate,
                                          std::string note = "");
 
   /// Checkpoint support: replaces the event log with a restored snapshot.
@@ -60,17 +64,17 @@ class PrivacyLedger {
   /// Composed (epsilon, delta)-DP guarantee of everything recorded:
   /// Gaussian events via the RDP accountant at the given delta, Laplace
   /// events added by basic composition (they are pure epsilon-DP).
-  PrivacyGuarantee ComposedGuarantee(double delta) const;
+  PrivacyGuarantee ComposedGuarantee(Delta delta) const;
 
   /// RDP order achieving the composed Gaussian epsilon at the given delta
   /// (0 when the ledger holds no Gaussian events).
-  int64_t OptimalOrder(double delta) const;
+  int64_t OptimalOrder(Delta delta) const;
 
   /// Human-readable multi-line audit report. Always states the requested
   /// delta (the guarantee's delta is 0 for a pure-Laplace ledger, which
   /// used to make the report ambiguous about what was asked for) and the
   /// optimal RDP order when Gaussian events are present.
-  std::string Report(double delta) const;
+  std::string Report(Delta delta) const;
 
  private:
   std::vector<PrivacyEvent> events_;

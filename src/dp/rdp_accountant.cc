@@ -69,44 +69,46 @@ std::vector<int64_t> RdpAccountant::DefaultOrders() {
   return orders;
 }
 
-void RdpAccountant::AddGaussianSteps(double noise_multiplier, int64_t steps) {
+void RdpAccountant::AddGaussianSteps(NoiseMultiplier sigma, int64_t steps) {
   GEODP_CHECK_GE(steps, 0);  // geodp: check-ok
   for (size_t i = 0; i < orders_.size(); ++i) {
     rdp_[i] += static_cast<double>(steps) *
-               GaussianRdp(noise_multiplier, static_cast<double>(orders_[i]));
+               GaussianRdp(sigma.value(), static_cast<double>(orders_[i]));
   }
   total_steps_ += steps;
 }
 
-void RdpAccountant::AddSubsampledGaussianSteps(double noise_multiplier,
-                                               double sampling_rate,
+void RdpAccountant::AddSubsampledGaussianSteps(NoiseMultiplier sigma,
+                                               SamplingRate sampling_rate,
                                                int64_t steps) {
   GEODP_CHECK_GE(steps, 0);  // geodp: check-ok
   for (size_t i = 0; i < orders_.size(); ++i) {
     rdp_[i] += static_cast<double>(steps) *
-               SubsampledGaussianRdp(noise_multiplier, sampling_rate,
+               SubsampledGaussianRdp(sigma.value(), sampling_rate.value(),
                                      orders_[i]);
   }
   total_steps_ += steps;
 }
 
-double RdpAccountant::GetEpsilon(double delta) const {
-  GEODP_CHECK(delta > 0.0 && delta < 1.0);  // geodp: check-ok
+double RdpAccountant::GetEpsilon(Delta delta) const {
+  const double d = delta.value();
+  GEODP_CHECK(d > 0.0 && d < 1.0);  // geodp: check-ok
   double best = std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < orders_.size(); ++i) {
     const double alpha = static_cast<double>(orders_[i]);
-    best = std::min(best, rdp_[i] + std::log(1.0 / delta) / (alpha - 1.0));
+    best = std::min(best, rdp_[i] + std::log(1.0 / d) / (alpha - 1.0));
   }
   return best;
 }
 
-int64_t RdpAccountant::GetOptimalOrder(double delta) const {
-  GEODP_CHECK(delta > 0.0 && delta < 1.0);  // geodp: check-ok
+int64_t RdpAccountant::GetOptimalOrder(Delta delta) const {
+  const double d = delta.value();
+  GEODP_CHECK(d > 0.0 && d < 1.0);  // geodp: check-ok
   double best = std::numeric_limits<double>::infinity();
   int64_t best_order = orders_.front();
   for (size_t i = 0; i < orders_.size(); ++i) {
     const double alpha = static_cast<double>(orders_[i]);
-    const double eps = rdp_[i] + std::log(1.0 / delta) / (alpha - 1.0);
+    const double eps = rdp_[i] + std::log(1.0 / d) / (alpha - 1.0);
     if (eps < best) {
       best = eps;
       best_order = orders_[i];
@@ -138,7 +140,7 @@ Status RdpAccountant::RestoreState(const std::vector<int64_t>& orders,
   return Status::Ok();
 }
 
-RdpSnapshot RdpAccountant::Snapshot(double delta) const {
+RdpSnapshot RdpAccountant::Snapshot(Delta delta) const {
   RdpSnapshot snapshot;
   snapshot.total_steps = total_steps_;
   if (total_steps_ == 0) return snapshot;

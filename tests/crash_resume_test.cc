@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "base/byte_view.h"
 #include "base/rng.h"
 #include "base/thread_pool.h"
 #include "data/synthetic_images.h"
@@ -50,8 +51,9 @@ std::string FreshDir(const std::string& name) {
 // bit-identity, not approximate closeness.
 std::string WeightBytes(Sequential& model) {
   const Tensor flat = FlattenValues(model.Parameters());
-  return std::string(reinterpret_cast<const char*>(flat.data()),
-                     static_cast<size_t>(flat.numel()) * sizeof(float));
+  const geodp::ByteSpan bytes =
+      geodp::AsBytes(flat.data(), static_cast<size_t>(flat.numel()));
+  return std::string(bytes.data, bytes.size);
 }
 
 struct SegmentOutput {

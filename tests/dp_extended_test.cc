@@ -54,22 +54,27 @@ TEST(AnalyticGaussianTest, TighterThanClassicCalibration) {
 
 TEST(CalibrationTest, EpsilonMonotoneInSigma) {
   const double hi =
-      TrainingRunEpsilon(NoiseMultiplier(0.5), 0.01, 500, 1e-5).value();
+      TrainingRunEpsilon(NoiseMultiplier(0.5), SamplingRate(0.01), 500,
+                         Delta(1e-5)).value();
   const double lo =
-      TrainingRunEpsilon(NoiseMultiplier(4.0), 0.01, 500, 1e-5).value();
+      TrainingRunEpsilon(NoiseMultiplier(4.0), SamplingRate(0.01), 500,
+                         Delta(1e-5)).value();
   EXPECT_GT(hi, lo);
 }
 
 TEST(CalibrationTest, SolverHitsTarget) {
   const double target = 4.0;
   const double sigma =
-      NoiseMultiplierForTargetEpsilon(target, 1e-5, 0.02, 800).value();
+      NoiseMultiplierForTargetEpsilon(Epsilon(target), Delta(1e-5),
+                                      SamplingRate(0.02), 800).value();
   const double achieved =
-      TrainingRunEpsilon(NoiseMultiplier(sigma), 0.02, 800, 1e-5).value();
+      TrainingRunEpsilon(NoiseMultiplier(sigma), SamplingRate(0.02), 800,
+                         Delta(1e-5)).value();
   EXPECT_LE(achieved, target * 1.001);
   // Not grossly over-noised: a slightly smaller sigma would violate it.
   const double relaxed =
-      TrainingRunEpsilon(NoiseMultiplier(sigma * 0.98), 0.02, 800, 1e-5)
+      TrainingRunEpsilon(NoiseMultiplier(sigma * 0.98), SamplingRate(0.02),
+                         800, Delta(1e-5))
           .value();
   EXPECT_GT(relaxed, target * 0.98);
 }
@@ -85,22 +90,26 @@ TEST(AnalyticGaussianTest, SigmaSolverRejectsBadInputs) {
 
 TEST(CalibrationTest, TrainingRunEpsilonRejectsBadInputs) {
   EXPECT_EQ(
-      TrainingRunEpsilon(NoiseMultiplier(-1.0), 0.01, 100, 1e-5)
+      TrainingRunEpsilon(NoiseMultiplier(-1.0), SamplingRate(0.01), 100,
+                         Delta(1e-5))
           .status()
           .code(),
       StatusCode::kInvalidArgument);
   EXPECT_EQ(
-      TrainingRunEpsilon(NoiseMultiplier(1.0), 1.5, 100, 1e-5)
+      TrainingRunEpsilon(NoiseMultiplier(1.0), SamplingRate(1.5), 100,
+                         Delta(1e-5))
           .status()
           .code(),
       StatusCode::kInvalidArgument);
   EXPECT_EQ(
-      TrainingRunEpsilon(NoiseMultiplier(1.0), 0.01, -1, 1e-5)
+      TrainingRunEpsilon(NoiseMultiplier(1.0), SamplingRate(0.01), -1,
+                         Delta(1e-5))
           .status()
           .code(),
       StatusCode::kInvalidArgument);
   EXPECT_EQ(
-      TrainingRunEpsilon(NoiseMultiplier(1.0), 0.01, 100, 2.0)
+      TrainingRunEpsilon(NoiseMultiplier(1.0), SamplingRate(0.01), 100,
+                         Delta(2.0))
           .status()
           .code(),
       StatusCode::kInvalidArgument);
@@ -108,66 +117,77 @@ TEST(CalibrationTest, TrainingRunEpsilonRejectsBadInputs) {
 
 TEST(CalibrationTest, SolverRejectsBadInputs) {
   EXPECT_EQ(
-      NoiseMultiplierForTargetEpsilon(0.0, 1e-5, 0.01, 100).status().code(),
+      NoiseMultiplierForTargetEpsilon(Epsilon(0.0), Delta(1e-5),
+                                      SamplingRate(0.01), 100).status().code(),
       StatusCode::kInvalidArgument);
   EXPECT_EQ(
-      NoiseMultiplierForTargetEpsilon(1.0, 1e-5, 0.01, 0).status().code(),
+      NoiseMultiplierForTargetEpsilon(Epsilon(1.0), Delta(1e-5),
+                                      SamplingRate(0.01), 0).status().code(),
       StatusCode::kInvalidArgument);
   EXPECT_EQ(
-      NoiseMultiplierForTargetEpsilon(1.0, 1e-5, 2.0, 100).status().code(),
+      NoiseMultiplierForTargetEpsilon(Epsilon(1.0), Delta(1e-5),
+                                      SamplingRate(2.0), 100).status().code(),
       StatusCode::kInvalidArgument);
 }
 
 TEST(CalibrationTest, TighterBudgetNeedsMoreNoise) {
   const double sigma_tight =
-      NoiseMultiplierForTargetEpsilon(1.0, 1e-5, 0.01, 500).value();
+      NoiseMultiplierForTargetEpsilon(Epsilon(1.0), Delta(1e-5),
+                                      SamplingRate(0.01), 500).value();
   const double sigma_loose =
-      NoiseMultiplierForTargetEpsilon(8.0, 1e-5, 0.01, 500).value();
+      NoiseMultiplierForTargetEpsilon(Epsilon(8.0), Delta(1e-5),
+                                      SamplingRate(0.01), 500).value();
   EXPECT_GT(sigma_tight, sigma_loose);
 }
 
 TEST(PrivacyLedgerTest, CountsReleases) {
   PrivacyLedger ledger;
-  ledger.RecordSubsampledGaussian(1.0, 0.01, 100, "training");
-  ledger.RecordGaussian(2.0, 1, "final release");
-  ledger.RecordLaplace(0.1, 2, "hyperparameter queries");
+  ledger.RecordSubsampledGaussian(NoiseMultiplier(1.0), SamplingRate(0.01),
+                                  100, "training");
+  ledger.RecordGaussian(NoiseMultiplier(2.0), 1, "final release");
+  ledger.RecordLaplace(Epsilon(0.1), 2, "hyperparameter queries");
   EXPECT_EQ(ledger.events().size(), 3u);
   EXPECT_EQ(ledger.TotalReleases(), 103);
 }
 
 TEST(PrivacyLedgerTest, ComposedGuaranteeMatchesAccountant) {
   PrivacyLedger ledger;
-  ledger.RecordSubsampledGaussian(1.0, 0.01, 200);
-  const PrivacyGuarantee guarantee = ledger.ComposedGuarantee(1e-5);
+  ledger.RecordSubsampledGaussian(NoiseMultiplier(1.0), SamplingRate(0.01),
+                                  200);
+  const PrivacyGuarantee guarantee = ledger.ComposedGuarantee(Delta(1e-5));
   EXPECT_NEAR(guarantee.epsilon,
-              TrainingRunEpsilon(NoiseMultiplier(1.0), 0.01, 200, 1e-5).value(),
+              TrainingRunEpsilon(NoiseMultiplier(1.0), SamplingRate(0.01), 200,
+                                 Delta(1e-5)).value(),
               1e-9);
   EXPECT_DOUBLE_EQ(guarantee.delta, 1e-5);
 }
 
 TEST(PrivacyLedgerTest, LaplaceAddsPureEpsilon) {
   PrivacyLedger ledger;
-  ledger.RecordLaplace(0.25, 4);
-  const PrivacyGuarantee guarantee = ledger.ComposedGuarantee(1e-5);
+  ledger.RecordLaplace(Epsilon(0.25), 4);
+  const PrivacyGuarantee guarantee = ledger.ComposedGuarantee(Delta(1e-5));
   EXPECT_NEAR(guarantee.epsilon, 1.0, 1e-12);
   EXPECT_EQ(guarantee.delta, 0.0);  // pure epsilon-DP, no Gaussian events
 }
 
 TEST(PrivacyLedgerTest, MixedEventsCompose) {
   PrivacyLedger ledger;
-  ledger.RecordSubsampledGaussian(2.0, 0.01, 100);
-  ledger.RecordLaplace(0.5, 1);
-  const PrivacyGuarantee guarantee = ledger.ComposedGuarantee(1e-5);
+  ledger.RecordSubsampledGaussian(NoiseMultiplier(2.0), SamplingRate(0.01),
+                                  100);
+  ledger.RecordLaplace(Epsilon(0.5), 1);
+  const PrivacyGuarantee guarantee = ledger.ComposedGuarantee(Delta(1e-5));
   EXPECT_NEAR(
       guarantee.epsilon,
-      TrainingRunEpsilon(NoiseMultiplier(2.0), 0.01, 100, 1e-5).value() + 0.5,
+      TrainingRunEpsilon(NoiseMultiplier(2.0), SamplingRate(0.01), 100,
+                         Delta(1e-5)).value() + 0.5,
       1e-9);
 }
 
 TEST(PrivacyLedgerTest, ReportMentionsEventsAndGuarantee) {
   PrivacyLedger ledger;
-  ledger.RecordSubsampledGaussian(1.0, 0.05, 10, "demo");
-  const std::string report = ledger.Report(1e-5);
+  ledger.RecordSubsampledGaussian(NoiseMultiplier(1.0), SamplingRate(0.05), 10,
+                                  "demo");
+  const std::string report = ledger.Report(Delta(1e-5));
   EXPECT_NE(report.find("subsampled-gaussian"), std::string::npos);
   EXPECT_NE(report.find("demo"), std::string::npos);
   EXPECT_NE(report.find(")-DP"), std::string::npos);
@@ -178,8 +198,8 @@ TEST(PrivacyLedgerTest, ReportStatesRequestedDeltaForPureLaplace) {
   // report used to show only that 0 — leaving the delta the caller asked
   // about out of the audit trail entirely.
   PrivacyLedger ledger;
-  ledger.RecordLaplace(0.25, 4, "hyperparameter queries");
-  const std::string report = ledger.Report(1e-5);
+  ledger.RecordLaplace(Epsilon(0.25), 4, "hyperparameter queries");
+  const std::string report = ledger.Report(Delta(1e-5));
   EXPECT_NE(report.find("requested delta=1e-05"), std::string::npos);
   // No Gaussian events: no RDP order to report.
   EXPECT_EQ(report.find("optimal RDP order"), std::string::npos);
@@ -187,10 +207,11 @@ TEST(PrivacyLedgerTest, ReportStatesRequestedDeltaForPureLaplace) {
 
 TEST(PrivacyLedgerTest, ReportSurfacesOptimalRdpOrder) {
   PrivacyLedger ledger;
-  ledger.RecordSubsampledGaussian(1.0, 0.01, 500);
-  const int64_t order = ledger.OptimalOrder(1e-5);
+  ledger.RecordSubsampledGaussian(NoiseMultiplier(1.0), SamplingRate(0.01),
+                                  500);
+  const int64_t order = ledger.OptimalOrder(Delta(1e-5));
   EXPECT_GT(order, 0);
-  const std::string report = ledger.Report(1e-5);
+  const std::string report = ledger.Report(Delta(1e-5));
   EXPECT_NE(
       report.find("optimal RDP order: " + std::to_string(order)),
       std::string::npos);
@@ -199,13 +220,17 @@ TEST(PrivacyLedgerTest, ReportSurfacesOptimalRdpOrder) {
 
 TEST(PrivacyLedgerTest, OptimalOrderMatchesAccountant) {
   PrivacyLedger ledger;
-  ledger.RecordSubsampledGaussian(1.5, 0.02, 300);
+  ledger.RecordSubsampledGaussian(NoiseMultiplier(1.5), SamplingRate(0.02),
+                                  300);
   RdpAccountant accountant;
-  accountant.AddSubsampledGaussianSteps(1.5, 0.02, 300);
-  EXPECT_EQ(ledger.OptimalOrder(1e-5), accountant.GetOptimalOrder(1e-5));
+  accountant.AddSubsampledGaussianSteps(NoiseMultiplier(1.5),
+                                        SamplingRate(0.02), 300);
+  EXPECT_EQ(ledger.OptimalOrder(Delta(1e-5)),
+            accountant.GetOptimalOrder(Delta(1e-5)));
   // Laplace events do not disturb the Gaussian order.
-  ledger.RecordLaplace(0.1);
-  EXPECT_EQ(ledger.OptimalOrder(1e-5), accountant.GetOptimalOrder(1e-5));
+  ledger.RecordLaplace(Epsilon(0.1));
+  EXPECT_EQ(ledger.OptimalOrder(Delta(1e-5)),
+            accountant.GetOptimalOrder(Delta(1e-5)));
 }
 
 }  // namespace

@@ -150,24 +150,28 @@ TEST(RdpAccountantTest, DefaultOrdersStartAtTwo) {
 
 TEST(RdpAccountantTest, EpsilonGrowsWithSteps) {
   RdpAccountant a, b;
-  a.AddSubsampledGaussianSteps(1.0, 0.01, 100);
-  b.AddSubsampledGaussianSteps(1.0, 0.01, 1000);
-  EXPECT_LT(a.GetEpsilon(1e-5), b.GetEpsilon(1e-5));
+  a.AddSubsampledGaussianSteps(NoiseMultiplier(1.0), SamplingRate(0.01), 100);
+  b.AddSubsampledGaussianSteps(NoiseMultiplier(1.0), SamplingRate(0.01), 1000);
+  EXPECT_LT(a.GetEpsilon(Delta(1e-5)), b.GetEpsilon(Delta(1e-5)));
 }
 
 TEST(RdpAccountantTest, EpsilonShrinksWithSigma) {
   RdpAccountant a, b;
-  a.AddSubsampledGaussianSteps(0.5, 0.01, 100);
-  b.AddSubsampledGaussianSteps(4.0, 0.01, 100);
-  EXPECT_GT(a.GetEpsilon(1e-5), b.GetEpsilon(1e-5));
+  a.AddSubsampledGaussianSteps(NoiseMultiplier(0.5), SamplingRate(0.01), 100);
+  b.AddSubsampledGaussianSteps(NoiseMultiplier(4.0), SamplingRate(0.01), 100);
+  EXPECT_GT(a.GetEpsilon(Delta(1e-5)), b.GetEpsilon(Delta(1e-5)));
 }
 
 TEST(RdpAccountantTest, StepsCompose) {
   RdpAccountant once, twice;
-  once.AddSubsampledGaussianSteps(1.0, 0.02, 200);
-  twice.AddSubsampledGaussianSteps(1.0, 0.02, 100);
-  twice.AddSubsampledGaussianSteps(1.0, 0.02, 100);
-  EXPECT_NEAR(once.GetEpsilon(1e-5), twice.GetEpsilon(1e-5), 1e-9);
+  once.AddSubsampledGaussianSteps(NoiseMultiplier(1.0), SamplingRate(0.02),
+                                  200);
+  twice.AddSubsampledGaussianSteps(NoiseMultiplier(1.0), SamplingRate(0.02),
+                                   100);
+  twice.AddSubsampledGaussianSteps(NoiseMultiplier(1.0), SamplingRate(0.02),
+                                   100);
+  EXPECT_NEAR(once.GetEpsilon(Delta(1e-5)), twice.GetEpsilon(Delta(1e-5)),
+              1e-9);
 }
 
 TEST(RdpAccountantTest, FullGaussianMatchesClosedFormConversion) {
@@ -176,7 +180,7 @@ TEST(RdpAccountantTest, FullGaussianMatchesClosedFormConversion) {
   const double sigma = 2.0;
   const int64_t steps = 10;
   RdpAccountant accountant;
-  accountant.AddGaussianSteps(sigma, steps);
+  accountant.AddGaussianSteps(NoiseMultiplier(sigma), steps);
   double expected = 1e300;
   for (int64_t alpha : RdpAccountant::DefaultOrders()) {
     const double a = static_cast<double>(alpha);
@@ -184,7 +188,7 @@ TEST(RdpAccountantTest, FullGaussianMatchesClosedFormConversion) {
         expected, steps * a / (2.0 * sigma * sigma) +
                       std::log(1e5) / (a - 1.0));
   }
-  EXPECT_NEAR(accountant.GetEpsilon(1e-5), expected, 1e-12);
+  EXPECT_NEAR(accountant.GetEpsilon(Delta(1e-5)), expected, 1e-12);
 }
 
 TEST(RdpAccountantTest, TighterThanAdvancedComposition) {
@@ -194,8 +198,9 @@ TEST(RdpAccountantTest, TighterThanAdvancedComposition) {
   const double q = 0.01;
   const int64_t steps = 1000;
   RdpAccountant accountant;
-  accountant.AddSubsampledGaussianSteps(sigma, q, steps);
-  const double rdp_eps = accountant.GetEpsilon(1e-5);
+  accountant.AddSubsampledGaussianSteps(NoiseMultiplier(sigma),
+                                        SamplingRate(q), steps);
+  const double rdp_eps = accountant.GetEpsilon(Delta(1e-5));
 
   const double per_step_eps = GaussianEpsilonForSigma(sigma, 1e-6);
   const PrivacyGuarantee adv =
@@ -205,9 +210,10 @@ TEST(RdpAccountantTest, TighterThanAdvancedComposition) {
 
 TEST(RdpAccountantTest, OptimalOrderIsTracked) {
   RdpAccountant accountant;
-  accountant.AddSubsampledGaussianSteps(1.0, 0.01, 500);
-  const int64_t order = accountant.GetOptimalOrder(1e-5);
-  const double eps = accountant.GetEpsilon(1e-5);
+  accountant.AddSubsampledGaussianSteps(NoiseMultiplier(1.0),
+                                        SamplingRate(0.01), 500);
+  const int64_t order = accountant.GetOptimalOrder(Delta(1e-5));
+  const double eps = accountant.GetEpsilon(Delta(1e-5));
   // Recompute epsilon at the reported order.
   const auto& orders = accountant.orders();
   const auto& rdp = accountant.cumulative_rdp();
@@ -222,7 +228,7 @@ TEST(RdpAccountantTest, OptimalOrderIsTracked) {
 TEST(RdpAccountantTest, ZeroStepsZeroEpsilonPlusConversionTerm) {
   RdpAccountant accountant;
   // With no steps, epsilon is just the minimal conversion overhead.
-  const double eps = accountant.GetEpsilon(1e-5);
+  const double eps = accountant.GetEpsilon(Delta(1e-5));
   EXPECT_NEAR(eps, std::log(1e5) / (1024.0 - 1.0), 1e-9);
 }
 
@@ -231,7 +237,7 @@ TEST(RdpAccountantTest, SnapshotReportsZeroBeforeAnySpend) {
   // snapshot of an untouched accountant is all zeros — what the per-step
   // telemetry should show before the first release.
   const RdpAccountant accountant;
-  const RdpSnapshot snapshot = accountant.Snapshot(1e-5);
+  const RdpSnapshot snapshot = accountant.Snapshot(Delta(1e-5));
   EXPECT_EQ(snapshot.epsilon, 0.0);
   EXPECT_EQ(snapshot.optimal_order, 0);
   EXPECT_EQ(snapshot.total_steps, 0);
@@ -239,11 +245,12 @@ TEST(RdpAccountantTest, SnapshotReportsZeroBeforeAnySpend) {
 
 TEST(RdpAccountantTest, SnapshotMatchesGettersAfterSpend) {
   RdpAccountant accountant;
-  accountant.AddSubsampledGaussianSteps(1.0, 0.01, 100);
-  accountant.AddGaussianSteps(2.0, 5);
-  const RdpSnapshot snapshot = accountant.Snapshot(1e-5);
-  EXPECT_DOUBLE_EQ(snapshot.epsilon, accountant.GetEpsilon(1e-5));
-  EXPECT_EQ(snapshot.optimal_order, accountant.GetOptimalOrder(1e-5));
+  accountant.AddSubsampledGaussianSteps(NoiseMultiplier(1.0),
+                                        SamplingRate(0.01), 100);
+  accountant.AddGaussianSteps(NoiseMultiplier(2.0), 5);
+  const RdpSnapshot snapshot = accountant.Snapshot(Delta(1e-5));
+  EXPECT_DOUBLE_EQ(snapshot.epsilon, accountant.GetEpsilon(Delta(1e-5)));
+  EXPECT_EQ(snapshot.optimal_order, accountant.GetOptimalOrder(Delta(1e-5)));
   EXPECT_EQ(snapshot.total_steps, 105);
   EXPECT_EQ(accountant.total_steps(), 105);
 }

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/byte_view.h"
 #include "base/rng.h"
 #include "base/thread_pool.h"
 #include "base/timer.h"
@@ -40,7 +41,7 @@ std::string RawRequest(int port, const std::string& raw) {
   address.sin_family = AF_INET;
   address.sin_port = htons(static_cast<uint16_t>(port));
   ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+  if (::connect(fd, geodp::PunCast<const sockaddr>(&address),
                 sizeof(address)) != 0) {
     ::close(fd);
     return "";

@@ -130,9 +130,10 @@ TEST(BudgetConsistencyTest, TrainerEpsilonMatchesCalibration) {
   DpTrainer trainer(model.get(), &train, nullptr, options);
   const TrainingResult result = trainer.Train();
   const double expected =
-      TrainingRunEpsilon(NoiseMultiplier(1.5),
-                         24.0 / static_cast<double>(train.size()), 40,
-                         options.delta)
+      TrainingRunEpsilon(
+          NoiseMultiplier(1.5),
+          SamplingRate(24.0 / static_cast<double>(train.size())), 40,
+          Delta(options.delta))
           .value();
   EXPECT_NEAR(result.epsilon, expected, 1e-9);
 }

@@ -1,0 +1,26 @@
+// Fixture: seeded R2v2 violations mirroring an unsanitized ghost-clipping
+// accumulation pass — ghost norms flow into batch weights, which then
+// escape twice: through a method call on a reference parameter (writing
+// into caller-visible model state) and through the return value. The
+// per-sample annotations on the transport lines suppress the name-scan
+// findings but deliberately keep the taint alive.
+#include <vector>
+
+namespace geodp {
+
+class Model;
+struct BatchWeights {
+  std::vector<double> clipped;
+};
+BatchWeights ComputeWeights(const std::vector<double>& norms);
+
+BatchWeights AccumulateUnclipped(Model& model,
+                                 const std::vector<double>& values) {
+  std::vector<double> ghost_norm_sq = values;  // geodp: per-sample
+  const BatchWeights weights =
+      ComputeWeights(ghost_norm_sq);  // geodp: per-sample
+  model.Accumulate(weights.clipped);
+  return weights;
+}
+
+}  // namespace geodp

@@ -1,0 +1,15 @@
+// Fixture: the same flow as r2v2_taint_via_local.cc, but the aggregate
+// is declared sensitivity-checked before it escapes — the annotation
+// sanitizes the local, so the taint pass reports nothing.
+#include <vector>
+
+namespace geodp {
+
+double SumNorms(const std::vector<double>& norms) {  // geodp: per-sample
+  double acc = 0.0;
+  for (double n : norms) acc += n;
+  // geodp: sensitivity-checked aggregate released after clipping upstream
+  return acc;
+}
+
+}  // namespace geodp

@@ -1,0 +1,15 @@
+// Fixture: seeded R2v2 violation — a parameter marked as per-sample
+// transport flows through innocently named locals and escapes via
+// return. No per-sample-named identifier appears anywhere near the
+// sink, so only the taint layer can see the leak.
+#include <vector>
+
+namespace geodp {
+
+double SumNorms(const std::vector<double>& norms) {  // geodp: per-sample
+  double acc = 0.0;
+  for (double n : norms) acc += n;
+  return acc;
+}
+
+}  // namespace geodp

@@ -1,0 +1,16 @@
+// Fixture: a reinterpret_cast that is clean under the virtual path
+// src/base/byte_view.h (the one audited home of type punning) and an R6
+// finding under any other path.
+#ifndef GEODP_TESTS_LINT_FIXTURES_R6_IN_BYTE_VIEW_H_
+#define GEODP_TESTS_LINT_FIXTURES_R6_IN_BYTE_VIEW_H_
+
+namespace geodp {
+
+template <typename T>
+const char* FixtureBytes(const T& value) {
+  return reinterpret_cast<const char*>(&value);
+}
+
+}  // namespace geodp
+
+#endif  // GEODP_TESTS_LINT_FIXTURES_R6_IN_BYTE_VIEW_H_

@@ -1,0 +1,16 @@
+// Fixture: seeded R6 violation — a raw reinterpret_cast outside the
+// audited src/base/byte_view.h helper. The second function carries a
+// nolint(R6) suppression, so exactly one finding remains.
+#include <cstdint>
+
+namespace geodp {
+
+const char* RawBytes(const std::uint64_t& value) {
+  return reinterpret_cast<const char*>(&value);
+}
+
+const char* SuppressedBytes(const std::uint64_t& value) {
+  return reinterpret_cast<const char*>(&value);  // geodp: nolint(R6)
+}
+
+}  // namespace geodp

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/byte_view.h"
 #include "base/fault_injection.h"
 #include "base/io/file_io.h"
 #include "base/io/retry.h"
@@ -306,8 +307,9 @@ std::unique_ptr<Sequential> MakeModel(uint64_t seed) {
 
 std::string WeightBytes(Sequential& model) {
   const Tensor flat = FlattenValues(model.Parameters());
-  return std::string(reinterpret_cast<const char*>(flat.data()),
-                     static_cast<size_t>(flat.numel()) * sizeof(float));
+  const geodp::ByteSpan bytes =
+      geodp::AsBytes(flat.data(), static_cast<size_t>(flat.numel()));
+  return std::string(bytes.data, bytes.size);
 }
 
 TrainerOptions BaseOptions() {

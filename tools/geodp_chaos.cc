@@ -46,6 +46,7 @@
 
 #include <sys/wait.h>
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -141,12 +142,12 @@ struct ErrnoFault {
   const char* action;
 };
 
-constexpr ErrnoFault kFaultPalette[] = {
+constexpr std::array<ErrnoFault, 7> kFaultPalette = {{
     {"ckpt.write_io", "eio"},       {"ckpt.write_io", "eintr"},
     {"obs.jsonl", "eio"},           {"obs.jsonl", "eintr"},
     {"ckpt.prune", "eio"},          {"ckpt.write", "short_write"},
     {"ckpt.write_io", "torn_rename"},
-};
+}};
 
 struct ScheduleParams {
   int64_t crash_at = 0;       // trainer.step hit that _Exit(87)s
@@ -163,13 +164,12 @@ ScheduleParams DeriveSchedule(uint64_t root_seed, int64_t index,
       1 + static_cast<int64_t>(
               rng.UniformInt(static_cast<uint64_t>(iterations - 1)));
   const ErrnoFault& fault =
-      kFaultPalette[rng.UniformInt(sizeof(kFaultPalette) /
-                                   sizeof(kFaultPalette[0]))];
+      kFaultPalette[rng.UniformInt(kFaultPalette.size())];
   const double probability = 0.01 * (1 + rng.UniformInt(3));
-  char spec[128];
-  std::snprintf(spec, sizeof(spec), "%s@p=%g:%s", fault.site, probability,
-                fault.action);
-  params.errno_spec = spec;
+  std::array<char, 128> spec;
+  std::snprintf(spec.data(), spec.size(), "%s@p=%g:%s", fault.site,
+                probability, fault.action);
+  params.errno_spec = spec.data();
   params.failpoint_seed =
       static_cast<int64_t>(rng.Next() % 1000000007ull) + 1;
   params.train_seed = index + 1;

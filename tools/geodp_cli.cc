@@ -342,7 +342,8 @@ int RunPrivacy(int argc, const char* const* argv) {
   const double target_eps = flags.GetDouble("target-eps");
   if (target_eps > 0.0) {
     const StatusOr<double> solved =
-        NoiseMultiplierForTargetEpsilon(target_eps, delta, q, steps);
+        NoiseMultiplierForTargetEpsilon(Epsilon(target_eps), Delta(delta),
+                                        SamplingRate(q), steps);
     if (!solved.ok()) {
       std::printf("%s\n", solved.status().ToString().c_str());
       return 1;
@@ -351,7 +352,8 @@ int RunPrivacy(int argc, const char* const* argv) {
     std::printf("sigma for eps<=%.3f: %.4f\n", target_eps, sigma);
   }
   const StatusOr<double> run_epsilon =
-      TrainingRunEpsilon(NoiseMultiplier(sigma), q, steps, delta);
+      TrainingRunEpsilon(NoiseMultiplier(sigma), SamplingRate(q), steps,
+                         Delta(delta));
   if (!run_epsilon.ok()) {
     std::printf("%s\n", run_epsilon.status().ToString().c_str());
     return 1;

@@ -44,12 +44,17 @@ int main(int argc, char** argv) {
       std::printf(
           "R1   nondeterminism ban (random_device, mt19937, rand, time, "
           "::now, ... outside src/base/rng.* and src/base/timer.*)\n"
-          "R2   per-sample gradient data consumed outside src/clip/ without "
-          "a geodp: per-sample / sensitivity-checked annotation\n"
+          "R2   per-sample gradient data escaping src/clip/ without a "
+          "geodp: per-sample / sensitivity-checked annotation (name scan "
+          "plus per-function taint dataflow)\n"
           "R3   CHECK/abort in Status-returning library paths (src/ckpt/, "
           "src/dp/, src/optim/trainer*) without geodp: check-ok\n"
           "R4   header hygiene: include guards, no `using namespace` in "
           "headers, no <iostream> in library code\n"
+          "R5   raw file I/O (fopen, std::ofstream, ::open) outside "
+          "src/base/io/ without geodp: raw-io-ok\n"
+          "R6   reinterpret_cast outside the audited src/base/byte_view.h "
+          "helper\n"
           "ANN  malformed `// geodp: ...` annotation\n");
       return 0;
     } else if (arg == "--help" || arg == "-h") {

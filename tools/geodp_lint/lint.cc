@@ -1,11 +1,19 @@
+// Facade: tokenize -> resolve annotations -> token rules (R1-R6) ->
+// per-sample taint pass (R2v2). The heavy lifting lives in tokenizer.cc,
+// rules.cc and dataflow.cc; this file owns file/tree traversal, finding
+// formatting and ordering.
+
 #include "geodp_lint/lint.h"
 
 #include <algorithm>
 #include <array>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "geodp_lint/dataflow.h"
+#include "geodp_lint/rules.h"
+#include "geodp_lint/tokenizer.h"
 
 namespace geodp {
 namespace lint {
@@ -18,448 +26,6 @@ bool StartsWith(std::string_view text, std::string_view prefix) {
 bool EndsWith(std::string_view text, std::string_view suffix) {
   return text.size() >= suffix.size() &&
          text.substr(text.size() - suffix.size()) == suffix;
-}
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// One source line after comment/string stripping, plus the geodp annotations
-// that apply to it.
-struct Line {
-  std::string code;                // literals replaced by "", comments removed
-  std::vector<std::string> tags;   // "per-sample", "check-ok", "nolint:R1", ...
-};
-
-struct ParsedFile {
-  std::vector<Line> lines;          // index 0 == line 1
-  std::vector<Finding> annotation_findings;
-};
-
-// Parses the text of one `// geodp: ...` comment into tags; malformed
-// annotations become ANN findings so a typo never silently disables a rule.
-void ParseAnnotation(std::string_view text, const std::string& path,
-                     int line_number, std::vector<std::string>& tags,
-                     std::vector<Finding>& findings) {
-  // First whitespace-delimited token is the tag; anything after it is a
-  // free-text rationale.
-  size_t begin = text.find_first_not_of(" \t");
-  if (begin == std::string_view::npos) begin = text.size();
-  size_t end = text.find_first_of(" \t", begin);
-  if (end == std::string_view::npos) end = text.size();
-  const std::string token(text.substr(begin, end - begin));
-
-  if (token == "per-sample" || token == "sensitivity-checked" ||
-      token == "check-ok" || token == "cpuid-ok" || token == "raw-io-ok") {
-    tags.push_back(token);
-    return;
-  }
-  if (StartsWith(token, "nolint(") && EndsWith(token, ")")) {
-    const std::string list = token.substr(7, token.size() - 8);
-    std::istringstream stream(list);
-    std::string rule;
-    bool any = false;
-    bool ok = true;
-    while (std::getline(stream, rule, ',')) {
-      if (rule == "R1" || rule == "R2" || rule == "R3" || rule == "R4" ||
-          rule == "R5") {
-        tags.push_back("nolint:" + rule);
-        any = true;
-      } else {
-        ok = false;
-      }
-    }
-    if (ok && any) return;
-  }
-  findings.push_back(
-      {RuleId::kAnnotation, path, line_number,
-       "unrecognized geodp annotation '" + token +
-           "' (expected per-sample, sensitivity-checked, check-ok, "
-           "cpuid-ok, raw-io-ok, or nolint(R1[,R2,...]))"});
-}
-
-// Strips comments and literals, collecting `// geodp:` annotations. An
-// annotation on a pure-comment line applies to the next line.
-ParsedFile ParseContent(const std::string& path, std::string_view content) {
-  ParsedFile parsed;
-  bool in_block_comment = false;
-  bool in_raw_string = false;
-  std::string raw_terminator;  // ")delim\"" of the active raw string
-
-  size_t pos = 0;
-  int line_number = 0;
-  while (pos <= content.size()) {
-    size_t eol = content.find('\n', pos);
-    if (eol == std::string_view::npos) eol = content.size();
-    std::string_view raw = content.substr(pos, eol - pos);
-    ++line_number;
-
-    Line line;
-    std::string& code = line.code;
-    size_t i = 0;
-    while (i < raw.size()) {
-      if (in_block_comment) {
-        const size_t close = raw.find("*/", i);
-        if (close == std::string_view::npos) {
-          i = raw.size();
-        } else {
-          i = close + 2;
-          in_block_comment = false;
-        }
-        continue;
-      }
-      if (in_raw_string) {
-        const size_t close = raw.find(raw_terminator, i);
-        if (close == std::string_view::npos) {
-          i = raw.size();
-        } else {
-          i = close + raw_terminator.size();
-          in_raw_string = false;
-        }
-        continue;
-      }
-      const char c = raw[i];
-      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
-        std::string_view comment = raw.substr(i + 2);
-        const size_t tag = comment.find("geodp:");
-        // Prose mentioning qualified names ("geodp::Rng") is not an
-        // annotation; require `geodp:` followed by a non-colon.
-        if (tag != std::string_view::npos &&
-            comment.find_first_not_of(" \t") == tag &&
-            (tag + 6 >= comment.size() || comment[tag + 6] != ':')) {
-          ParseAnnotation(comment.substr(tag + 6), path, line_number,
-                          line.tags, parsed.annotation_findings);
-        }
-        break;  // rest of the line is comment
-      }
-      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
-        in_block_comment = true;
-        i += 2;
-        continue;
-      }
-      if (c == 'R' && i + 1 < raw.size() && raw[i + 1] == '"' &&
-          (i == 0 || !IsIdentChar(raw[i - 1]))) {
-        const size_t open = raw.find('(', i + 2);
-        if (open != std::string_view::npos) {
-          raw_terminator.clear();
-          raw_terminator += ')';
-          raw_terminator.append(raw.substr(i + 2, open - i - 2));
-          raw_terminator += '"';
-          in_raw_string = true;
-          i = open + 1;
-          continue;
-        }
-      }
-      // A ' directly after an identifier/digit is a C++14 digit separator
-      // (1'000'000), not a character literal.
-      if (c == '\'' && i > 0 && IsIdentChar(raw[i - 1])) {
-        code += c;
-        ++i;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        ++i;
-        while (i < raw.size()) {
-          if (raw[i] == '\\') {
-            i += 2;
-          } else if (raw[i] == quote) {
-            ++i;
-            break;
-          } else {
-            ++i;
-          }
-        }
-        code += ' ';  // keep token boundaries intact
-        continue;
-      }
-      code += c;
-      ++i;
-    }
-
-    parsed.lines.push_back(std::move(line));
-    pos = eol + 1;
-    if (eol == content.size()) break;
-  }
-
-  // Move annotations on pure-comment lines down to the line they guard.
-  for (size_t k = 0; k + 1 < parsed.lines.size(); ++k) {
-    Line& current = parsed.lines[k];
-    if (current.tags.empty()) continue;
-    if (current.code.find_first_not_of(" \t") != std::string::npos) continue;
-    Line& next = parsed.lines[k + 1];
-    next.tags.insert(next.tags.end(), current.tags.begin(),
-                     current.tags.end());
-    current.tags.clear();
-  }
-  return parsed;
-}
-
-bool HasTag(const Line& line, std::string_view tag) {
-  return std::find(line.tags.begin(), line.tags.end(), tag) !=
-         line.tags.end();
-}
-
-bool Suppressed(const Line& line, RuleId rule) {
-  return HasTag(line, std::string("nolint:") + RuleIdName(rule));
-}
-
-// Calls `visit(identifier, index_past_end)` for each identifier token.
-template <typename Visitor>
-void ForEachIdentifier(std::string_view code, Visitor&& visit) {
-  size_t i = 0;
-  while (i < code.size()) {
-    if (IsIdentChar(code[i]) &&
-        std::isdigit(static_cast<unsigned char>(code[i])) == 0) {
-      size_t j = i;
-      while (j < code.size() && IsIdentChar(code[j])) ++j;
-      visit(code.substr(i, j - i), j);
-      i = j;
-    } else {
-      ++i;
-    }
-  }
-}
-
-bool NextNonSpaceIsCall(std::string_view code, size_t from) {
-  while (from < code.size() &&
-         std::isspace(static_cast<unsigned char>(code[from])) != 0) {
-    ++from;
-  }
-  return from < code.size() && code[from] == '(';
-}
-
-struct PathInfo {
-  bool is_header = false;
-  bool in_src = false;
-  // R1: every deterministic-contract surface (library, CLIs, examples);
-  // tests and benches may use local clocks and ad-hoc randomness.
-  bool r1_applies = false;
-  bool r2_applies = false;  // src/ outside src/clip/
-  bool r3_applies = false;  // src/ckpt/, src/dp/, src/clip/, trainer*
-  // The one place `// geodp: cpuid-ok` may authorize a cpu feature probe.
-  bool in_simd_dispatch = false;  // src/base/simd/
-  bool iostream_banned = false;
-  // R5: raw file I/O is confined to src/base/io/ so every filesystem
-  // touch gets retry, errno classification and fault-injection coverage.
-  bool r5_applies = false;  // src/ outside src/base/io/
-};
-
-PathInfo ClassifyPath(const std::string& path) {
-  PathInfo info;
-  info.is_header = EndsWith(path, ".h");
-  info.in_src = StartsWith(path, "src/");
-
-  static constexpr std::array<std::string_view, 4> kR1Allowlist = {
-      "src/base/rng.h", "src/base/rng.cc", "src/base/timer.h",
-      "src/base/timer.cc"};
-  const bool allowlisted =
-      std::find(kR1Allowlist.begin(), kR1Allowlist.end(), path) !=
-      kR1Allowlist.end();
-  info.r1_applies = (info.in_src || StartsWith(path, "tools/") ||
-                     StartsWith(path, "examples/")) &&
-                    !allowlisted;
-
-  info.r2_applies = info.in_src && !StartsWith(path, "src/clip/");
-  info.in_simd_dispatch = StartsWith(path, "src/base/simd/");
-  // src/clip/ joined R3 when ClipAndSum gained defined empty-lot behavior:
-  // the clipping boundary sits on the trainer's Status path, so residual
-  // aborts there must be annotated internal invariants.
-  info.r3_applies = StartsWith(path, "src/ckpt/") ||
-                    StartsWith(path, "src/dp/") ||
-                    StartsWith(path, "src/clip/") ||
-                    StartsWith(path, "src/optim/trainer");
-  info.iostream_banned = info.in_src && path != "src/base/check.h";
-  info.r5_applies = info.in_src && !StartsWith(path, "src/base/io/");
-  return info;
-}
-
-// R1: identifiers that are nondeterministic by construction. The *_call
-// set additionally requires a call so e.g. a variable named `time` in a
-// declaration does not trip the rule.
-constexpr std::array<std::string_view, 11> kNondetIdentifiers = {
-    "random_device",  "mt19937",        "mt19937_64",
-    "minstd_rand",    "minstd_rand0",   "default_random_engine",
-    "knuth_b",        "ranlux24",       "ranlux24_base",
-    "ranlux48",       "ranlux48_base"};
-constexpr std::array<std::string_view, 5> kNondetCalls = {
-    "rand", "srand", "time", "clock", "gettimeofday"};
-
-// R1: cpu feature probes make behavior machine-dependent (a different host
-// dispatches different kernels). Allowed only in the SIMD dispatch layer
-// under an explicit `// geodp: cpuid-ok` annotation, so every probe stays
-// auditable.
-constexpr std::array<std::string_view, 8> kCpuidIdentifiers = {
-    "__builtin_cpu_supports", "__builtin_cpu_init",
-    "__get_cpuid",            "__get_cpuid_count",
-    "__cpuid",                "__cpuid_count",
-    "_xgetbv",                "_may_i_use_cpu_feature"};
-
-// "ghost_norm" covers the ghost-clipping bookkeeping (per-sample squared
-// gradient norms computed without materializing the gradient): the values
-// are exactly as privacy-sensitive as the gradients they summarize.
-constexpr std::array<std::string_view, 4> kPerSamplePatterns = {
-    "per_sample", "per_example", "sample_grad", "ghost_norm"};
-
-constexpr std::array<std::string_view, 4> kAbortCalls = {"abort", "_Exit",
-                                                         "quick_exit", "exit"};
-
-// R5: direct file-opening entry points. The stream types trip on any
-// mention (a member declaration is already a bypass of the I/O substrate);
-// the C functions must be calls; bare `open` must be a global-namespace
-// call (`::open`) so methods like `writer.Open()` stay legal.
-constexpr std::array<std::string_view, 3> kRawIoStreamTypes = {
-    "ofstream", "ifstream", "fstream"};
-constexpr std::array<std::string_view, 2> kRawIoCalls = {"fopen", "freopen"};
-
-void CheckLine(const std::string& path, const PathInfo& info, const Line& line,
-               int line_number, std::vector<Finding>& findings) {
-  const std::string_view code = line.code;
-  bool r1_hit = false, r2_hit = false, r3_hit = false, r5_hit = false;
-
-  ForEachIdentifier(code, [&](std::string_view ident, size_t past_end) {
-    if (info.r1_applies && !r1_hit &&
-        !Suppressed(line, RuleId::kR1Nondeterminism)) {
-      const bool named = std::find(kNondetIdentifiers.begin(),
-                                   kNondetIdentifiers.end(),
-                                   ident) != kNondetIdentifiers.end();
-      const bool called =
-          std::find(kNondetCalls.begin(), kNondetCalls.end(), ident) !=
-              kNondetCalls.end() &&
-          NextNonSpaceIsCall(code, past_end);
-      const size_t start = past_end - ident.size();
-      const bool clock_now = ident == "now" &&
-                             NextNonSpaceIsCall(code, past_end) && start >= 2 &&
-                             code[start - 1] == ':' && code[start - 2] == ':';
-      const bool cpuid =
-          std::find(kCpuidIdentifiers.begin(), kCpuidIdentifiers.end(),
-                    ident) != kCpuidIdentifiers.end() &&
-          !(info.in_simd_dispatch && HasTag(line, "cpuid-ok"));
-      if (named || called || clock_now || cpuid) {
-        r1_hit = true;
-        findings.push_back(
-            {RuleId::kR1Nondeterminism, path, line_number,
-             cpuid ? "cpu feature probe '" + std::string(ident) +
-                         "' — hardware dispatch is only allowed in "
-                         "src/base/simd/ under `// geodp: cpuid-ok`"
-                   : "nondeterministic source '" + std::string(ident) +
-                         "' — use the seeded xoshiro256++ substreams in "
-                         "src/base/rng.h (or geodp::Timer for wall-clock)"});
-      }
-    }
-    if (info.r2_applies && !r2_hit &&
-        !Suppressed(line, RuleId::kR2PrivacyBoundary) &&
-        !HasTag(line, "per-sample") && !HasTag(line, "sensitivity-checked")) {
-      for (std::string_view pattern : kPerSamplePatterns) {
-        if (ident.find(pattern) != std::string_view::npos) {
-          r2_hit = true;
-          findings.push_back(
-              {RuleId::kR2PrivacyBoundary, path, line_number,
-               "per-sample gradient identifier '" + std::string(ident) +
-                   "' outside src/clip/ — clip before aggregation and "
-                   "annotate `// geodp: per-sample` (transport) or "
-                   "`// geodp: sensitivity-checked` (post-clip use)"});
-          break;
-        }
-      }
-    }
-    if (info.r3_applies && !r3_hit &&
-        !Suppressed(line, RuleId::kR3CheckAbort) &&
-        !HasTag(line, "check-ok")) {
-      const bool check = StartsWith(ident, "GEODP_CHECK");
-      const bool aborts =
-          std::find(kAbortCalls.begin(), kAbortCalls.end(), ident) !=
-              kAbortCalls.end() &&
-          NextNonSpaceIsCall(code, past_end);
-      if (check || aborts) {
-        r3_hit = true;
-        findings.push_back(
-            {RuleId::kR3CheckAbort, path, line_number,
-             "'" + std::string(ident) +
-                 "' in a Status-returning library path — return "
-                 "geodp::Status, or annotate a true internal invariant "
-                 "with `// geodp: check-ok`"});
-      }
-    }
-    // Preprocessor lines are exempt: `#include <fstream>` mentions the
-    // type without opening anything — only uses are findings.
-    const bool preprocessor =
-        code.find_first_not_of(" \t") != std::string_view::npos &&
-        code[code.find_first_not_of(" \t")] == '#';
-    if (info.r5_applies && !r5_hit && !preprocessor &&
-        !Suppressed(line, RuleId::kR5RawIo) && !HasTag(line, "raw-io-ok")) {
-      const bool stream_type =
-          std::find(kRawIoStreamTypes.begin(), kRawIoStreamTypes.end(),
-                    ident) != kRawIoStreamTypes.end();
-      const bool c_call =
-          std::find(kRawIoCalls.begin(), kRawIoCalls.end(), ident) !=
-              kRawIoCalls.end() &&
-          NextNonSpaceIsCall(code, past_end);
-      const size_t start = past_end - ident.size();
-      const bool global_open =
-          ident == "open" && NextNonSpaceIsCall(code, past_end) &&
-          start >= 2 && code[start - 1] == ':' && code[start - 2] == ':' &&
-          (start < 3 || !IsIdentChar(code[start - 3]));
-      if (stream_type || c_call || global_open) {
-        r5_hit = true;
-        findings.push_back(
-            {RuleId::kR5RawIo, path, line_number,
-             "raw file I/O '" + std::string(ident) +
-                 "' outside src/base/io/ — use ReadFileWithRetry / "
-                 "AtomicWriteFile / RetryingWriter (base/io/file_io.h) "
-                 "so the write gets retry, errno classification and "
-                 "fault-injection coverage, or annotate "
-                 "`// geodp: raw-io-ok` with a rationale"});
-      }
-    }
-  });
-
-  // R4b: using-directives in headers leak into every includer.
-  if (info.is_header && !Suppressed(line, RuleId::kR4HeaderHygiene)) {
-    ForEachIdentifier(code, [&](std::string_view ident, size_t past_end) {
-      if (ident != "using") return;
-      size_t from = past_end;
-      while (from < code.size() &&
-             std::isspace(static_cast<unsigned char>(code[from])) != 0) {
-        ++from;
-      }
-      if (StartsWith(code.substr(from), "namespace")) {
-        findings.push_back({RuleId::kR4HeaderHygiene, path, line_number,
-                            "`using namespace` in a header leaks into every "
-                            "translation unit that includes it"});
-      }
-    });
-  }
-
-  // R4c: <iostream> drags static initializers into library code.
-  if (info.iostream_banned && !Suppressed(line, RuleId::kR4HeaderHygiene)) {
-    const size_t hash = code.find('#');
-    if (hash != std::string::npos &&
-        code.find("include", hash) != std::string::npos &&
-        code.find("<iostream>", hash) != std::string::npos) {
-      findings.push_back({RuleId::kR4HeaderHygiene, path, line_number,
-                          "<iostream> outside logging/CLI/tools — library "
-                          "code logs via base/check.h or returns Status"});
-    }
-  }
-}
-
-void CheckHeaderGuard(const std::string& path, const ParsedFile& parsed,
-                      std::vector<Finding>& findings) {
-  for (const Line& line : parsed.lines) {
-    const size_t hash = line.code.find('#');
-    if (hash == std::string::npos) continue;
-    const std::string_view directive =
-        std::string_view(line.code).substr(hash);
-    if (directive.find("pragma") != std::string_view::npos &&
-        directive.find("once") != std::string_view::npos) {
-      return;
-    }
-    if (directive.find("ifndef") != std::string_view::npos) return;
-  }
-  findings.push_back({RuleId::kR4HeaderHygiene, path, 1,
-                      "header has neither an include guard (#ifndef) nor "
-                      "#pragma once"});
 }
 
 }  // namespace
@@ -476,6 +42,8 @@ const char* RuleIdName(RuleId rule) {
       return "R4";
     case RuleId::kR5RawIo:
       return "R5";
+    case RuleId::kR6ReinterpretCast:
+      return "R6";
     case RuleId::kAnnotation:
       return "ANN";
   }
@@ -491,18 +59,18 @@ std::string FormatFinding(const Finding& finding) {
 
 std::vector<Finding> LintContent(const std::string& path,
                                  std::string_view content) {
-  const ParsedFile parsed = ParseContent(path, content);
+  const std::vector<Token> tokens = Tokenize(content);
+  const AnnotatedSource source = BuildAnnotatedSource(path, tokens);
   const PathInfo info = ClassifyPath(path);
 
-  std::vector<Finding> findings = parsed.annotation_findings;
-  if (info.is_header) CheckHeaderGuard(path, parsed, findings);
-  for (size_t k = 0; k < parsed.lines.size(); ++k) {
-    CheckLine(path, info, parsed.lines[k], static_cast<int>(k) + 1, findings);
-  }
+  std::vector<Finding> findings = source.annotation_findings;
+  CheckTokenRules(path, info, source, findings);
+  CheckPerSampleTaint(path, info, source, findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;
-              return RuleIdName(a.rule) < RuleIdName(b.rule);
+              return std::string_view(RuleIdName(a.rule)) <
+                     std::string_view(RuleIdName(b.rule));
             });
   return findings;
 }
@@ -554,7 +122,8 @@ StatusOr<std::vector<Finding>> LintTree(const std::string& root) {
   std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
     if (a.path != b.path) return a.path < b.path;
     if (a.line != b.line) return a.line < b.line;
-    return RuleIdName(a.rule) < RuleIdName(b.rule);
+    return std::string_view(RuleIdName(a.rule)) <
+           std::string_view(RuleIdName(b.rule));
   });
   return all;
 }

@@ -32,12 +32,24 @@
 //                                 itself may touch the raw syscalls; anywhere
 //                                 else needs `// geodp: raw-io-ok` with a
 //                                 rationale.
+//   R6  reinterpret_cast ban    — type punning is confined to the audited
+//                                 helper src/base/byte_view.h (AsBytes /
+//                                 AsWritableBytes / FromBytes<T> / PunCast,
+//                                 all static_assert-guarded on trivial
+//                                 copyability); a raw reinterpret_cast
+//                                 anywhere else is a finding.
 //   ANN annotation grammar      — a `// geodp: ...` comment that does not
 //                                 parse is itself a finding, so a typo never
 //                                 silently disables a rule.
 //
+// R2 has two layers: a name scan (any per-sample-named identifier outside
+// src/clip/ needs an annotation) and R2v2, a per-function intraprocedural
+// taint pass (dataflow.h) that follows per-sample values through innocently
+// named locals to returns, member writes and outgoing calls. Both report
+// as [R2].
+//
 // Any rule can be suppressed on a single line with `// geodp: nolint(Rn)`.
-// The scanner is token-level (strings and comments stripped), deliberately
+// The analysis runs on a real token stream (tokenizer.h), deliberately
 // dependency-free: no libclang, no compilation database needed.
 
 #ifndef GEODP_TOOLS_GEODP_LINT_LINT_H_
@@ -58,10 +70,11 @@ enum class RuleId {
   kR3CheckAbort,
   kR4HeaderHygiene,
   kR5RawIo,
+  kR6ReinterpretCast,
   kAnnotation,
 };
 
-/// Stable short identifier used in output and nolint(): "R1".."R5", "ANN".
+/// Stable short identifier used in output and nolint(): "R1".."R6", "ANN".
 const char* RuleIdName(RuleId rule);
 
 struct Finding {

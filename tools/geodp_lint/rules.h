@@ -1,0 +1,77 @@
+// Rule layer of geodp_lint: `// geodp:` annotation parsing, repo-relative
+// path classification, and the token-stream checks for rules R1-R6 (the
+// per-function taint pass behind R2v2 lives in dataflow.h). See lint.h for
+// the rule catalogue and docs/static_analysis.md for the contract.
+
+#ifndef GEODP_TOOLS_GEODP_LINT_RULES_H_
+#define GEODP_TOOLS_GEODP_LINT_RULES_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geodp_lint/lint.h"
+#include "geodp_lint/tokenizer.h"
+
+namespace geodp {
+namespace lint {
+
+/// Token stream with annotations resolved: `code` is the stream minus
+/// comments, `tags` maps a 1-based line number to the geodp annotation
+/// tags that apply to it ("per-sample", "nolint:R1", ...). An annotation
+/// on a comment-only line applies to the following line; a trailing
+/// annotation applies to its own line. Malformed annotations surface in
+/// `annotation_findings` so a typo never silently disables a rule.
+struct AnnotatedSource {
+  std::vector<Token> code;
+  std::map<int, std::vector<std::string>> tags;
+  std::vector<Finding> annotation_findings;
+};
+
+AnnotatedSource BuildAnnotatedSource(const std::string& path,
+                                     const std::vector<Token>& tokens);
+
+bool LineHasTag(const AnnotatedSource& source, int line,
+                std::string_view tag);
+bool LineSuppressed(const AnnotatedSource& source, int line, RuleId rule);
+
+/// Which rules apply to a file, decided from its repo-relative path alone
+/// (this is what lets tests lint fixtures under virtual paths).
+struct PathInfo {
+  bool is_header = false;
+  bool in_src = false;
+  // R1: every deterministic-contract surface (library, CLIs, examples);
+  // tests and benches may use local clocks and ad-hoc randomness.
+  bool r1_applies = false;
+  bool r2_applies = false;  // src/ outside src/clip/ (also scopes R2v2)
+  bool r3_applies = false;  // src/ckpt/, src/dp/, src/clip/, trainer*
+  // The one place `// geodp: cpuid-ok` may authorize a cpu feature probe.
+  bool in_simd_dispatch = false;  // src/base/simd/
+  bool iostream_banned = false;
+  // R5: raw file I/O is confined to src/base/io/ so every filesystem
+  // touch gets retry, errno classification and fault-injection coverage.
+  bool r5_applies = false;  // src/ outside src/base/io/
+  // R6: reinterpret_cast is confined to the audited byte-view helper.
+  bool r6_applies = false;  // everywhere except src/base/byte_view.h
+};
+
+PathInfo ClassifyPath(const std::string& path);
+
+/// Identifier substrings that mark a value as per-sample gradient data.
+/// Shared with the taint pass: these are its taint sources.
+/// "ghost_norm" covers the ghost-clipping bookkeeping (per-sample squared
+/// gradient norms computed without materializing the gradient): the values
+/// are exactly as privacy-sensitive as the gradients they summarize.
+bool IsPerSampleIdentifier(std::string_view ident);
+
+/// Runs R1-R6 (including the R4 header-guard check for headers) over the
+/// annotated token stream and appends findings.
+void CheckTokenRules(const std::string& path, const PathInfo& info,
+                     const AnnotatedSource& source,
+                     std::vector<Finding>& findings);
+
+}  // namespace lint
+}  // namespace geodp
+
+#endif  // GEODP_TOOLS_GEODP_LINT_RULES_H_

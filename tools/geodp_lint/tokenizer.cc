@@ -1,0 +1,229 @@
+#include "geodp_lint/tokenizer.h"
+
+#include <array>
+#include <cctype>
+
+namespace geodp {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+// Multi-character punctuators, longest first so "<<=" wins over "<<".
+constexpr std::array<std::string_view, 25> kPunctuators = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  ".*"};
+
+// Literal prefixes that may introduce a raw string (R"...") or an encoded
+// string/char literal (u8"...", L'x', ...).
+bool IsRawStringPrefix(std::string_view ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+bool IsEncodingPrefix(std::string_view ident) {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L";
+}
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view content) : content_(content) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> tokens;
+    while (pos_ < content_.size()) {
+      const char c = content_[pos_];
+      if (c == '\n') {
+        Advance();
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        Advance();
+        continue;
+      }
+      Token token;
+      token.line = line_;
+      token.col = col_;
+      const size_t start = pos_;
+      if (c == '/' && Peek(1) == '/') {
+        token.kind = TokenKind::kComment;
+        ScanLineComment();
+      } else if (c == '/' && Peek(1) == '*') {
+        token.kind = TokenKind::kComment;
+        ScanBlockComment();
+      } else if (IsIdentStart(c)) {
+        token.kind = TokenKind::kIdentifier;
+        while (pos_ < content_.size() && IsIdentChar(content_[pos_])) {
+          Advance();
+        }
+        const std::string_view ident =
+            content_.substr(start, pos_ - start);
+        if (pos_ < content_.size() && content_[pos_] == '"') {
+          if (IsRawStringPrefix(ident)) {
+            token.kind = TokenKind::kString;
+            ScanRawString();
+          } else if (IsEncodingPrefix(ident)) {
+            token.kind = TokenKind::kString;
+            ScanQuoted('"');
+          }
+        } else if (pos_ < content_.size() && content_[pos_] == '\'' &&
+                   IsEncodingPrefix(ident)) {
+          token.kind = TokenKind::kCharLiteral;
+          ScanQuoted('\'');
+        }
+      } else if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        token.kind = TokenKind::kNumber;
+        ScanNumber();
+      } else if (c == '"') {
+        token.kind = TokenKind::kString;
+        ScanQuoted('"');
+      } else if (c == '\'') {
+        token.kind = TokenKind::kCharLiteral;
+        ScanQuoted('\'');
+      } else {
+        token.kind = TokenKind::kPunct;
+        ScanPunctuator();
+      }
+      token.text.assign(content_.substr(start, pos_ - start));
+      tokens.push_back(std::move(token));
+    }
+    return tokens;
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < content_.size() ? content_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (content_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void ScanLineComment() {
+    while (pos_ < content_.size() && content_[pos_] != '\n') {
+      // Backslash-newline continues a line comment onto the next line.
+      if (content_[pos_] == '\\' && Peek(1) == '\n') {
+        Advance();
+        Advance();
+        continue;
+      }
+      Advance();
+    }
+  }
+
+  void ScanBlockComment() {
+    Advance();  // '/'
+    Advance();  // '*'
+    while (pos_ < content_.size()) {
+      if (content_[pos_] == '*' && Peek(1) == '/') {
+        Advance();
+        Advance();
+        return;
+      }
+      Advance();
+    }
+  }
+
+  // At the opening '"' of R"delim( ... )delim".
+  void ScanRawString() {
+    Advance();  // '"'
+    std::string terminator = ")";
+    while (pos_ < content_.size() && content_[pos_] != '(') {
+      terminator += content_[pos_];
+      Advance();
+    }
+    terminator += '"';
+    while (pos_ < content_.size()) {
+      if (content_.compare(pos_, terminator.size(), terminator) == 0) {
+        for (size_t i = 0; i < terminator.size(); ++i) Advance();
+        return;
+      }
+      Advance();
+    }
+  }
+
+  // At the opening quote. An unterminated literal ends at the line break
+  // (best-effort recovery; the rest of the file still tokenizes).
+  void ScanQuoted(char quote) {
+    Advance();
+    while (pos_ < content_.size() && content_[pos_] != '\n') {
+      if (content_[pos_] == '\\' && pos_ + 1 < content_.size()) {
+        Advance();
+        Advance();
+        continue;
+      }
+      if (content_[pos_] == quote) {
+        Advance();
+        return;
+      }
+      Advance();
+    }
+  }
+
+  // pp-number: digits, identifier chars, digit separators between
+  // alphanumerics, '.', and exponent signs directly after e/E/p/P. Covers
+  // decimal, hex, octal, binary, floats, hexfloats (0x1.8p-3) and
+  // suffixed literals (42ull, 1.0f).
+  void ScanNumber() {
+    while (pos_ < content_.size()) {
+      const char c = content_[pos_];
+      if (IsIdentChar(c) || c == '.') {
+        Advance();
+        continue;
+      }
+      if (c == '\'' && pos_ > 0 && IsIdentChar(content_[pos_ - 1]) &&
+          IsIdentChar(Peek(1))) {
+        Advance();
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > 0 &&
+          (content_[pos_ - 1] == 'e' || content_[pos_ - 1] == 'E' ||
+           content_[pos_ - 1] == 'p' || content_[pos_ - 1] == 'P')) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  void ScanPunctuator() {
+    for (const std::string_view punct : kPunctuators) {
+      if (content_.compare(pos_, punct.size(), punct) == 0) {
+        for (size_t i = 0; i < punct.size(); ++i) Advance();
+        return;
+      }
+    }
+    Advance();
+  }
+
+  std::string_view content_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view content) {
+  return Scanner(content).Run();
+}
+
+}  // namespace lint
+}  // namespace geodp

@@ -1,0 +1,55 @@
+// A real C++ tokenizer for geodp_lint. Produces the full token stream —
+// identifiers, numeric literals (including hexfloats and digit
+// separators), string/char literals (including raw strings), multi-char
+// punctuators, and comments — with 1-based line/column spans. Comments are
+// preserved as tokens (not stripped) because `// geodp: ...` annotations
+// live in them; literals are preserved so rules can ignore their contents
+// while the dataflow pass keeps exact source positions.
+//
+// This replaces the line-oriented strip-and-scan of the original lint.cc:
+// the taint pass (dataflow.h) needs statement structure, which only a
+// token stream can give, and every rule in rules.cc now matches tokens
+// instead of substrings.
+
+#ifndef GEODP_TOOLS_GEODP_LINT_TOKENIZER_H_
+#define GEODP_TOOLS_GEODP_LINT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace geodp {
+namespace lint {
+
+enum class TokenKind {
+  kIdentifier,   // identifiers and keywords (no keyword table needed)
+  kNumber,       // pp-numbers: 42, 1'000'000, 0x1.8p3, 1e-9f
+  kString,       // "..." and R"delim(...)delim", prefix included
+  kCharLiteral,  // 'x', '\n'
+  kPunct,        // operators and punctuation, longest-match
+  kComment,      // // and /* */ comments, delimiters included
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;  // exact spelling, including delimiters
+  int line = 0;      // 1-based line of the first character
+  int col = 0;       // 1-based column of the first character
+
+  bool Is(std::string_view spelling) const { return text == spelling; }
+  bool IsIdent(std::string_view name) const {
+    return kind == TokenKind::kIdentifier && text == name;
+  }
+};
+
+/// Tokenizes `content`. Never fails: malformed input (unterminated
+/// literals, stray bytes) degrades to best-effort tokens so the linter
+/// still sees the rest of the file. Line continuations (backslash-newline)
+/// are honored inside line comments; other splices are rare enough in this
+/// codebase that tokens simply end at the backslash.
+std::vector<Token> Tokenize(std::string_view content);
+
+}  // namespace lint
+}  // namespace geodp
+
+#endif  // GEODP_TOOLS_GEODP_LINT_TOKENIZER_H_
