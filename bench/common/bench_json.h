@@ -22,6 +22,8 @@
 #include "base/fault_injection.h"
 #include "base/simd/dispatch.h"
 #include "common/peak_rss.h"
+#include "obs/flight_recorder.h"
+#include "obs/phase_profiler.h"
 
 // Injected by bench/CMakeLists.txt from `git rev-parse --short HEAD`;
 // "unknown" outside a git checkout (e.g. a source tarball).
@@ -125,16 +127,22 @@ inline bool WriteBenchJson(const std::string& path,
   return true;
 }
 
-/// BENCHMARK_MAIN() with --bench_json_out and --geodp_simd support: strips
-/// both flags from argv (google-benchmark rejects unknown arguments), runs
-/// the benchmarks with console output as usual, then writes the JSON
+/// BENCHMARK_MAIN() with --bench_json_out, --geodp_simd,
+/// --geodp_profile_out and --geodp_flight_recorder support: strips the
+/// geodp flags from argv (google-benchmark rejects unknown arguments),
+/// runs the benchmarks with console output as usual, then writes the JSON
 /// summary. The bench name recorded in the JSON is argv[0]'s basename.
+/// The observability flags exist for the CI overhead gate: the same
+/// benchmark runs once with recorder + profiler on and once with both
+/// off, and check_bench_regression.py --overhead-of bounds the delta.
 inline int BenchmarkMainWithJson(int argc, char** argv) {
   std::string json_out;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc));
   const std::string prefix = "--bench_json_out=";
   const std::string simd_prefix = "--geodp_simd=";
+  const std::string profile_prefix = "--geodp_profile_out=";
+  const std::string recorder_prefix = "--geodp_flight_recorder=";
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) {
@@ -149,6 +157,19 @@ inline int BenchmarkMainWithJson(int argc, char** argv) {
                      std::string(status.message()).c_str());
         return 1;
       }
+      continue;
+    }
+    if (arg.rfind(profile_prefix, 0) == 0) {
+      EnableProfiling(arg.substr(profile_prefix.size()));
+      continue;
+    }
+    if (arg.rfind(recorder_prefix, 0) == 0) {
+      const std::string value = arg.substr(recorder_prefix.size());
+      if (value != "true" && value != "false") {
+        std::fprintf(stderr, "--geodp_flight_recorder: want true|false\n");
+        return 1;
+      }
+      FlightRecorder::Global().set_enabled(value == "true");
       continue;
     }
     args.push_back(argv[i]);
@@ -167,6 +188,13 @@ inline int BenchmarkMainWithJson(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 
+  if (ProfilingEnabled()) {
+    const Status flushed = FlushProfile();
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "bench_json: profile flush failed: %s\n",
+                   std::string(flushed.message()).c_str());
+    }
+  }
   if (!json_out.empty() &&
       !WriteBenchJson(json_out, bench_name, reporter.captured())) {
     return 1;

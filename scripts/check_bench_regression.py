@@ -24,6 +24,18 @@ Two comparison modes, both over benchmarks matched by name in two files:
           --clip-mode-gate bench/baselines/BENCH_table2_cnn_mnist.json \\
           --min-speedup 2.0 --min-rss-ratio 4.0
 
+  * Overhead gate — asserts one run's GEOMETRIC-MEAN steps_per_s across
+    the matched benchmarks is at most --max-overhead-pct percent below
+    another's, recorded under the SAME simd tier. Per-benchmark ratios on
+    a shared runner swing +/-15% in both directions from scheduler noise;
+    the geomean cancels that while a real across-the-board cost (what an
+    always-on layer would impose) survives it. Per-name deltas are still
+    printed for diagnosis. CI uses this to prove the observability layer
+    (flight recorder + phase profiler) is effectively free:
+
+      check_bench_regression.py --overhead-of BENCH_fig6_runtime.obs.json \\
+          --against BENCH_fig6_runtime.json --max-overhead-pct 2.0
+
   * Baseline gate — asserts a fresh run has not regressed below a fraction
     of the committed baseline's steps_per_s. The tolerance band is wide
     because CI hosts differ from the machine that recorded the baseline;
@@ -45,6 +57,7 @@ stdlib AST pass), mirroring the other scripts/ checkers.
 
 import argparse
 import json
+import math
 import re
 import sys
 
@@ -255,6 +268,35 @@ def run_clip_mode_gate(args):
     )
 
 
+def run_overhead_gate(args):
+    on_doc, on = load_bench_json(args.overhead_of)
+    off_doc, off = load_bench_json(args.against)
+    check_tiers(on_doc, args.overhead_of, off_doc, args.against,
+                args.allow_tier_mismatch)
+    names = matched_names(on, off, args.filter, args.overhead_of,
+                          args.against)
+    log_ratio_sum = 0.0
+    for name in names:
+        ratio = off[name]["steps_per_s"] / on[name]["steps_per_s"]
+        log_ratio_sum += math.log(ratio)
+        print(
+            f"       {name}: {(ratio - 1.0) * 100.0:+.2f}% "
+            f"({off[name]['steps_per_s']:.4g} -> "
+            f"{on[name]['steps_per_s']:.4g} steps/s)"
+        )
+    overhead_pct = (math.exp(log_ratio_sum / len(names)) - 1.0) * 100.0
+    if overhead_pct > args.max_overhead_pct:
+        fail(
+            f"geomean overhead {overhead_pct:+.2f}% across {len(names)} "
+            f"benchmark(s) is above the {args.max_overhead_pct:.2f}% ceiling"
+        )
+    print(
+        f"check_bench_regression: OK: geomean overhead {overhead_pct:+.2f}% "
+        f"across {len(names)} benchmark(s), within the "
+        f"{args.max_overhead_pct:.2f}% ceiling ({on_doc['simd']} tier)"
+    )
+
+
 def run_baseline_gate(args):
     fresh_doc, fresh = load_bench_json(args.fresh)
     base_doc, base = load_bench_json(args.baseline)
@@ -307,6 +349,14 @@ def main():
                              "regress below")
     parser.add_argument("--min-ratio", type=float, default=0.25,
                         help="fresh/baseline steps_per_s floor (default 0.25)")
+    parser.add_argument("--overhead-of", metavar="ON_JSON",
+                        help="instrumented run for the overhead gate")
+    parser.add_argument("--against", metavar="OFF_JSON",
+                        help="uninstrumented same-tier run the overhead is "
+                             "measured against")
+    parser.add_argument("--max-overhead-pct", type=float, default=2.0,
+                        help="geomean steps_per_s overhead ceiling in "
+                             "percent (default 2.0)")
     parser.add_argument("--clip-mode-gate", metavar="JSON",
                         help="single run whose /ghost/ rows must beat their "
                              "/materialize/ counterparts on speedup or "
@@ -325,15 +375,20 @@ def main():
     speedup_mode = args.speedup_of is not None or args.over is not None
     baseline_mode = args.fresh is not None or args.baseline is not None
     clip_mode = args.clip_mode_gate is not None
-    if speedup_mode + baseline_mode + clip_mode != 1:
+    overhead_mode = args.overhead_of is not None or args.against is not None
+    if speedup_mode + baseline_mode + clip_mode + overhead_mode != 1:
         fail("pick one mode: --speedup-of/--over, --fresh/--baseline, "
-             "or --clip-mode-gate")
+             "--clip-mode-gate, or --overhead-of/--against")
     if speedup_mode:
         if not (args.speedup_of and args.over):
             fail("--speedup-of and --over must be given together")
         run_speedup_gate(args)
     elif clip_mode:
         run_clip_mode_gate(args)
+    elif overhead_mode:
+        if not (args.overhead_of and args.against):
+            fail("--overhead-of and --against must be given together")
+        run_overhead_gate(args)
     else:
         if not (args.fresh and args.baseline):
             fail("--fresh and --baseline must be given together")

@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Validator for the flight-recorder postmortem dumps the trainer writes
+next to its checkpoints (postmortem-<step>.json; src/obs/exposition.cc
+PostmortemJson). A postmortem is the black box a dead run leaves behind,
+so this script is strict: every schema field must be present with the
+right type, the event log must be internally consistent (strictly
+increasing sequence numbers, known event kinds), and the headline
+"last_milestone_step" must equal the newest step-milestone event actually
+recorded — a dump that disagrees with its own event log is worse than no
+dump at all.
+
+Usage:
+
+    check_postmortem.py CKPT_DIR/postmortem-000000012.json
+    check_postmortem.py --dir CKPT_DIR            # newest postmortem
+    check_postmortem.py FILE --expect-attempt 12  # resume-point pinning
+
+`--expect-attempt N` additionally asserts the dump records attempt N —
+the chaos harness uses the same invariant in-process (tools/geodp_chaos.cc
+CheckPostmortem): the postmortem left by a kill must name exactly the
+attempt training resumes from. When the file name matches
+postmortem-<digits>.json, the digits must also equal the recorded attempt.
+
+Exits 0 when every given file validates, 1 with a diagnostic otherwise.
+Uses only the standard library.
+
+`--self-check` lints this script itself (pyflakes if available, else a
+stdlib AST pass), mirroring the other scripts/ checkers.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# FlightEventKindName in src/obs/flight_recorder.cc — keep in sync.
+KNOWN_EVENT_KINDS = {
+    "step",
+    "status_error",
+    "io_retry",
+    "io_giveup",
+    "degraded",
+    "checkpoint_write",
+    "checkpoint_miss",
+    "checkpoint_prune",
+    "watchdog_cancel",
+    "resume",
+    "note",
+}
+
+# flush_postmortem call sites in src/optim/trainer.cc — keep in sync.
+KNOWN_REASONS = {"checkpoint", "fatal_status", "watchdog_cancel", "degraded"}
+
+FILE_NAME_PATTERN = re.compile(r"^postmortem-(\d+)\.json$")
+
+
+def fail(message):
+    print(f"check_postmortem: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def self_check():
+    """Lints this file. Prefers pyflakes; falls back to compiling the AST
+    with a duplicate-name scan so the check still bites where pyflakes is
+    not installed."""
+    import ast
+
+    source_path = __file__
+    try:
+        with open(source_path, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as error:
+        fail(f"self-check: cannot read {source_path}: {error}")
+
+    try:
+        from pyflakes.api import check as pyflakes_check
+        from pyflakes.reporter import Reporter
+
+        errors = pyflakes_check(
+            source, source_path, Reporter(sys.stderr, sys.stderr)
+        )
+        if errors:
+            fail(f"self-check: pyflakes reported {errors} problem(s)")
+        print("check_postmortem: OK: self-check passed (pyflakes)")
+        return
+    except ImportError:
+        pass
+
+    try:
+        tree = ast.parse(source, filename=source_path)
+        compile(tree, source_path, "exec")
+    except SyntaxError as error:
+        fail(f"self-check: syntax error: {error}")
+    top_level = [
+        node.name
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    duplicates = {name for name in top_level if top_level.count(name) > 1}
+    if duplicates:
+        fail(f"self-check: duplicate top-level definitions: {duplicates}")
+    print("check_postmortem: OK: self-check passed (stdlib ast fallback)")
+
+
+def require(doc, key, types, path, context):
+    if key not in doc:
+        fail(f"{path}: {context} missing key {key!r}")
+    value = doc[key]
+    # bool is an int subclass in Python; an int field must not be a bool.
+    if isinstance(value, bool) and bool not in (
+        types if isinstance(types, tuple) else (types,)
+    ):
+        fail(f"{path}: {context} key {key!r} is a bool, want {types}")
+    if not isinstance(value, types):
+        fail(
+            f"{path}: {context} key {key!r} has type "
+            f"{type(value).__name__}, want {types}"
+        )
+    return value
+
+
+def validate_events(events, path):
+    """Returns the step of the newest step-milestone event, or -1."""
+    last_sequence = 0
+    last_milestone = -1
+    for index, event in enumerate(events):
+        context = f"events[{index}]"
+        if not isinstance(event, dict):
+            fail(f"{path}: {context} is not an object")
+        sequence = require(event, "sequence", int, path, context)
+        require(event, "micros", int, path, context)
+        kind = require(event, "kind", str, path, context)
+        step = require(event, "step", int, path, context)
+        require(event, "tid", int, path, context)
+        require(event, "detail", str, path, context)
+        if sequence <= last_sequence:
+            fail(
+                f"{path}: {context} sequence {sequence} not strictly "
+                f"increasing (previous {last_sequence})"
+            )
+        last_sequence = sequence
+        if kind not in KNOWN_EVENT_KINDS:
+            fail(f"{path}: {context} unknown event kind {kind!r}")
+        if kind == "step":
+            last_milestone = step
+    return last_milestone
+
+
+def validate_file(path, expect_attempt):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as error:
+        fail(f"cannot read {path}: {error}")
+    except json.JSONDecodeError as error:
+        fail(f"{path} is not valid JSON: {error}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+
+    if require(doc, "tool", str, path, "top level") != "geodp":
+        fail(f"{path}: \"tool\" is not \"geodp\"")
+    if require(doc, "kind", str, path, "top level") != "postmortem":
+        fail(f"{path}: \"kind\" is not \"postmortem\"")
+    reason = require(doc, "reason", str, path, "top level")
+    if reason not in KNOWN_REASONS:
+        fail(
+            f"{path}: unknown reason {reason!r} "
+            f"(known: {sorted(KNOWN_REASONS)})"
+        )
+    require(doc, "detail", str, path, "top level")
+    step = require(doc, "step", int, path, "top level")
+    attempt = require(doc, "attempt", int, path, "top level")
+    epsilon = require(doc, "epsilon", (int, float), path, "top level")
+    require(doc, "degraded", bool, path, "top level")
+    recorded_milestone = require(
+        doc, "last_milestone_step", int, path, "top level"
+    )
+    events = require(doc, "events", list, path, "top level")
+
+    if step < 0 or attempt < 0:
+        fail(f"{path}: negative step ({step}) or attempt ({attempt})")
+    if attempt < step:
+        fail(f"{path}: attempt {attempt} < accepted step count {step}")
+    if epsilon < 0:
+        fail(f"{path}: negative epsilon {epsilon}")
+
+    derived_milestone = validate_events(events, path)
+    if derived_milestone != recorded_milestone:
+        fail(
+            f"{path}: last_milestone_step is {recorded_milestone} but the "
+            f"newest step-milestone event says {derived_milestone} — the "
+            "dump disagrees with its own event log"
+        )
+
+    name_match = FILE_NAME_PATTERN.match(os.path.basename(path))
+    if name_match and int(name_match.group(1)) != attempt:
+        fail(
+            f"{path}: file name claims attempt {int(name_match.group(1))} "
+            f"but the dump records attempt {attempt}"
+        )
+    if expect_attempt is not None and attempt != expect_attempt:
+        fail(
+            f"{path}: records attempt {attempt}, expected {expect_attempt} "
+            "(the resume point)"
+        )
+    print(
+        f"check_postmortem: OK: {path}: reason={reason} attempt={attempt} "
+        f"step={step} last_milestone_step={recorded_milestone} "
+        f"events={len(events)}"
+    )
+
+
+def newest_postmortem(directory):
+    try:
+        names = sorted(
+            name
+            for name in os.listdir(directory)
+            if FILE_NAME_PATTERN.match(name)
+        )
+    except OSError as error:
+        fail(f"cannot list {directory}: {error}")
+    if not names:
+        fail(f"no postmortem-*.json files in {directory}")
+    # Zero padding makes lexicographic order equal numeric order.
+    return os.path.join(directory, names[-1])
+
+
+def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-check":
+        self_check()
+        return
+
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("files", nargs="*", metavar="POSTMORTEM_JSON",
+                        help="postmortem file(s) to validate")
+    parser.add_argument("--dir", metavar="CKPT_DIR",
+                        help="validate the newest postmortem-*.json in this "
+                             "directory")
+    parser.add_argument("--expect-attempt", type=int, metavar="N",
+                        help="additionally assert the dump records attempt "
+                             "N (the resume point)")
+    args = parser.parse_args()
+
+    files = list(args.files)
+    if args.dir:
+        files.append(newest_postmortem(args.dir))
+    if not files:
+        fail("nothing to validate: give file path(s) or --dir")
+    for path in files:
+        validate_file(path, args.expect_attempt)
+
+
+if __name__ == "__main__":
+    main()

@@ -186,9 +186,17 @@ void AddCommonFlags(FlagParser& parser) {
   parser.AddString("geodp_trace_out", "",
                    "write a chrome://tracing-compatible JSON trace of the "
                    "step phases to this path (empty = disabled)");
+  parser.AddString("geodp_profile_out", "",
+                   "enable the per-phase wall-time profiler and write its "
+                   "folded-stack export (flamegraph.pl/speedscope) to this "
+                   "path (empty = disabled)");
+  parser.AddBool("geodp_flight_recorder", true,
+                 "keep the always-on flight recorder recording (/flightz, "
+                 "crash postmortems); false disables it");
   parser.AddInt("geodp_http_port", 0,
                 "serve live introspection (/metrics /healthz /readyz "
-                "/statusz /varz) on this 127.0.0.1 port (0 = disabled)");
+                "/statusz /varz /profilez /flightz) on this 127.0.0.1 port "
+                "(0 = disabled)");
   parser.AddInt("geodp_http_linger_ms", 0,
                 "keep the introspection server up this many milliseconds "
                 "after training finishes (scrape-after-run window)");
@@ -201,6 +209,10 @@ void AddCommonFlags(FlagParser& parser) {
                 "final checkpoint) once no step completes for this many "
                 "milliseconds; /readyz also reports 503 past it (0 = "
                 "disabled)");
+  parser.AddInt("geodp_epsilon_warn_steps", 0,
+                "/healthz answers 200 \"warn\" once the projected "
+                "steps-to-budget-exhaustion (dp.eps_steps_to_exhaustion) "
+                "drops to this horizon or below (0 = disabled)");
   parser.AddString("geodp_simd", "auto",
                    "SIMD kernel tier: scalar, avx2 or auto (cpuid "
                    "detection; also settable via GEODP_SIMD)");

@@ -240,6 +240,13 @@ std::string CheckpointFileName(int64_t next_attempt) {
   return buffer.data();
 }
 
+std::string PostmortemFileName(int64_t step) {
+  std::array<char, 32> buffer;
+  std::snprintf(buffer.data(), buffer.size(), "postmortem-%09lld.json",
+                static_cast<long long>(step));
+  return buffer.data();
+}
+
 Status SaveTrainingCheckpoint(const TrainingCheckpoint& checkpoint,
                               const std::string& path) {
   FaultInjector& faults = FaultInjector::Global();

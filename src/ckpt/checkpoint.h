@@ -91,6 +91,12 @@ struct TrainingCheckpoint {
 /// lexicographic order equal numeric order.
 std::string CheckpointFileName(int64_t next_attempt);
 
+/// Canonical file name for a flight-recorder postmortem dump written next
+/// to the checkpoints: "postmortem-<zero-padded step>.json". Deliberately
+/// outside the "ckpt_*.gdpk" pattern, so checkpoint scanning and pruning
+/// never touch postmortems.
+std::string PostmortemFileName(int64_t step);
+
 /// Serializes `checkpoint` and writes it durably to `path` using the
 /// temp-file + fsync + rename protocol above (base/io/file_io.h). Creates
 /// the parent directory if needed. Honors the "ckpt.before_write" /

@@ -109,11 +109,29 @@ std::string StatusJsonBody(const TrainingStatusSnapshot& s) {
   out << ",\"epsilon_spent\":" << FormatDouble(s.epsilon_spent)
       << ",\"epsilon_budget\":" << FormatDouble(s.epsilon_budget)
       << ",\"delta\":" << FormatDouble(s.delta) << ",\"degraded\":"
-      << (s.degraded ? "true" : "false") << ",\"checkpoint_dir\":\""
+      << (s.degraded ? "true" : "false")
+      << ",\"eps_burn_rate\":" << FormatDouble(s.eps_burn_rate)
+      << ",\"eps_steps_to_exhaustion\":"
+      << FormatDouble(s.eps_steps_to_exhaustion) << ",\"checkpoint_dir\":\""
       << JsonEscape(s.checkpoint_dir) << "\",\"latest_checkpoint\":\""
       << JsonEscape(s.latest_checkpoint) << "\",\"publish_sequence\":"
       << s.publish_sequence << ",\"publish_micros\":" << s.publish_micros;
   return out.str();
+}
+
+// Cross-thread total of the top-level "step" phase, the denominator of
+// every share_of_step column (0 when no step has completed yet).
+int64_t StepTotalMicros(const ProfileSnapshot& snapshot) {
+  for (const PhaseStats& phase : snapshot.phases) {
+    if (phase.path == "step") return phase.total_micros;
+  }
+  return 0;
+}
+
+double ShareOfStep(const PhaseStats& phase, int64_t step_total) {
+  if (step_total <= 0) return 0.0;
+  return static_cast<double>(phase.total_micros) /
+         static_cast<double>(step_total);
 }
 
 }  // namespace
@@ -192,6 +210,11 @@ std::string StatuszHtml(const TrainingStatusSnapshot& s) {
       s.epsilon_budget > 0.0 ? FormatDouble(s.epsilon_budget) : "unbounded");
   row("delta", FormatDouble(s.delta));
   row("degraded", s.degraded ? "true" : "false");
+  row("eps_burn_rate", FormatDouble(s.eps_burn_rate));
+  row("eps_steps_to_exhaustion",
+      s.eps_steps_to_exhaustion < 0.0
+          ? "unknown"
+          : FormatDouble(s.eps_steps_to_exhaustion));
   row("checkpoint_dir", s.checkpoint_dir.empty() ? "(off)" : s.checkpoint_dir);
   row("latest_checkpoint",
       s.latest_checkpoint.empty() ? "(none)" : s.latest_checkpoint);
@@ -236,6 +259,103 @@ std::string VarzJson(const RegistrySnapshot& registry,
     out << "null";
   }
   out << "}";
+  return out.str();
+}
+
+std::string ProfilezJson(const ProfileSnapshot& snapshot, bool enabled) {
+  const int64_t step_total = StepTotalMicros(snapshot);
+  std::ostringstream out;
+  out << "{\"enabled\":" << (enabled ? "true" : "false")
+      << ",\"threads\":" << snapshot.threads << ",\"phases\":[";
+  bool first = true;
+  for (const PhaseStats& phase : snapshot.phases) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"path\":\"" << JsonEscape(phase.path) << "\",\"name\":\""
+        << JsonEscape(phase.name) << "\",\"count\":" << phase.count
+        << ",\"total_micros\":" << phase.total_micros
+        << ",\"self_micros\":" << phase.self_micros << ",\"share_of_step\":"
+        << FormatDouble(ShareOfStep(phase, step_total)) << ",\"p50_micros\":"
+        << FormatDouble(phase.p50_micros) << ",\"p95_micros\":"
+        << FormatDouble(phase.p95_micros) << ",\"p99_micros\":"
+        << FormatDouble(phase.p99_micros) << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string ProfilezHtml(const ProfileSnapshot& snapshot, bool enabled) {
+  const int64_t step_total = StepTotalMicros(snapshot);
+  std::ostringstream out;
+  out << "<!DOCTYPE html>\n<html><head><title>geodp /profilez</title></head>\n"
+      << "<body>\n<h1>GeoDP phase profile</h1>\n<p>profiling "
+      << (enabled ? "enabled" : "disabled") << ", " << snapshot.threads
+      << " thread(s) recorded. <a href=\"/profilez?format=json\">json</a> "
+      << "<a href=\"/profilez?format=folded\">folded stacks</a></p>\n"
+      << "<table border=\"1\">\n<tr><th>phase</th><th>count</th>"
+      << "<th>total us</th><th>self us</th><th>share of step</th>"
+      << "<th>p50 us</th><th>p95 us</th><th>p99 us</th></tr>\n";
+  for (const PhaseStats& phase : snapshot.phases) {
+    out << "<tr><td>" << HtmlEscape(phase.path) << "</td><td>" << phase.count
+        << "</td><td>" << phase.total_micros << "</td><td>"
+        << phase.self_micros << "</td><td>"
+        << FormatDouble(ShareOfStep(phase, step_total)) << "</td><td>"
+        << FormatDouble(phase.p50_micros) << "</td><td>"
+        << FormatDouble(phase.p95_micros) << "</td><td>"
+        << FormatDouble(phase.p99_micros) << "</td></tr>\n";
+  }
+  out << "</table>\n<h2>raw</h2>\n<pre>"
+      << HtmlEscape(ProfilezJson(snapshot, enabled))
+      << "</pre>\n</body></html>\n";
+  return out.str();
+}
+
+namespace {
+
+void AppendFlightEventJson(std::ostringstream& out, const FlightEvent& event) {
+  out << "{\"sequence\":" << event.sequence << ",\"micros\":" << event.micros
+      << ",\"kind\":\"" << FlightEventKindName(event.kind)
+      << "\",\"step\":" << event.step << ",\"tid\":" << event.tid
+      << ",\"detail\":\"" << JsonEscape(event.detail.data()) << "\"}";
+}
+
+}  // namespace
+
+std::string FlightzJson(const std::vector<FlightEvent>& events, bool enabled,
+                        int64_t total_recorded) {
+  std::ostringstream out;
+  out << "{\"enabled\":" << (enabled ? "true" : "false")
+      << ",\"total_recorded\":" << total_recorded << ",\"events\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out << ",";
+    AppendFlightEventJson(out, events[i]);
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string PostmortemJson(const PostmortemInfo& info,
+                           const std::vector<FlightEvent>& events) {
+  int64_t last_milestone_step = -1;
+  for (const FlightEvent& event : events) {
+    if (event.kind == FlightEventKind::kStepMilestone) {
+      last_milestone_step = event.step;  // events arrive in sequence order
+    }
+  }
+  std::ostringstream out;
+  out << "{\"tool\":\"geodp\",\"kind\":\"postmortem\",\"reason\":\""
+      << JsonEscape(info.reason) << "\",\"detail\":\""
+      << JsonEscape(info.detail) << "\",\"step\":" << info.step
+      << ",\"attempt\":" << info.attempt << ",\"epsilon\":"
+      << FormatDouble(info.epsilon) << ",\"degraded\":"
+      << (info.degraded ? "true" : "false")
+      << ",\"last_milestone_step\":" << last_milestone_step
+      << ",\"events\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out << ",";
+    AppendFlightEventJson(out, events[i]);
+  }
+  out << "]}\n";
   return out.str();
 }
 

@@ -12,8 +12,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 #include "obs/step_observer.h"
 
 namespace geodp {
@@ -36,6 +39,13 @@ struct TrainingStatusSnapshot {
   // True once an observability sink lost data (telemetry writes kept
   // failing). Training itself is unaffected; /healthz reports "degraded".
   bool degraded = false;
+  // Epsilon burn rate: epsilon spent per accepted step over the trainer's
+  // trailing window (0 until two window samples exist), and the projected
+  // steps until epsilon_budget is exhausted at that rate (-1 when
+  // unknowable: no budget, no rate, or budget already exceeded). /healthz
+  // turns "warn" when the projection drops under the configured horizon.
+  double eps_burn_rate = 0.0;
+  double eps_steps_to_exhaustion = -1.0;
   std::string checkpoint_dir;      // empty when checkpointing is off
   std::string latest_checkpoint;   // last durably-written checkpoint file
   int64_t publish_sequence = 0;    // filled by the publisher
@@ -88,6 +98,43 @@ std::string StatuszHtml(const TrainingStatusSnapshot& snapshot);
 /// `status` may be null (before any publish); the key is then null.
 std::string VarzJson(const RegistrySnapshot& registry,
                      const TrainingStatusSnapshot* status);
+
+/// The /profilez?format=json payload: {"enabled":...,"threads":N,
+/// "phases":[{"path":...,"name":...,"count":N,"total_micros":N,
+/// "self_micros":N,"share_of_step":X,"p50_micros":X,"p95_micros":X,
+/// "p99_micros":X}]}. share_of_step divides by the cross-thread total of
+/// the top-level "step" phase (0 when no step completed yet).
+std::string ProfilezJson(const ProfileSnapshot& snapshot, bool enabled);
+
+/// Human rendering of the same snapshot: a per-phase table plus the JSON
+/// in a <pre>.
+std::string ProfilezHtml(const ProfileSnapshot& snapshot, bool enabled);
+
+/// The /flightz payload: {"enabled":...,"total_recorded":N,"events":[
+/// {"sequence":N,"micros":N,"kind":"...","step":N,"tid":N,
+/// "detail":"..."}]} in sequence order.
+std::string FlightzJson(const std::vector<FlightEvent>& events, bool enabled,
+                        int64_t total_recorded);
+
+/// Everything a postmortem dump says about why the run stopped, beyond
+/// the event buffer itself.
+struct PostmortemInfo {
+  std::string reason;  // "fatal_status" | "watchdog_cancel" | "degraded"
+                       // | "checkpoint" (routine cadence flush)
+  std::string detail;  // e.g. the fatal Status message
+  int64_t step = 0;    // accepted updates at dump time
+  int64_t attempt = 0; // loop attempts at dump time
+  double epsilon = 0.0;
+  bool degraded = false;
+};
+
+/// The postmortem file body: one JSON object {"tool":"geodp","kind":
+/// "postmortem",...info fields...,"last_milestone_step":N,"events":[...]}
+/// where last_milestone_step is the step of the newest "step" event (-1
+/// when none survived wraparound). scripts/check_postmortem.py validates
+/// this schema.
+std::string PostmortemJson(const PostmortemInfo& info,
+                           const std::vector<FlightEvent>& events);
 
 }  // namespace geodp
 

@@ -1,0 +1,98 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/timer.h"
+#include "obs/trace.h"
+
+namespace geodp {
+
+const char* FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kStepMilestone:
+      return "step";
+    case FlightEventKind::kStatusError:
+      return "status_error";
+    case FlightEventKind::kIoRetry:
+      return "io_retry";
+    case FlightEventKind::kIoGiveup:
+      return "io_giveup";
+    case FlightEventKind::kDegraded:
+      return "degraded";
+    case FlightEventKind::kCheckpointWrite:
+      return "checkpoint_write";
+    case FlightEventKind::kCheckpointMiss:
+      return "checkpoint_miss";
+    case FlightEventKind::kCheckpointPrune:
+      return "checkpoint_prune";
+    case FlightEventKind::kWatchdogCancel:
+      return "watchdog_cancel";
+    case FlightEventKind::kResume:
+      return "resume";
+    case FlightEventKind::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+void FlightRecorder::Record(FlightEventKind kind, int64_t step,
+                            std::string_view detail) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  // Timestamp and sequence are taken outside the stripe lock; the
+  // sequence (not the slot position) defines the merge order, so a thread
+  // briefly descheduled between here and the slot write cannot corrupt
+  // anything — its event just lands in its stripe slightly late.
+  const int64_t sequence =
+      next_sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const int64_t micros = Timer::ProcessMicros();
+  const int tid = CurrentTraceThreadId();
+  Stripe& stripe =
+      stripes_[static_cast<size_t>(tid) & static_cast<size_t>(kStripes - 1)];
+
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  FlightEvent& slot = stripe.slots[static_cast<size_t>(
+      stripe.next_slot % kSlotsPerStripe)];
+  ++stripe.next_slot;
+  slot.sequence = sequence;
+  slot.micros = micros;
+  slot.kind = kind;
+  slot.step = step;
+  slot.tid = tid;
+  const size_t copied =
+      std::min(detail.size(), static_cast<size_t>(FlightEvent::kDetailBytes - 1));
+  if (copied > 0) std::memcpy(slot.detail.data(), detail.data(), copied);
+  slot.detail[copied] = '\0';
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> events;
+  events.reserve(kStripes * kSlotsPerStripe);
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const FlightEvent& slot : stripe.slots) {
+      if (slot.sequence != 0) events.push_back(slot);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.sequence < b.sequence;
+            });
+  return events;
+}
+
+void FlightRecorder::Reset() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.slots.fill(FlightEvent{});
+    stripe.next_slot = 0;
+  }
+  next_sequence_.store(0, std::memory_order_relaxed);
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+}  // namespace geodp

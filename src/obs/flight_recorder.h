@@ -1,0 +1,119 @@
+// Always-on flight recorder: a fixed-capacity, mutex-striped ring buffer
+// of structured events that explains *why* a run died after the fact.
+// Components record step milestones, non-OK Statuses, io retries/giveups,
+// degraded transitions, checkpoint write/miss/prune outcomes, and
+// watchdog cancellations; the buffer keeps the most recent events per
+// stripe and the /flightz endpoint (obs/http_server.h) serves them live.
+// On a fatal Status, a watchdog cancellation, or a degraded transition
+// the trainer dumps the buffer as an atomic postmortem JSON file next to
+// the checkpoints (docs/observability.md documents the schema).
+//
+// Recording is O(1) and allocation-free: one stripe mutex (picked by the
+// caller's dense trace thread id, so threads rarely contend), one slot
+// overwrite, one bounded detail copy. The recorder never feeds back into
+// training — it is observability-only state, and training bytes are
+// identical with it on or off.
+
+#ifndef GEODP_OBS_FLIGHT_RECORDER_H_
+#define GEODP_OBS_FLIGHT_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace geodp {
+
+/// What happened. Kind names (FlightEventKindName) are stable strings used
+/// by /flightz, postmortem files, and scripts/check_postmortem.py.
+enum class FlightEventKind {
+  kStepMilestone = 0,   // a training attempt completed
+  kStatusError,         // a non-OK Status surfaced
+  kIoRetry,             // transient I/O failure retried
+  kIoGiveup,            // I/O retries exhausted
+  kDegraded,            // run transitioned to degraded telemetry
+  kCheckpointWrite,     // checkpoint durably written
+  kCheckpointMiss,      // checkpoint write failed and was skipped
+  kCheckpointPrune,     // old-checkpoint prune reported errors
+  kWatchdogCancel,      // stall watchdog cancelled the run
+  kResume,              // run resumed from a checkpoint
+  kNote,                // anything else worth keeping
+};
+
+/// Stable lowercase name of a kind ("step", "status_error", ...).
+const char* FlightEventKindName(FlightEventKind kind);
+
+/// One recorded event. `detail` is a bounded, NUL-terminated copy of the
+/// recorded text (truncated at kFlightEventDetailBytes - 1 characters).
+struct FlightEvent {
+  /// Capacity of the inline detail buffer, truncation included.
+  static constexpr int kDetailBytes = 96;
+
+  int64_t sequence = 0;  // global record order; 0 marks an empty slot
+  int64_t micros = 0;    // Timer::ProcessMicros() at record time
+  FlightEventKind kind = FlightEventKind::kNote;
+  int64_t step = -1;     // training step/attempt, -1 when not applicable
+  int tid = 0;           // CurrentTraceThreadId() of the recording thread
+  std::array<char, kDetailBytes> detail{};
+};
+
+/// The ring buffer. All methods are thread-safe.
+class FlightRecorder {
+ public:
+  /// Stripe count: recording threads are spread across this many
+  /// independently-locked rings, so concurrent recorders rarely share a
+  /// mutex. Power of two to keep the stripe pick a mask.
+  static constexpr int kStripes = 8;
+  /// Events retained per stripe; the recorder holds at most
+  /// kStripes * kSlotsPerStripe events and overwrites the oldest.
+  static constexpr int kSlotsPerStripe = 128;
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Records one event (O(1), allocation-free). No-op while disabled.
+  void Record(FlightEventKind kind, int64_t step, std::string_view detail);
+
+  /// Every retained event, merged across stripes in record (sequence)
+  /// order. Allocates; intended for /flightz and postmortem dumps, not
+  /// the hot path.
+  std::vector<FlightEvent> Snapshot() const;
+
+  /// Recording is on by default ("always-on black box"); tests and the
+  /// --geodp_flight_recorder=0 escape hatch turn it off.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Events recorded since construction/Reset (dropped-by-wraparound
+  /// events included).
+  int64_t total_recorded() const {
+    return next_sequence_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every event and restarts the sequence (tests).
+  void Reset();
+
+  /// Process-wide recorder shared by the trainer, the I/O substrate
+  /// mirrors, and the introspection server.
+  static FlightRecorder& Global();
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::array<FlightEvent, kSlotsPerStripe> slots;  // guarded by mu
+    int64_t next_slot = 0;                           // guarded by mu
+  };
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<int64_t> next_sequence_{0};
+  std::array<Stripe, kStripes> stripes_;
+};
+
+}  // namespace geodp
+
+#endif  // GEODP_OBS_FLIGHT_RECORDER_H_

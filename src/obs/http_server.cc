@@ -22,6 +22,11 @@ namespace {
 
 constexpr int kAcceptPollMillis = 100;
 constexpr int kRequestReadTimeoutSeconds = 5;
+// Pending-connection backlog handed to listen(2). Introspection traffic
+// is a handful of scrapers, so a small fixed queue is plenty.
+constexpr int kListenBacklog = 16;
+// Bytes pulled per recv(2) while reading a request head.
+constexpr int kRecvChunkBytes = 1024;
 
 const char* ReasonPhrase(int status) {
   switch (status) {
@@ -83,6 +88,18 @@ IntrospectionResponse CheckHealth(const TrainingStatusPublisher* publisher,
   // 200 so orchestrators do not kill a run that is still spending epsilon
   // productively, with a body monitors can alert on.
   if (snapshot->degraded) return TextResponse(200, "degraded\n");
+  // Burn-rate early warning: still healthy (200), but the body flags that
+  // the budget will be exhausted within the configured horizon so
+  // operators can react before the hard 503 flip above.
+  if (options.epsilon_warn_steps > 0 &&
+      snapshot->eps_steps_to_exhaustion >= 0.0 &&
+      snapshot->eps_steps_to_exhaustion <=
+          static_cast<double>(options.epsilon_warn_steps)) {
+    return TextResponse(
+        200, "warn: epsilon budget exhausted in ~" +
+                 FormatDouble(snapshot->eps_steps_to_exhaustion) +
+                 " steps at the current burn rate\n");
+  }
   return TextResponse(200, "ok\n");
 }
 
@@ -141,9 +158,33 @@ IntrospectionResponse RouteIntrospectionRequest(
                  snapshot.get());
     return response;
   }
+  if (path == "/profilez") {
+    const ProfileSnapshot profile = SnapshotProfile();
+    const bool enabled = ProfilingEnabled();
+    IntrospectionResponse response;
+    if (query == "format=json") {
+      response.content_type = "application/json";
+      response.body = ProfilezJson(profile, enabled);
+    } else if (query == "format=folded") {
+      response.body = FoldedStacks(profile);
+    } else {
+      response.content_type = "text/html; charset=utf-8";
+      response.body = ProfilezHtml(profile, enabled);
+    }
+    return response;
+  }
+  if (path == "/flightz") {
+    const FlightRecorder& recorder = FlightRecorder::Global();
+    IntrospectionResponse response;
+    response.content_type = "application/json";
+    response.body = FlightzJson(recorder.Snapshot(), recorder.enabled(),
+                                recorder.total_recorded());
+    return response;
+  }
   if (path == "/") {
-    return TextResponse(
-        200, "geodp introspection: /metrics /healthz /readyz /statusz /varz\n");
+    return TextResponse(200,
+                        "geodp introspection: /metrics /healthz /readyz "
+                        "/statusz /varz /profilez /flightz\n");
   }
   return TextResponse(404, "unknown endpoint " + path + "\n");
 }
@@ -200,7 +241,7 @@ Status IntrospectionServer::Start() {
     return Status::Internal("cannot bind " + options_.bind_address + ":" +
                             std::to_string(options_.port) + ": " + error);
   }
-  if (::listen(fd, 16) != 0) {
+  if (::listen(fd, kListenBacklog) != 0) {
     const std::string error = std::strerror(errno);
     ::close(fd);
     return Status::Internal("listen() failed: " + error);
@@ -263,7 +304,7 @@ void IntrospectionServer::HandleConnection(int client_fd) {
       oversize = true;
       break;
     }
-    std::array<char, 1024> buffer;
+    std::array<char, kRecvChunkBytes> buffer;
     const ssize_t n = ::recv(client_fd, buffer.data(), buffer.size(), 0);
     if (n <= 0) break;  // peer closed, error, or timeout
     request.append(buffer.data(), static_cast<size_t>(n));
@@ -318,6 +359,7 @@ StatusOr<std::unique_ptr<IntrospectionHandle>> ApplyIntrospectionFlags(
   IntrospectionServerOptions options;
   options.port = static_cast<int>(port);
   options.stall_timeout_ms = parser.GetInt("geodp_stall_timeout_ms");
+  options.epsilon_warn_steps = parser.GetInt("geodp_epsilon_warn_steps");
   handle->server = std::make_unique<IntrospectionServer>(
       &MetricsRegistry::Global(), handle->publisher.get(), options);
   const Status started = handle->server->Start();

@@ -12,6 +12,10 @@
 //             published within stall_timeout_ms (stalled-run watchdog)
 //   /statusz  human status page (HTML; ?format=json for the JSON object)
 //   /varz     raw JSON snapshot of metrics + status
+//   /profilez per-phase wall-time profile (HTML; ?format=json for the
+//             JSON object, ?format=folded for speedscope/flamegraph.pl
+//             folded stacks)
+//   /flightz  flight-recorder event buffer as JSON (obs/flight_recorder.h)
 //
 // The server owns one accept thread, reads bounded requests (431 past
 // max_request_bytes, 400 on garbage), serves from immutable
@@ -36,13 +40,21 @@
 
 namespace geodp {
 
+/// Default cap on one request head; 431 beyond it. Named here (not inline
+/// in the struct) so tests and docs reference one constant.
+inline constexpr int64_t kDefaultMaxRequestBytes = 8192;
+
 struct IntrospectionServerOptions {
   int port = 0;  // 0 = pick an ephemeral port (see IntrospectionServer::port)
   std::string bind_address = "127.0.0.1";  // loopback only by default
-  int64_t max_request_bytes = 8192;        // 431 beyond this
+  int64_t max_request_bytes = kDefaultMaxRequestBytes;  // 431 beyond this
   // /readyz reports 503 for a run in state "training" whose latest
   // snapshot is older than this. 0 disables the stall watchdog.
   int64_t stall_timeout_ms = 0;
+  // /healthz (and /readyz) answer 200 "warn: ..." once the projected
+  // eps_steps_to_exhaustion drops to this horizon or below — the
+  // burn-rate early warning ahead of the hard budget flip. 0 disables.
+  int64_t epsilon_warn_steps = 0;
 };
 
 /// Status code, content type and body of one introspection response.

@@ -1,0 +1,288 @@
+#include "obs/phase_profiler.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "base/io/file_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace geodp {
+namespace {
+
+// Duration histogram: bucket i counts spans no longer than 2^i
+// microseconds. 31 finite bounds cover 1 us through ~18 minutes; longer
+// spans land in the overflow bucket.
+constexpr int kDurationBucketCount = 31;
+
+int BucketIndex(int64_t micros) {
+  int index = 0;
+  while (index < kDurationBucketCount && (int64_t{1} << index) < micros) {
+    ++index;
+  }
+  return index;  // == kDurationBucketCount for the overflow bucket
+}
+
+// One span name under one enclosing span, on one thread. Node indices are
+// stable for the life of the process (the tree only grows), so the
+// owner's span stack can hold indices across snapshots and resets.
+struct ProfileNode {
+  const char* name = nullptr;  // string literal (TraceSpan contract)
+  int64_t count = 0;
+  int64_t total_micros = 0;
+  std::array<int64_t, kDurationBucketCount + 1> buckets{};
+  std::vector<int> children;
+};
+
+struct ThreadProfile {
+  std::mutex mu;
+  std::vector<ProfileNode> nodes;  // guarded by mu
+  std::vector<int> roots;          // guarded by mu
+  std::vector<int> stack;          // owner thread only
+};
+
+std::atomic<bool> g_profiling{false};
+
+std::mutex g_registry_mu;
+// Leaked deliberately: a worker thread may exit after the registry is
+// snapshotted, and per-thread trees are tiny (one node per span name).
+std::vector<ThreadProfile*>& Registry() {
+  static std::vector<ThreadProfile*>* threads =
+      new std::vector<ThreadProfile*>();
+  return *threads;
+}
+std::string g_folded_path;  // guarded by g_registry_mu
+
+ThreadProfile& CurrentThreadProfile() {
+  thread_local ThreadProfile* profile = [] {
+    auto* fresh = new ThreadProfile();
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    Registry().push_back(fresh);
+    return fresh;
+  }();
+  return *profile;
+}
+
+// Requires profile.mu held.
+int FindOrAddChild(ThreadProfile& profile, int parent, const char* name) {
+  std::vector<int>& siblings =
+      parent < 0 ? profile.roots
+                 : profile.nodes[static_cast<size_t>(parent)].children;
+  for (const int child : siblings) {
+    if (std::strcmp(profile.nodes[static_cast<size_t>(child)].name, name) ==
+        0) {
+      return child;
+    }
+  }
+  const int index = static_cast<int>(profile.nodes.size());
+  ProfileNode node;
+  node.name = name;
+  profile.nodes.push_back(std::move(node));
+  // push_back may reallocate `nodes`, so re-fetch the child list rather
+  // than appending through the (now possibly dangling) `siblings` ref.
+  (parent < 0 ? profile.roots
+              : profile.nodes[static_cast<size_t>(parent)].children)
+      .push_back(index);
+  return index;
+}
+
+// Requires profile.mu held.
+void RecordInto(ProfileNode& node, int64_t micros) {
+  ++node.count;
+  node.total_micros += micros;
+  ++node.buckets[static_cast<size_t>(BucketIndex(micros))];
+}
+
+// Merge accumulator for one phase path across threads.
+struct MergedPhase {
+  const char* name = nullptr;
+  int64_t count = 0;
+  int64_t total_micros = 0;
+  int64_t self_micros = 0;
+  std::array<int64_t, kDurationBucketCount + 1> buckets{};
+};
+
+// Requires profile.mu held. Walks `node` (and its subtree) appending to
+// the cross-thread merge map keyed by ';'-joined path.
+void MergeSubtree(const ThreadProfile& profile, int node_index,
+                  const std::string& parent_path,
+                  std::map<std::string, MergedPhase>& merged) {
+  const ProfileNode& node = profile.nodes[static_cast<size_t>(node_index)];
+  if (node.count == 0 && node.children.empty()) return;
+  const std::string path =
+      parent_path.empty() ? std::string(node.name)
+                          : parent_path + ";" + node.name;
+  int64_t children_micros = 0;
+  for (const int child : node.children) {
+    children_micros +=
+        profile.nodes[static_cast<size_t>(child)].total_micros;
+    MergeSubtree(profile, child, path, merged);
+  }
+  MergedPhase& out = merged[path];
+  out.name = node.name;
+  out.count += node.count;
+  out.total_micros += node.total_micros;
+  out.self_micros += std::max<int64_t>(node.total_micros - children_micros, 0);
+  for (size_t b = 0; b < node.buckets.size(); ++b) {
+    out.buckets[b] += node.buckets[b];
+  }
+}
+
+void AtExitFlush() { (void)FlushProfile(); }
+
+}  // namespace
+
+void EnableProfiling(const std::string& folded_out_path) {
+  static bool atexit_registered = [] {
+    std::atexit(AtExitFlush);
+    return true;
+  }();
+  (void)atexit_registered;
+  ResetProfile();
+  {
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    g_folded_path = folded_out_path;
+  }
+  g_profiling.store(true, std::memory_order_relaxed);
+  internal::UpdatePoolPartHook();
+}
+
+void DisableProfiling() {
+  if (!g_profiling.load(std::memory_order_relaxed)) return;
+  (void)FlushProfile();
+  g_profiling.store(false, std::memory_order_relaxed);
+  internal::UpdatePoolPartHook();
+}
+
+bool ProfilingEnabled() {
+  return g_profiling.load(std::memory_order_relaxed);
+}
+
+void ResetProfile() {
+  std::lock_guard<std::mutex> registry_lock(g_registry_mu);
+  for (ThreadProfile* profile : Registry()) {
+    std::lock_guard<std::mutex> lock(profile->mu);
+    for (ProfileNode& node : profile->nodes) {
+      node.count = 0;
+      node.total_micros = 0;
+      node.buckets.fill(0);
+    }
+  }
+}
+
+ProfileSnapshot SnapshotProfile() {
+  std::vector<ThreadProfile*> threads;
+  {
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    threads = Registry();
+  }
+  std::map<std::string, MergedPhase> merged;
+  int active_threads = 0;
+  for (ThreadProfile* profile : threads) {
+    std::lock_guard<std::mutex> lock(profile->mu);
+    bool any = false;
+    for (const ProfileNode& node : profile->nodes) {
+      if (node.count > 0) {
+        any = true;
+        break;
+      }
+    }
+    if (any) ++active_threads;
+    for (const int root : profile->roots) {
+      MergeSubtree(*profile, root, std::string(), merged);
+    }
+  }
+
+  ProfileSnapshot snapshot;
+  snapshot.threads = active_threads;
+  snapshot.phases.reserve(merged.size());
+  for (const auto& [path, phase] : merged) {
+    if (phase.count == 0) continue;
+    PhaseStats stats;
+    stats.path = path;
+    stats.name = phase.name;
+    stats.count = phase.count;
+    stats.total_micros = phase.total_micros;
+    stats.self_micros = phase.self_micros;
+    HistogramSnapshot histogram;
+    histogram.upper_bounds.reserve(kDurationBucketCount);
+    for (int b = 0; b < kDurationBucketCount; ++b) {
+      histogram.upper_bounds.push_back(
+          static_cast<double>(int64_t{1} << b));
+    }
+    histogram.counts.assign(phase.buckets.begin(), phase.buckets.end());
+    histogram.count = phase.count;
+    histogram.sum = static_cast<double>(phase.total_micros);
+    stats.p50_micros = HistogramQuantile(histogram, 0.5);
+    stats.p95_micros = HistogramQuantile(histogram, 0.95);
+    stats.p99_micros = HistogramQuantile(histogram, 0.99);
+    snapshot.phases.push_back(std::move(stats));
+  }
+  return snapshot;
+}
+
+std::string FoldedStacks(const ProfileSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const PhaseStats& phase : snapshot.phases) {
+    if (phase.self_micros <= 0) continue;
+    out << phase.path << " " << phase.self_micros << "\n";
+  }
+  return out.str();
+}
+
+Status FlushProfile() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    path = g_folded_path;
+  }
+  if (path.empty()) return Status::Ok();
+  return AtomicWriteFile(path, FoldedStacks(SnapshotProfile()), RetryPolicy{},
+                         "obs.profile");
+}
+
+namespace internal {
+
+void ProfilerEnterSpan(const char* name) {
+  ThreadProfile& profile = CurrentThreadProfile();
+  std::lock_guard<std::mutex> lock(profile.mu);
+  const int parent = profile.stack.empty() ? -1 : profile.stack.back();
+  profile.stack.push_back(FindOrAddChild(profile, parent, name));
+}
+
+void ProfilerExitSpan(const char* name, int64_t duration_micros) {
+  ThreadProfile& profile = CurrentThreadProfile();
+  std::lock_guard<std::mutex> lock(profile.mu);
+  if (profile.stack.empty()) return;
+  const int top = profile.stack.back();
+  // RAII pairing makes a mismatch impossible in practice; tolerate one
+  // anyway rather than corrupting another node's counters.
+  if (std::strcmp(profile.nodes[static_cast<size_t>(top)].name, name) != 0) {
+    return;
+  }
+  profile.stack.pop_back();
+  if (!g_profiling.load(std::memory_order_relaxed)) return;
+  RecordInto(profile.nodes[static_cast<size_t>(top)], duration_micros);
+}
+
+void ProfilerRecordLeaf(const char* name, int64_t duration_micros) {
+  if (!g_profiling.load(std::memory_order_relaxed)) return;
+  ThreadProfile& profile = CurrentThreadProfile();
+  std::lock_guard<std::mutex> lock(profile.mu);
+  const int parent = profile.stack.empty() ? -1 : profile.stack.back();
+  RecordInto(
+      profile.nodes[static_cast<size_t>(
+          FindOrAddChild(profile, parent, name))],
+      duration_micros);
+}
+
+}  // namespace internal
+
+}  // namespace geodp

@@ -1,0 +1,94 @@
+// Per-thread hierarchical wall-time profiler keyed by TraceSpan names.
+//
+// EnableProfiling() makes every TraceSpan (obs/trace.h) additionally feed
+// a per-thread tree of phase accumulators: each node is one span name
+// under its enclosing span ("step" > "step.forward_backward" >
+// "pool.part"), holding a count, a total, and a power-of-two duration
+// histogram. Aggregation happens on demand: SnapshotProfile() merges the
+// per-thread trees into per-path totals, self time (total minus direct
+// children), and interpolated p50/p95/p99 — the /profilez endpoint
+// (obs/http_server.h) and the folded-stack export (speedscope /
+// flamegraph.pl compatible) are pure formats of that snapshot.
+//
+// Cost model: a span on a profiled run takes one short uncontended lock
+// on its own thread's tree; a span on an unprofiled run costs one relaxed
+// atomic load (the same contract as tracing). The profiler never feeds
+// back into training — training and telemetry bytes are identical with
+// it on or off (CI proves this at 1 and 8 threads).
+
+#ifndef GEODP_OBS_PHASE_PROFILER_H_
+#define GEODP_OBS_PHASE_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace geodp {
+
+/// Aggregated statistics for one phase path. `path` joins span names from
+/// the outermost enclosing span with ';' (folded-stack convention), e.g.
+/// "step;step.forward_backward;pool.part".
+struct PhaseStats {
+  std::string path;
+  std::string name;         // last path component
+  int64_t count = 0;        // completed spans
+  int64_t total_micros = 0; // wall time including nested spans
+  int64_t self_micros = 0;  // total minus direct children (>= 0)
+  double p50_micros = 0.0;  // interpolated from the duration histogram
+  double p95_micros = 0.0;
+  double p99_micros = 0.0;
+};
+
+/// Point-in-time merge of every thread's accumulators.
+struct ProfileSnapshot {
+  std::vector<PhaseStats> phases;  // sorted by path
+  int threads = 0;                 // threads that recorded at least one span
+};
+
+/// Starts profiling. `folded_out_path` (may be empty) is where
+/// FlushProfile() writes the folded-stack export; the first call with a
+/// path registers an atexit flush. Counters from a previous session are
+/// reset.
+void EnableProfiling(const std::string& folded_out_path);
+
+/// Flushes (if a path is configured) and stops profiling.
+void DisableProfiling();
+
+/// True between EnableProfiling and DisableProfiling.
+bool ProfilingEnabled();
+
+/// Zeroes every accumulator without touching enablement.
+void ResetProfile();
+
+/// Merges the per-thread trees. Safe to call concurrently with recording.
+ProfileSnapshot SnapshotProfile();
+
+/// Folded-stack text: one "path self_micros" line per phase with nonzero
+/// self time, sorted by path — `flamegraph.pl profile.folded` or
+/// speedscope render it directly.
+std::string FoldedStacks(const ProfileSnapshot& snapshot);
+
+/// Writes FoldedStacks(SnapshotProfile()) to the configured path
+/// atomically (fail point "obs.profile"). Ok no-op when profiling was
+/// never given a path.
+Status FlushProfile();
+
+namespace internal {
+
+/// TraceSpan integration (obs/trace.cc): push a span onto the calling
+/// thread's stack / record its duration and pop. Exit tolerates a
+/// mismatched or empty stack (spans that straddle Enable/Disable).
+void ProfilerEnterSpan(const char* name);
+void ProfilerExitSpan(const char* name, int64_t duration_micros);
+
+/// Records a completed child without an enter/exit pair (thread-pool part
+/// slices, which only report a duration after the fact).
+void ProfilerRecordLeaf(const char* name, int64_t duration_micros);
+
+}  // namespace internal
+
+}  // namespace geodp
+
+#endif  // GEODP_OBS_PHASE_PROFILER_H_

@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 #include "obs/trace.h"
 
 namespace geodp {
@@ -70,6 +72,9 @@ std::unique_ptr<JsonlStepWriter> ApplyObservabilityFlags(
     const FlagParser& parser) {
   const std::string trace_path = parser.GetString("geodp_trace_out");
   if (!trace_path.empty()) EnableTracing(trace_path);
+  const std::string profile_path = parser.GetString("geodp_profile_out");
+  if (!profile_path.empty()) EnableProfiling(profile_path);
+  FlightRecorder::Global().set_enabled(parser.GetBool("geodp_flight_recorder"));
   const std::string metrics_path = parser.GetString("geodp_metrics_out");
   if (metrics_path.empty()) return nullptr;
   return std::make_unique<JsonlStepWriter>(metrics_path);

@@ -117,7 +117,9 @@ class JsonlStepWriter : public StepObserver {
 };
 
 /// Applies the observability flags registered by AddCommonFlags:
-/// --geodp_trace_out enables global tracing to that path, and
+/// --geodp_trace_out enables global tracing to that path,
+/// --geodp_profile_out enables the phase profiler (folded stacks flushed
+/// there), --geodp_flight_recorder toggles the flight recorder, and
 /// --geodp_metrics_out opens a per-step JSONL writer. Returns the writer
 /// (nullptr when the flag is unset); the caller owns it and must keep it
 /// alive while training runs with it attached.

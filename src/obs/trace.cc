@@ -9,6 +9,7 @@
 #include "base/io/file_io.h"
 #include "base/thread_pool.h"
 #include "base/timer.h"
+#include "obs/phase_profiler.h"
 
 namespace geodp {
 namespace {
@@ -32,10 +33,16 @@ void AppendEvent(const char* name, int64_t ts_us, int64_t dur_us) {
   g_events.push_back({name, ts_us, dur_us, tid});
 }
 
-// Thread-pool dispatch instrumentation: one slice per executed part.
+// Thread-pool dispatch instrumentation: one slice per executed part,
+// dispatched to every live collector (trace buffer, phase profiler).
 void PoolPartHook(int /*part*/, int64_t duration_us) {
-  if (!g_enabled.load(std::memory_order_relaxed)) return;
-  AppendEvent("pool.part", Timer::ProcessMicros() - duration_us, duration_us);
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    AppendEvent("pool.part", Timer::ProcessMicros() - duration_us,
+                duration_us);
+  }
+  if (ProfilingEnabled()) {
+    internal::ProfilerRecordLeaf("pool.part", duration_us);
+  }
 }
 
 void AtExitFlush() { (void)FlushTrace(); }
@@ -59,15 +66,15 @@ void EnableTracing(const std::string& path) {
     g_path = path;
     g_events.clear();
   }
-  SetThreadPoolPartHook(&PoolPartHook);
   g_enabled.store(true, std::memory_order_relaxed);
+  internal::UpdatePoolPartHook();
 }
 
 void DisableTracing() {
   if (!g_enabled.load(std::memory_order_relaxed)) return;
   (void)FlushTrace();
   g_enabled.store(false, std::memory_order_relaxed);
-  SetThreadPoolPartHook(nullptr);
+  internal::UpdatePoolPartHook();
 }
 
 bool TracingEnabled() { return g_enabled.load(std::memory_order_relaxed); }
@@ -102,14 +109,34 @@ int64_t BufferedTraceEventCount() {
 }
 
 TraceSpan::TraceSpan(const char* name)
-    : name_(name),
-      start_us_(g_enabled.load(std::memory_order_relaxed)
-                    ? Timer::ProcessMicros()
-                    : -1) {}
+    : name_(name), start_us_(-1), profiled_(ProfilingEnabled()) {
+  if (profiled_ || g_enabled.load(std::memory_order_relaxed)) {
+    start_us_ = Timer::ProcessMicros();
+  }
+  if (profiled_) internal::ProfilerEnterSpan(name_);
+}
 
 TraceSpan::~TraceSpan() {
-  if (start_us_ < 0 || !g_enabled.load(std::memory_order_relaxed)) return;
-  AppendEvent(name_, start_us_, Timer::ProcessMicros() - start_us_);
+  if (start_us_ < 0) return;
+  const int64_t duration_us = Timer::ProcessMicros() - start_us_;
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    AppendEvent(name_, start_us_, duration_us);
+  }
+  // Exit is unconditional once entered so the profiler's span stack stays
+  // balanced even when profiling is toggled mid-span.
+  if (profiled_) internal::ProfilerExitSpan(name_, duration_us);
 }
+
+namespace internal {
+
+void UpdatePoolPartHook() {
+  if (g_enabled.load(std::memory_order_relaxed) || ProfilingEnabled()) {
+    SetThreadPoolPartHook(&PoolPartHook);
+  } else {
+    SetThreadPoolPartHook(nullptr);
+  }
+}
+
+}  // namespace internal
 
 }  // namespace geodp

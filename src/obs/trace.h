@@ -50,7 +50,10 @@ int64_t BufferedTraceEventCount();
 int CurrentTraceThreadId();
 
 /// RAII span: records [construction, destruction) as one complete event.
-/// `name` must outlive the span — pass a string literal.
+/// `name` must outlive the span — pass a string literal. When phase
+/// profiling (obs/phase_profiler.h) is enabled the same span also feeds
+/// the calling thread's phase accumulators; with both tracing and
+/// profiling off a span still costs only relaxed atomic loads.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name);
@@ -61,8 +64,19 @@ class TraceSpan {
 
  private:
   const char* name_;
-  int64_t start_us_;  // -1 when tracing was disabled at construction
+  int64_t start_us_;  // -1 when tracing AND profiling were both off
+  bool profiled_;     // this span entered the phase profiler
 };
+
+namespace internal {
+
+/// (Re)installs the shared thread-pool part hook while tracing or
+/// profiling is enabled and uninstalls it once both are off. Called by
+/// EnableTracing/DisableTracing and their profiling counterparts; the
+/// single hook slot dispatches to whichever collectors are live.
+void UpdatePoolPartHook();
+
+}  // namespace internal
 
 }  // namespace geodp
 

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <ios>
 #include <memory>
 #include <mutex>
@@ -14,6 +15,7 @@
 
 #include "base/check.h"
 #include "base/fault_injection.h"
+#include "base/io/file_io.h"
 #include "base/io/retry.h"
 #include "base/rng.h"
 #include "base/timer.h"
@@ -24,6 +26,7 @@
 #include "nn/loss.h"
 #include "nn/parameter.h"
 #include "obs/exposition.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optim/adaptive_beta.h"
@@ -81,6 +84,50 @@ StepRecord BuildStepRecord(const PrivateBatchGradient& grads,
   record.accounted_steps = snapshot.total_steps;
   return record;
 }
+
+// Trailing window length (in attempts) of the epsilon burn-rate estimate:
+// long enough to smooth the accountant's early nonlinearity, short enough
+// to track a regime change within a few dozen steps.
+constexpr size_t kBurnRateWindowSteps = 32;
+
+// Derives dp.eps_burn_rate / dp.eps_steps_to_exhaustion from the RDP
+// accountant trend: a sliding window of (attempt, epsilon) samples.
+// Epsilon per attempt (not per accepted step) because every attempt —
+// SUR-rejected ones included — spends budget. Pure function of the
+// deterministic epsilon sequence, so the derived telemetry is as
+// thread-count-invariant as the accountant itself.
+class EpsilonBurnTracker {
+ public:
+  void Observe(int64_t attempt, double epsilon) {
+    if (!window_.empty() && window_.back().first >= attempt) return;
+    window_.emplace_back(attempt, epsilon);
+    if (window_.size() > kBurnRateWindowSteps) window_.pop_front();
+  }
+
+  /// Epsilon spent per attempt over the window; 0 until two samples.
+  double rate() const {
+    if (window_.size() < 2) return 0.0;
+    const int64_t attempts = window_.back().first - window_.front().first;
+    if (attempts <= 0) return 0.0;
+    return (window_.back().second - window_.front().second) /
+           static_cast<double>(attempts);
+  }
+
+  /// Projected attempts until `budget` is exhausted at the current rate:
+  /// -1 when unknowable (no budget, no samples, or zero rate), 0 once the
+  /// budget is already spent.
+  double StepsToExhaustion(double budget) const {
+    if (budget <= 0.0 || window_.empty()) return -1.0;
+    const double remaining = budget - window_.back().second;
+    if (remaining <= 0.0) return 0.0;
+    const double per_attempt = rate();
+    if (per_attempt <= 0.0) return -1.0;
+    return remaining / per_attempt;
+  }
+
+ private:
+  std::deque<std::pair<int64_t, double>> window_;
+};
 
 // Mirrors one StepRecord into the global metrics registry (the source the
 // /metrics endpoint and MetricsRegistry::ToJsonl serve from).
@@ -423,6 +470,8 @@ StatusOr<TrainingResult> DpTrainer::Run() {
     }
     accepted_updates = c.accepted_updates;
     start_attempt = c.next_attempt;
+    FlightRecorder::Global().Record(FlightEventKind::kResume, start_attempt,
+                                    "resumed from " + last_checkpoint_path);
   }
 
   // SUR (DPSUR semantics): a rejected update does not count as a training
@@ -437,6 +486,7 @@ StatusOr<TrainingResult> DpTrainer::Run() {
   const bool publishing = publisher != nullptr;
   const bool checkpointing = options_.checkpoint_every > 0;
   FaultInjector& faults = FaultInjector::Global();
+  FlightRecorder& recorder = FlightRecorder::Global();
 
   // -- Resilience state -------------------------------------------------
   // Sticky once any observability sink loses data: training continues,
@@ -456,22 +506,52 @@ StatusOr<TrainingResult> DpTrainer::Run() {
     if (retries > mirrored_retries) {
       MetricsRegistry::Global().IncrementCounter("io.retries",
                                                  retries - mirrored_retries);
+      recorder.Record(FlightEventKind::kIoRetry, accepted_updates,
+                      "+" + std::to_string(retries - mirrored_retries) +
+                          " io retries");
       mirrored_retries = retries;
     }
     if (giveups > mirrored_giveups) {
       MetricsRegistry::Global().IncrementCounter("io.giveups",
                                                  giveups - mirrored_giveups);
+      recorder.Record(FlightEventKind::kIoGiveup, accepted_updates,
+                      "+" + std::to_string(giveups - mirrored_giveups) +
+                          " io giveups");
       mirrored_giveups = giveups;
     }
   };
-  const auto note_degraded = [&](const char* what) {
+  // Dumps the flight-recorder buffer as an atomic postmortem file next to
+  // the checkpoints (checkpointing off = nowhere agreed to write).
+  // Best-effort observability: a failed dump never changes the run's
+  // fate, and the write fires its own "obs.postmortem" fault site so
+  // chaos schedules armed at other sites draw the same random sequence
+  // with or without postmortems.
+  const auto flush_postmortem = [&](const char* reason,
+                                    const std::string& detail,
+                                    int64_t attempts_done) {
+    if (!checkpointing || !recorder.enabled()) return;
+    PostmortemInfo info;
+    info.reason = reason;
+    info.detail = detail;
+    info.step = accepted_updates;
+    info.attempt = attempts_done;
+    info.epsilon = accountant.Snapshot(Delta(options_.delta)).epsilon;
+    info.degraded = degraded;
+    const std::string path =
+        options_.checkpoint_dir + "/" + PostmortemFileName(attempts_done);
+    (void)AtomicWriteFile(path, PostmortemJson(info, recorder.Snapshot()),
+                          RetryPolicy{}, "obs.postmortem");
+  };
+  const auto note_degraded = [&](const char* what, int64_t attempts_done) {
     if (degraded) return;
     degraded = true;
     MetricsRegistry::Global().SetGauge("obs.degraded", 1.0);
+    recorder.Record(FlightEventKind::kDegraded, accepted_updates, what);
     std::fprintf(stderr,
                  "trainer: %s is failing; continuing degraded (training "
                  "unaffected, telemetry may be incomplete)\n",
                  what);
+    flush_postmortem("degraded", what, attempts_done);
   };
   if (observing || publishing) {
     MetricsRegistry::Global().SetGauge("obs.degraded", 0.0);
@@ -486,6 +566,7 @@ StatusOr<TrainingResult> DpTrainer::Run() {
   // the trajectory (and the JSONL bytes) are identical either way.
   StepRecord last_record;
   bool have_record = false;
+  EpsilonBurnTracker burn_tracker;
   const auto publish_status = [&](const char* run_state, int64_t step,
                                   int64_t attempts_done,
                                   const StepRecord* record) {
@@ -505,6 +586,9 @@ StatusOr<TrainingResult> DpTrainer::Run() {
     snap.epsilon_budget = options_.epsilon_budget;
     snap.delta = options_.delta;
     snap.degraded = degraded;
+    snap.eps_burn_rate = burn_tracker.rate();
+    snap.eps_steps_to_exhaustion =
+        burn_tracker.StepsToExhaustion(options_.epsilon_budget);
     snap.checkpoint_dir = options_.checkpoint_dir;
     snap.latest_checkpoint = last_checkpoint_path;
     publisher->Publish(std::move(snap));
@@ -546,7 +630,10 @@ StatusOr<TrainingResult> DpTrainer::Run() {
     const std::string path =
         options_.checkpoint_dir + "/" + CheckpointFileName(next_attempt);
     const Status saved = SaveTrainingCheckpoint(ckpt, path);
-    if (saved.ok()) last_checkpoint_path = path;
+    if (saved.ok()) {
+      last_checkpoint_path = path;
+      recorder.Record(FlightEventKind::kCheckpointWrite, next_attempt, path);
+    }
     return saved;
   };
 
@@ -658,15 +745,24 @@ StatusOr<TrainingResult> DpTrainer::Run() {
       result.loss_history.push_back(grads.mean_loss);
     }
 
+    recorder.Record(FlightEventKind::kStepMilestone, attempt + 1,
+                    "accepted=" + std::to_string(accepted_updates));
+
     if (observing || publishing) {
       const StepRecord record = BuildStepRecord(
           grads, *perturber, *clipper, accountant, options_, t, attempt,
           current_beta, step_accepted, selective, flat_dim);
       if (observing) observer->OnStep(record);
       if (observing && !observer->healthy()) {
-        note_degraded("the telemetry sink");
+        note_degraded("the telemetry sink", attempt + 1);
       }
       MirrorStepMetrics(record, options_);
+      burn_tracker.Observe(attempt + 1, record.epsilon);
+      MetricsRegistry::Global().SetGauge("dp.eps_burn_rate",
+                                         burn_tracker.rate());
+      MetricsRegistry::Global().SetGauge(
+          "dp.eps_steps_to_exhaustion",
+          burn_tracker.StepsToExhaustion(options_.epsilon_budget));
       mirror_io_stats();
       if (publishing) {
         last_record = record;
@@ -685,13 +781,18 @@ StatusOr<TrainingResult> DpTrainer::Run() {
         // lose more work than the operator allowed.
         ++missed_checkpoints;
         MetricsRegistry::Global().IncrementCounter("ckpt.missed");
+        recorder.Record(FlightEventKind::kCheckpointMiss, attempt + 1,
+                        saved.message());
         if (missed_checkpoints > options_.max_missed_checkpoints) {
-          return Status(saved.code(),
-                        saved.message() + " (" +
-                            std::to_string(missed_checkpoints) +
-                            " consecutive checkpoint(s) missed, bound is " +
-                            std::to_string(options_.max_missed_checkpoints) +
-                            ")");
+          const Status fatal(
+              saved.code(),
+              saved.message() + " (" + std::to_string(missed_checkpoints) +
+                  " consecutive checkpoint(s) missed, bound is " +
+                  std::to_string(options_.max_missed_checkpoints) + ")");
+          recorder.Record(FlightEventKind::kStatusError, attempt + 1,
+                          fatal.message());
+          flush_postmortem("fatal_status", fatal.message(), attempt + 1);
+          return fatal;
         }
         if (!warned_missed) {
           warned_missed = true;
@@ -712,6 +813,8 @@ StatusOr<TrainingResult> DpTrainer::Run() {
           // correctness. Counted so operators see the leak.
           MetricsRegistry::Global().IncrementCounter("ckpt.prune_errors",
                                                      prune_errors);
+          recorder.Record(FlightEventKind::kCheckpointPrune, attempt + 1,
+                          std::to_string(prune_errors) + " prune error(s)");
           if (!warned_prune) {
             warned_prune = true;
             std::fprintf(stderr,
@@ -721,6 +824,11 @@ StatusOr<TrainingResult> DpTrainer::Run() {
                          options_.checkpoint_dir.c_str());
           }
         }
+        // Piggyback a postmortem on every successful checkpoint: a later
+        // hard kill (SIGKILL, _Exit) gets no chance to flush anything, so
+        // the black box must already be on disk — its attempt equals the
+        // checkpoint's resume point by construction.
+        flush_postmortem("checkpoint", last_checkpoint_path, attempt + 1);
       }
     }
 
@@ -737,12 +845,14 @@ StatusOr<TrainingResult> DpTrainer::Run() {
     // already spent stays resumable, report, and return kCancelled.
     std::string detail = "training cancelled by the stall watchdog after " +
                          std::to_string(attempt) + " attempt(s)";
+    recorder.Record(FlightEventKind::kWatchdogCancel, attempt, detail);
     if (checkpointing) {
       const Status flushed = save_checkpoint(attempt);
       detail += flushed.ok()
                     ? "; final checkpoint flushed to " + last_checkpoint_path
                     : "; final checkpoint flush failed: " + flushed.message();
     }
+    flush_postmortem("watchdog_cancel", detail, attempt);
     if (observing || publishing) mirror_io_stats();
     if (publishing) {
       publish_status("cancelled", accepted_updates, attempt,

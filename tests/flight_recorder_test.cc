@@ -1,0 +1,187 @@
+// Tests for the always-on flight recorder: stable kind names, bounded
+// detail copies, per-stripe wraparound that keeps the newest events,
+// sequence-ordered snapshots, the disabled no-op, 8-thread concurrent
+// recording (exercised under TSan in CI), and the /flightz and
+// postmortem JSON golden structure.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+
+namespace geodp {
+namespace {
+
+TEST(FlightRecorderTest, KindNamesAreStable) {
+  // scripts/check_postmortem.py and monitor queries key on these strings.
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kStepMilestone), "step");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kStatusError),
+               "status_error");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kIoRetry), "io_retry");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kIoGiveup), "io_giveup");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kDegraded), "degraded");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kCheckpointWrite),
+               "checkpoint_write");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kCheckpointMiss),
+               "checkpoint_miss");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kCheckpointPrune),
+               "checkpoint_prune");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kWatchdogCancel),
+               "watchdog_cancel");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kResume), "resume");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kNote), "note");
+}
+
+TEST(FlightRecorderTest, RecordsInSequenceOrderWithBoundedDetail) {
+  FlightRecorder recorder;
+  recorder.Record(FlightEventKind::kStepMilestone, 1, "accepted=1");
+  recorder.Record(FlightEventKind::kCheckpointWrite, 2, "ckpt path");
+  recorder.Record(FlightEventKind::kNote, -1,
+                  std::string(200, 'x'));  // over the detail bound
+
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].sequence, 1);
+  EXPECT_EQ(events[1].sequence, 2);
+  EXPECT_EQ(events[2].sequence, 3);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kStepMilestone);
+  EXPECT_EQ(events[0].step, 1);
+  EXPECT_STREQ(events[0].detail.data(), "accepted=1");
+  EXPECT_EQ(events[2].step, -1);
+  // Truncated at kDetailBytes - 1 with a terminating NUL.
+  EXPECT_EQ(std::string(events[2].detail.data()).size(),
+            static_cast<size_t>(FlightEvent::kDetailBytes - 1));
+  EXPECT_EQ(recorder.total_recorded(), 3);
+}
+
+TEST(FlightRecorderTest, DisabledRecorderIsANoOp) {
+  FlightRecorder recorder;
+  recorder.set_enabled(false);
+  recorder.Record(FlightEventKind::kNote, 0, "dropped");
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_EQ(recorder.total_recorded(), 0);
+  recorder.set_enabled(true);
+  recorder.Record(FlightEventKind::kNote, 0, "kept");
+  EXPECT_EQ(recorder.Snapshot().size(), 1u);
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsTheNewestEvents) {
+  // A single thread maps to a single stripe, so its ring holds exactly
+  // kSlotsPerStripe events; older ones are overwritten in place.
+  FlightRecorder recorder;
+  const int total = 3 * FlightRecorder::kSlotsPerStripe;
+  for (int i = 1; i <= total; ++i) {
+    recorder.Record(FlightEventKind::kStepMilestone, i, "m");
+  }
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(),
+            static_cast<size_t>(FlightRecorder::kSlotsPerStripe));
+  EXPECT_EQ(events.front().sequence,
+            total - FlightRecorder::kSlotsPerStripe + 1);
+  EXPECT_EQ(events.back().sequence, total);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].sequence, events[i - 1].sequence + 1);
+  }
+  EXPECT_EQ(recorder.total_recorded(), total);
+}
+
+TEST(FlightRecorderTest, ResetDropsEverythingAndRestartsSequences) {
+  FlightRecorder recorder;
+  recorder.Record(FlightEventKind::kNote, 0, "old");
+  recorder.Reset();
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_EQ(recorder.total_recorded(), 0);
+  recorder.Record(FlightEventKind::kNote, 0, "new");
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].sequence, 1);
+}
+
+// Eight threads hammer Record concurrently; TSan (CI) checks the stripe
+// locking, the assertions here pin the accounting: no sequence is lost
+// or duplicated, and the merged snapshot stays sequence-sorted.
+TEST(FlightRecorderTest, ConcurrentRecordFromEightThreads) {
+  FlightRecorder recorder;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.Record(FlightEventKind::kNote, t, "concurrent");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(recorder.total_recorded(), kThreads * kPerThread);
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  EXPECT_LE(events.size(),
+            static_cast<size_t>(FlightRecorder::kStripes *
+                                FlightRecorder::kSlotsPerStripe));
+  EXPECT_FALSE(events.empty());
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].sequence, events[i].sequence);
+  }
+}
+
+TEST(FlightRecorderTest, GlobalRecorderIsOnByDefault) {
+  EXPECT_TRUE(FlightRecorder::Global().enabled());
+}
+
+TEST(FlightzJsonTest, GoldenBytes) {
+  FlightRecorder recorder;
+  recorder.Record(FlightEventKind::kStepMilestone, 3, "accepted=3");
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  events[0].micros = 42;  // pin the only nondeterministic field
+  events[0].tid = 0;
+  EXPECT_EQ(FlightzJson(events, true, recorder.total_recorded()),
+            "{\"enabled\":true,\"total_recorded\":1,\"events\":["
+            "{\"sequence\":1,\"micros\":42,\"kind\":\"step\",\"step\":3,"
+            "\"tid\":0,\"detail\":\"accepted=3\"}]}");
+  EXPECT_EQ(FlightzJson({}, false, 0),
+            "{\"enabled\":false,\"total_recorded\":0,\"events\":[]}");
+}
+
+TEST(PostmortemJsonTest, GoldenBytesAndLastMilestone) {
+  FlightRecorder recorder;
+  recorder.Record(FlightEventKind::kStepMilestone, 1, "accepted=1");
+  recorder.Record(FlightEventKind::kStepMilestone, 2, "accepted=2");
+  recorder.Record(FlightEventKind::kCheckpointWrite, 2, "ckpt");
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  for (FlightEvent& event : events) {
+    event.micros = 0;
+    event.tid = 0;
+  }
+  PostmortemInfo info;
+  info.reason = "checkpoint";
+  info.detail = "dir/ckpt_000000002.gdpk";
+  info.step = 2;
+  info.attempt = 2;
+  info.epsilon = 0.5;
+  info.degraded = false;
+  const std::string json = PostmortemJson(info, events);
+  EXPECT_EQ(json,
+            "{\"tool\":\"geodp\",\"kind\":\"postmortem\","
+            "\"reason\":\"checkpoint\","
+            "\"detail\":\"dir/ckpt_000000002.gdpk\",\"step\":2,"
+            "\"attempt\":2,\"epsilon\":0.5,\"degraded\":false,"
+            "\"last_milestone_step\":2,\"events\":["
+            "{\"sequence\":1,\"micros\":0,\"kind\":\"step\",\"step\":1,"
+            "\"tid\":0,\"detail\":\"accepted=1\"},"
+            "{\"sequence\":2,\"micros\":0,\"kind\":\"step\",\"step\":2,"
+            "\"tid\":0,\"detail\":\"accepted=2\"},"
+            "{\"sequence\":3,\"micros\":0,\"kind\":\"checkpoint_write\","
+            "\"step\":2,\"tid\":0,\"detail\":\"ckpt\"}]}\n");
+  // No milestone events -> -1, matching check_postmortem.py's derivation.
+  EXPECT_NE(PostmortemJson(info, {}).find("\"last_milestone_step\":-1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace geodp

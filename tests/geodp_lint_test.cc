@@ -407,6 +407,23 @@ TEST(GeodpLintR2v2, GhostAccumulatorEscapesThroughCallAndReturn) {
   EXPECT_NE(findings[1].message.find("through return"), std::string::npos);
 }
 
+TEST(GeodpLintR2v2, FlightRecorderRecordOnALocalIsAReleaseSink) {
+  // The fixture pairs two identical shapes: Record() on a local recorder
+  // (must report — the ring buffer outlives the step and surfaces on
+  // /flightz and in postmortems) and Add() on a local accumulator (must
+  // stay a silent store). Exactly one finding proves the sink list, not
+  // a broader rule change, is what bites.
+  const std::vector<Finding> findings = LintFixture(
+      "r2_flight_recorder_sink.cc", "src/optim/flight_note.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, RuleId::kR2PrivacyBoundary);
+  EXPECT_EQ(findings[0].line, 21);
+  EXPECT_NE(findings[0].message.find("observability sink 'Record'"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("sample_norm -> scaled"),
+            std::string::npos);
+}
+
 TEST(GeodpLintR2v2, ClipSubsystemIsExemptFromTaintToo) {
   EXPECT_TRUE(
       LintFixture("r2v2_taint_via_local.cc", "src/clip/norm_export.cc")

@@ -25,8 +25,10 @@
 #include "data/synthetic_images.h"
 #include "models/logistic_regression.h"
 #include "obs/exposition.h"
+#include "obs/flight_recorder.h"
 #include "obs/http_server.h"
 #include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 #include "optim/trainer.h"
 
 namespace geodp {
@@ -159,7 +161,9 @@ TEST(StatuszTest, JsonGoldenBytes) {
             "{\"run_state\":\"training\",\"options_fingerprint\":\"v1|seed=1\","
             "\"step\":5,\"attempt\":6,\"iterations\":10,\"last_record\":null,"
             "\"epsilon_spent\":0.5,\"epsilon_budget\":2,\"delta\":1e-05,"
-            "\"degraded\":false,\"checkpoint_dir\":\"/tmp/ckpt\","
+            "\"degraded\":false,\"eps_burn_rate\":0,"
+            "\"eps_steps_to_exhaustion\":-1,"
+            "\"checkpoint_dir\":\"/tmp/ckpt\","
             "\"latest_checkpoint\":"
             "\"/tmp/ckpt/ckpt_000006.geockpt\",\"publish_sequence\":7,"
             "\"publish_micros\":123}");
@@ -266,6 +270,93 @@ TEST(RouteTest, HealthzFlipsOnExceededBudgetOnly) {
                                       options)
                 .status,
             200);
+}
+
+TEST(RouteTest, HealthzWarnsWithinTheBurnRateHorizon) {
+  IntrospectionServerOptions options;
+  options.epsilon_warn_steps = 100;
+  TrainingStatusPublisher publisher;
+  TrainingStatusSnapshot snapshot;
+  snapshot.run_state = "training";
+  snapshot.epsilon_spent = 1.0;
+  snapshot.epsilon_budget = 2.0;
+  snapshot.eps_burn_rate = 0.004;
+
+  // Projected exhaustion beyond the horizon: plain ok.
+  snapshot.eps_steps_to_exhaustion = 250.0;
+  publisher.Publish(snapshot);
+  IntrospectionResponse health = RouteIntrospectionRequest(
+      "GET", "/healthz", nullptr, &publisher, options);
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  // Inside the horizon: still 200 (the run is healthy) but the body
+  // carries the early warning monitors alert on before the 503 flip.
+  snapshot.eps_steps_to_exhaustion = 80.0;
+  publisher.Publish(snapshot);
+  health = RouteIntrospectionRequest("GET", "/healthz", nullptr, &publisher,
+                                     options);
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body,
+            "warn: epsilon budget exhausted in ~80 steps at the current "
+            "burn rate\n");
+
+  // Unknown trend (-1) or a disabled horizon never warns.
+  snapshot.eps_steps_to_exhaustion = -1.0;
+  publisher.Publish(snapshot);
+  EXPECT_EQ(RouteIntrospectionRequest("GET", "/healthz", nullptr, &publisher,
+                                      options)
+                .body,
+            "ok\n");
+  options.epsilon_warn_steps = 0;
+  snapshot.eps_steps_to_exhaustion = 80.0;
+  publisher.Publish(snapshot);
+  EXPECT_EQ(RouteIntrospectionRequest("GET", "/healthz", nullptr, &publisher,
+                                      options)
+                .body,
+            "ok\n");
+}
+
+TEST(RouteTest, ProfilezServesHtmlJsonAndFoldedText) {
+  const IntrospectionServerOptions options;
+  DisableProfiling();
+  ResetProfile();
+  const IntrospectionResponse html = RouteIntrospectionRequest(
+      "GET", "/profilez", nullptr, nullptr, options);
+  EXPECT_EQ(html.status, 200);
+  EXPECT_EQ(html.content_type, "text/html; charset=utf-8");
+  EXPECT_NE(html.body.find("<title>geodp /profilez</title>"),
+            std::string::npos);
+  const IntrospectionResponse json = RouteIntrospectionRequest(
+      "GET", "/profilez?format=json", nullptr, nullptr, options);
+  EXPECT_EQ(json.status, 200);
+  EXPECT_EQ(json.content_type, "application/json");
+  EXPECT_EQ(json.body, "{\"enabled\":false,\"threads\":0,\"phases\":[]}");
+  const IntrospectionResponse folded = RouteIntrospectionRequest(
+      "GET", "/profilez?format=folded", nullptr, nullptr, options);
+  EXPECT_EQ(folded.status, 200);
+  EXPECT_EQ(folded.body, "");
+}
+
+TEST(RouteTest, FlightzServesTheGlobalRecorder) {
+  const IntrospectionServerOptions options;
+  FlightRecorder::Global().Reset();
+  FlightRecorder::Global().Record(FlightEventKind::kNote, 7, "route test");
+  const IntrospectionResponse flight = RouteIntrospectionRequest(
+      "GET", "/flightz", nullptr, nullptr, options);
+  EXPECT_EQ(flight.status, 200);
+  EXPECT_EQ(flight.content_type, "application/json");
+  EXPECT_EQ(flight.body.find("{\"enabled\":true,\"total_recorded\":1,"), 0u);
+  EXPECT_NE(flight.body.find("\"kind\":\"note\",\"step\":7"),
+            std::string::npos);
+  EXPECT_NE(flight.body.find("\"detail\":\"route test\""),
+            std::string::npos);
+  FlightRecorder::Global().Reset();
+
+  const IntrospectionResponse index =
+      RouteIntrospectionRequest("GET", "/", nullptr, nullptr, options);
+  EXPECT_NE(index.body.find("/profilez"), std::string::npos);
+  EXPECT_NE(index.body.find("/flightz"), std::string::npos);
 }
 
 TEST(RouteTest, DegradedRunStaysHealthyWithMarkerBody) {

@@ -1,0 +1,29 @@
+// Fixture: seeded R2v2 violation — a per-sample value is handed to a
+// LOCAL flight recorder through Record(). A method call on a local
+// object is normally just a store (the taint pass taints the object
+// and stays silent, as NoteSum shows), but the recorder's ring buffer
+// outlives the step — snapshots surface on /flightz and in crash
+// postmortems — so Record() is a release sink whatever the receiver.
+
+namespace geodp {
+
+struct ScratchRecorder {
+  void Record(double value);
+};
+
+struct ScratchAccumulator {
+  void Add(double value);
+};
+
+void NoteNorm(const double& sample_norm) {  // geodp: per-sample
+  double scaled = sample_norm * 0.5;
+  ScratchRecorder recorder;
+  recorder.Record(scaled);
+}
+
+void NoteSum(const double& sample_norm) {  // geodp: per-sample
+  ScratchAccumulator acc;
+  acc.Add(sample_norm);
+}
+
+}  // namespace geodp

@@ -496,6 +496,27 @@ TEST_F(ResilienceTest, StallWatchdogCancelsFlushesAndResumes) {
   ASSERT_NE(publisher.Latest(), nullptr);
   EXPECT_EQ(publisher.Latest()->run_state, "cancelled");
 
+  // The cancel path flushed a postmortem after the final checkpoint; it
+  // overwrites that attempt's checkpoint postmortem, so the newest
+  // postmortem-*.json in the directory carries the watchdog reason.
+  std::string newest_postmortem;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("postmortem-", 0) == 0 && name > newest_postmortem) {
+      newest_postmortem = name;
+    }
+  }
+  ASSERT_FALSE(newest_postmortem.empty());
+  const StatusOr<std::string> postmortem =
+      ReadFileWithRetry(dir + "/" + newest_postmortem);
+  ASSERT_TRUE(postmortem.ok()) << postmortem.status().ToString();
+  EXPECT_NE(postmortem.value().find("\"kind\":\"postmortem\""),
+            std::string::npos);
+  EXPECT_NE(postmortem.value().find("\"reason\":\"watchdog_cancel\""),
+            std::string::npos);
+  EXPECT_NE(postmortem.value().find("\"kind\":\"watchdog_cancel\""),
+            std::string::npos);  // the kWatchdogCancel flight event
+
   // Resume with different resilience knobs (watchdog off): the options
   // fingerprint excludes them, so the checkpoint must be accepted, and
   // the finished run must match the uninterrupted reference exactly.

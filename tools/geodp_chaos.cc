@@ -28,6 +28,9 @@
 //     resumed telemetry a byte-exact SUFFIX, with no gap between them
 //     (an overlap is legal: a torn newest checkpoint makes resume fall
 //     back one step and re-emit it identically);
+//   - the kill left a parseable flight-recorder postmortem next to the
+//     checkpoints whose recorded attempt and last step milestone equal
+//     the attempt the resume actually restarted from;
 //   - resumed weights are byte-identical to the reference weights;
 //   - the printed "epsilon (RDP)" line matches the reference exactly —
 //     no double-spent and no lost privacy budget;
@@ -59,6 +62,7 @@
 #include "base/io/file_io.h"
 #include "base/rng.h"
 #include "base/status.h"
+#include "ckpt/checkpoint.h"
 
 namespace geodp {
 namespace {
@@ -210,6 +214,48 @@ void CheckFileEquals(const std::string& label, const std::string& path,
   }
 }
 
+// The flight recorder piggybacks a postmortem dump on every successful
+// checkpoint (a _Exit(87) kill gets no chance to flush one), so after any
+// kill the newest surviving checkpoint — the attempt training resumes
+// from — has a postmortem describing exactly that attempt. Validates the
+// file is complete JSON with the expected schema markers, its "attempt"
+// equals `resume_point`, and its last recorded step milestone does too.
+void CheckPostmortem(const std::string& ckpt_dir, int64_t resume_point,
+                     std::vector<std::string>& errors) {
+  const std::string path = ckpt_dir + "/" + PostmortemFileName(resume_point);
+  const StatusOr<std::string> text = ReadFileWithRetry(path);
+  if (!text.ok()) {
+    errors.push_back("postmortem: " + text.status().ToString() +
+                     " — every kill schedule must leave one at the resume "
+                     "point");
+    return;
+  }
+  const std::string& body = text.value();
+  if (body.size() < 2 || body.front() != '{' ||
+      body.compare(body.size() - 2, 2, "}\n") != 0) {
+    errors.push_back("postmortem: " + path +
+                     " is not a complete JSON object");
+    return;
+  }
+  for (const char* needle :
+       {"\"tool\":\"geodp\"", "\"kind\":\"postmortem\"", "\"events\":["}) {
+    if (body.find(needle) == std::string::npos) {
+      errors.push_back("postmortem: " + path + " lacks " + needle);
+    }
+  }
+  if (body.find("\"attempt\":" + std::to_string(resume_point) + ",") ==
+      std::string::npos) {
+    errors.push_back("postmortem: " + path + " does not record attempt " +
+                     std::to_string(resume_point));
+  }
+  if (body.find("\"last_milestone_step\":" + std::to_string(resume_point)) ==
+      std::string::npos) {
+    errors.push_back("postmortem: last recorded step in " + path +
+                     " does not match the resume point " +
+                     std::to_string(resume_point));
+  }
+}
+
 ScheduleVerdict RunSchedule(const HarnessConfig& config, uint64_t root_seed,
                             int64_t index) {
   ScheduleVerdict verdict;
@@ -336,6 +382,17 @@ ScheduleVerdict RunSchedule(const HarnessConfig& config, uint64_t root_seed,
           ") < reference(" + std::to_string(ref_lines.size()) +
           ") — step records were lost across the crash");
     }
+  }
+
+  // Postmortem: the kill must have left one describing the attempt the
+  // resume restarted from. That attempt is inferred from the resumed
+  // suffix length (one telemetry record per attempt); a fresh-start
+  // resume (no checkpoint survived) leaves nothing to validate.
+  const int64_t resume_point = config.iterations +
+                               (config.doctor ? 3 : 0) -
+                               static_cast<int64_t>(part2.size());
+  if (resume_point >= 1) {
+    CheckPostmortem(dir + "/ckpt", resume_point, errors);
   }
 
   // Weights and epsilon: bit-identical to the uninterrupted run.

@@ -29,6 +29,7 @@
 #include "nn/checkpoint.h"
 #include "obs/http_server.h"
 #include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 #include "obs/step_observer.h"
 #include "obs/trace.h"
 #include "optim/trainer.h"
@@ -108,7 +109,7 @@ int RunTrain(int argc, const char* const* argv) {
   IntrospectionHandle* const http = introspection.value().get();
   if (http != nullptr) {
     std::printf("introspection: http://127.0.0.1:%d (/metrics /healthz "
-                "/readyz /statusz /varz)\n",
+                "/readyz /statusz /varz /profilez /flightz)\n",
                 http->server->port());
   }
 
@@ -236,6 +237,16 @@ int RunTrain(int argc, const char* const* argv) {
     } else {
       std::printf("trace: %lld events flushed\n",
                   static_cast<long long>(BufferedTraceEventCount()));
+    }
+  }
+  if (ProfilingEnabled()) {
+    const Status profile_status = FlushProfile();
+    if (!profile_status.ok()) {
+      std::printf("profile: degraded: %s\n",
+                  profile_status.ToString().c_str());
+    } else {
+      std::printf("profile: folded stacks -> %s\n",
+                  flags.GetString("geodp_profile_out").c_str());
     }
   }
 

@@ -25,6 +25,14 @@ constexpr std::array<std::string_view, 16> kValueReaders = {
     "pow",  "exp",  "log",      "log2",  "isfinite", "isnan",
     "move", "swap", "fill",     "accumulate"};
 
+// Observability sinks: the flight recorder and phase profiler persist
+// their arguments beyond the training step (ring buffer snapshots,
+// /flightz, postmortem dumps, folded-stack exports), so handing them
+// per-sample data is a release even when the receiver is a local object
+// — never just a store into it.
+constexpr std::array<std::string_view, 4> kObservabilitySinkCalls = {
+    "Record", "ProfilerEnterSpan", "ProfilerExitSpan", "ProfilerRecordLeaf"};
+
 // `keyword (...)` is control flow, not a call. Branching on a tainted
 // value is out of scope for this pass (no implicit-flow tracking).
 constexpr std::array<std::string_view, 10> kControlKeywords = {
@@ -403,7 +411,10 @@ class TaintPass {
         const bool base_is_call = base_idx != kNpos &&
                                   base_idx + 1 < code_.size() &&
                                   code_[base_idx + 1].Is("(");
-        if (base_idx == kNpos || base_is_call || IsMemberName(base)) {
+        if (Contains(kObservabilitySinkCalls, callee)) {
+          Report(code_[i].line, via,
+                 "observability sink '" + callee + "'", suppressed);
+        } else if (base_idx == kNpos || base_is_call || IsMemberName(base)) {
           Report(code_[i].line, via, "call '" + callee + "'", suppressed);
         } else if (ref_params_.count(base) != 0) {
           Report(code_[i].line, via,
